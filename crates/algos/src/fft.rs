@@ -1,0 +1,262 @@
+//! FFT via the √n decomposition (Theorem 7.1(iv)).
+//!
+//! The cache-oblivious FFT treats the length-`n` input as an `r × c` matrix (`r·c = n`,
+//! `r ≈ c ≈ √n`), performs `c` column FFTs of size `r` recursively, multiplies by twiddle
+//! factors, then performs `r` row FFTs of size `c` — two collections of recursive calls whose
+//! sizes shrink as `s(n) = √n`, which is exactly case (ii) of Theorem 6.3. Intermediate
+//! results live in a local array so every variable is written O(1) times.
+
+use crate::common::{balanced_levels, Dest};
+use rws_dag::builders::BalancedTreeBuilder;
+use rws_dag::{Addr, AlgoMeta, Computation, NodeId, Shrink, SpDagBuilder, WorkUnit};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the FFT computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FftConfig {
+    /// Transform length (power of two).
+    pub n: usize,
+    /// Base-case size (power of two).
+    pub base: usize,
+}
+
+impl FftConfig {
+    /// Length-`n` FFT with base case 16 (or `n` if smaller).
+    pub fn new(n: usize) -> Self {
+        FftConfig { n, base: 16.min(n) }
+    }
+}
+
+/// Build the FFT computation: input at address 0, output at address `n` (one simulated word
+/// per complex element).
+pub fn fft_computation(cfg: &FftConfig) -> Computation {
+    assert!(cfg.n.is_power_of_two() && cfg.base.is_power_of_two() && cfg.base <= cfg.n);
+    let mut b = SpDagBuilder::new();
+    let src = SourceRange::Global { base: 0 };
+    let root =
+        build_fft(&mut b, src, Dest::Global { base: cfg.n as u64 }, cfg.n as u64, cfg.base as u64, 0);
+    let dag = b.build(root).expect("fft dag must validate");
+    let meta =
+        AlgoMeta::hbp2("fft-sqrt-decomposition", cfg.n as u64, 2, Shrink::Sqrt).with_base_case(cfg.base as u64);
+    Computation::new(dag, meta)
+}
+
+/// Where a sub-FFT reads its input from (mirror of [`Dest`] for reads).
+#[derive(Clone, Copy, Debug)]
+enum SourceRange {
+    Global { base: u64 },
+    Local { depth: u32, offset: u32 },
+}
+
+impl SourceRange {
+    fn offset(self, delta: u64) -> SourceRange {
+        match self {
+            SourceRange::Global { base } => SourceRange::Global { base: base + delta },
+            SourceRange::Local { depth, offset } => SourceRange::Local {
+                depth,
+                offset: offset + u32::try_from(delta).expect("source offset"),
+            },
+        }
+    }
+
+    fn read_range(self, mut unit: WorkUnit, range: std::ops::Range<u64>, at_depth: u32) -> WorkUnit {
+        match self {
+            SourceRange::Global { base } => {
+                unit = unit.reads((base + range.start..base + range.end).map(Addr));
+                unit
+            }
+            SourceRange::Local { depth, offset } => {
+                let dest = Dest::Local { depth, offset };
+                dest.read_range(unit, range, at_depth)
+            }
+        }
+    }
+}
+
+/// Build the FFT of `m` elements read from `src`, written to `dest`.
+fn build_fft(
+    b: &mut SpDagBuilder,
+    src: SourceRange,
+    dest: Dest,
+    m: u64,
+    base: u64,
+    ctx_depth: u32,
+) -> NodeId {
+    if m <= base {
+        let at_depth = ctx_depth + 1;
+        let log_m = (64 - m.leading_zeros() as u64).max(1);
+        let mut unit = WorkUnit::compute(m * log_m);
+        unit = src.read_range(unit, 0..m, at_depth);
+        unit = dest.write_range(unit, 0..m, at_depth);
+        return b.leaf(unit);
+    }
+    // Split m = r * c with r >= c, both powers of two, r <= c * 2.
+    let log_m = m.trailing_zeros();
+    let r = 1u64 << log_m.div_ceil(2);
+    let c = m / r;
+
+    // The call's Seq declares a local array of m words for the column-FFT results.
+    let seq_depth = ctx_depth + 1;
+    let local = Dest::Local { depth: seq_depth, offset: 0 };
+    let local_src = SourceRange::Local { depth: seq_depth, offset: 0 };
+
+    // Collection 1: c column FFTs of size r (input columns are modelled as contiguous ranges;
+    // the data is assumed pre-laid-out column-blocked, see the module documentation).
+    let col_levels = balanced_levels(c.next_power_of_two() as usize);
+    let col_depth = seq_depth + col_levels;
+    let cols: Vec<NodeId> = (0..c)
+        .map(|j| build_fft(b, src.offset(j * r), local.offset(j * r), r, base, col_depth))
+        .collect();
+    let cols = combine(b, &cols);
+
+    // Twiddle pass: a BP tree over chunks multiplying each intermediate element by a twiddle
+    // factor (read + write of the local array, one op each).
+    let chunk = base.min(m);
+    let chunks = (m / chunk) as usize;
+    let tw_levels = balanced_levels(chunks.next_power_of_two());
+    let tw_depth = seq_depth + tw_levels + 1;
+    let mut tw_leaves = Vec::with_capacity(chunks);
+    for k in 0..chunks as u64 {
+        let lo = k * chunk;
+        let hi = lo + chunk;
+        let mut unit = WorkUnit::compute(chunk);
+        unit = local.read_range(unit, lo..hi, tw_depth);
+        unit = local.write_range(unit, lo..hi, tw_depth);
+        tw_leaves.push(b.leaf(unit));
+    }
+    let twiddle = combine(b, &tw_leaves);
+
+    // Collection 2: r row FFTs of size c reading the local array and writing the destination.
+    let row_levels = balanced_levels(r.next_power_of_two() as usize);
+    let row_depth = seq_depth + row_levels;
+    let rows: Vec<NodeId> = (0..r)
+        .map(|i| build_fft(b, local_src.offset(i * c), dest.offset(i * c), c, base, row_depth))
+        .collect();
+    let rows = combine(b, &rows);
+
+    b.seq_with_segment(vec![cols, twiddle, rows], u32::try_from(m).expect("segment size"))
+}
+
+fn combine(b: &mut SpDagBuilder, children: &[NodeId]) -> NodeId {
+    BalancedTreeBuilder::new(b, 2).combine(
+        children,
+        |_, _| WorkUnit::compute(1),
+        |_, _| WorkUnit::compute(1),
+    )
+}
+
+// ------------------------------------------------------------------------------------------
+// Sequential reference on complex data
+// ------------------------------------------------------------------------------------------
+
+/// A complex number (re, im).
+pub type Complex = (f64, f64);
+
+fn c_add(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+fn c_sub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+fn c_mul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT (the correctness oracle).
+pub fn fft_reference(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    assert!(n.is_power_of_two());
+    let mut a = input.to_vec();
+    // Bit-reversal permutation (nothing to do for n = 1).
+    let bits = n.trailing_zeros();
+    if bits > 0 {
+        for i in 0..n {
+            let j = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = (angle.cos(), angle.sin());
+        for chunk in a.chunks_mut(len) {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = chunk[k];
+                let v = c_mul(chunk[k + len / 2], w);
+                chunk[k] = c_add(u, v);
+                chunk[k + len / 2] = c_sub(u, v);
+                w = c_mul(w, wlen);
+            }
+        }
+        len *= 2;
+    }
+    a
+}
+
+/// Naive O(n²) DFT used to validate the FFT reference.
+pub fn dft_reference(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (j, &x) in input.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = c_add(acc, c_mul(x, (angle.cos(), angle.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn fft_matches_dft() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [1usize, 2, 4, 8, 32] {
+            let input: Vec<Complex> =
+                (0..n).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            let fast = fft_reference(&input);
+            let slow = dft_reference(&input);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a.0 - b.0).abs() < 1e-6 && (a.1 - b.1).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_constant() {
+        let mut input = vec![(0.0, 0.0); 16];
+        input[0] = (1.0, 0.0);
+        for v in fft_reference(&input) {
+            assert!((v.0 - 1.0).abs() < 1e-9 && v.1.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dag_structure() {
+        let comp = fft_computation(&FftConfig { n: 256, base: 16 });
+        assert!(comp.check_properties().is_empty());
+        assert!(comp.meta.class.is_hbp());
+        // Each output word written once; the intermediate lives on stack segments.
+        assert_eq!(comp.dag.max_writes_per_global_word(), 1);
+        assert_eq!(comp.dag.global_footprint_words(), 2 * 256);
+    }
+
+    #[test]
+    fn work_is_n_log_n_like_and_span_small() {
+        let w256 = fft_computation(&FftConfig { n: 256, base: 16 }).dag.work();
+        let w4096 = fft_computation(&FftConfig { n: 4096, base: 16 }).dag.work();
+        let ratio = w4096 as f64 / w256 as f64;
+        assert!(ratio > 12.0 && ratio < 40.0, "16x input => 16-32x work for n log n, got {ratio}");
+        let s256 = fft_computation(&FftConfig { n: 256, base: 16 }).dag.span_nodes();
+        let s4096 = fft_computation(&FftConfig { n: 4096, base: 16 }).dag.span_nodes();
+        assert!(s4096 < 8 * s256, "span grows polylogarithmically: {s256} -> {s4096}");
+    }
+}

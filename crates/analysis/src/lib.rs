@@ -1,0 +1,15 @@
+//! # rws-analysis
+//!
+//! Closed-form evaluations of the paper's bounds, used by the experiment harness to compare
+//! measured quantities against predictions. All functions return `f64` values with the
+//! asymptotic constants taken as 1 — experiments compare *shapes* (scaling exponents, who
+//! wins, crossovers), not absolute values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod predictions;
+
+pub use bounds::*;
+pub use predictions::*;

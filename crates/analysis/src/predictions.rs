@@ -1,0 +1,176 @@
+//! Per-algorithm predictions (Lemma 7.1 and Theorem 7.1): steal counts, cache-miss and
+//! block-delay envelopes for the concrete algorithms built in `rws-algos`.
+
+use crate::bounds::{self, Params};
+
+fn log2(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// Lemma 7.1 (depth-`n` matrix multiply): `S = O(p·((b+s)/s·n + b/s·n·√B)·(1+a))`.
+pub fn mm_depth_n_steals(n: f64, a: f64, params: &Params) -> f64 {
+    let Params { p, b_words, miss_cost: b, steal_cost: s, .. } = *params;
+    p * ((b + s) / s * n + b / s * n * b_words.sqrt()) * (1.0 + a)
+}
+
+/// Lemma 7.1 (depth-`log² n` matrix multiply):
+/// `S = O(p·((b+s)/s·log²n + b/s·B·log n)·(1+a))`.
+pub fn mm_depth_log2_steals(n: f64, a: f64, params: &Params) -> f64 {
+    let Params { p, b_words, miss_cost: b, steal_cost: s, .. } = *params;
+    let l = log2(n);
+    p * ((b + s) / s * l * l + b / s * b_words * l) * (1.0 + a)
+}
+
+/// Lemma 7.1: the depth-`n` algorithm is optimal (linear speedup) when
+/// `p ≤ n² / (B^{1/2}·M^{3/2})` and `M ≥ B²`.
+pub fn mm_depth_n_optimal(n: f64, params: &Params) -> bool {
+    params.m >= params.b_words * params.b_words
+        && params.p <= n * n / (params.b_words.sqrt() * params.m.powf(1.5))
+}
+
+/// Lemma 7.1: the depth-`log² n` algorithm is optimal when
+/// `p·(log²n + B·log n) ≤ n³ / M^{3/2}` and `M ≥ B²`.
+pub fn mm_depth_log2_optimal(n: f64, params: &Params) -> bool {
+    let l = log2(n);
+    params.m >= params.b_words * params.b_words
+        && params.p * (l * l + params.b_words * l) <= n.powi(3) / params.m.powf(1.5)
+}
+
+/// Theorem 7.1(i) (BP algorithms, e.g. prefix sums):
+/// `S = O(p·((b+s)/s·log n + b/s·B)·(1+a))`, `C(S,n) = O(S)`.
+pub fn bp_steals(n: f64, a: f64, params: &Params) -> f64 {
+    bounds::steal_bound_hbp(bounds::h_root_bp(n, params), a, params)
+}
+
+/// Theorem 7.1(i): the BP cache/block overhead is dominated by the sequential cache misses
+/// when `p·B·(log n + B) ≤ n`.
+pub fn bp_optimal(n: f64, params: &Params) -> bool {
+    params.p * params.b_words * (log2(n) + params.b_words) <= n
+}
+
+/// Theorem 7.1(ii) (matrix transpose / RM→BI conversion): the BP bound applied to `n²`
+/// elements.
+pub fn transpose_steals(n: f64, a: f64, params: &Params) -> f64 {
+    bp_steals(n * n, a, params)
+}
+
+/// Theorem 7.1(iii)/(iv) (sorting and FFT with the √n-decomposition):
+/// `S = O(p·((b+s)/s·log n·log log n + b/s·B·log n / log B)·(1+a))`.
+pub fn sort_fft_steals(n: f64, a: f64, params: &Params) -> f64 {
+    let Params { p, b_words, miss_cost: b, steal_cost: s, .. } = *params;
+    let l = log2(n);
+    p * ((b + s) / s * l * log2(l) + b / s * b_words * l / log2(b_words)) * (1.0 + a)
+}
+
+/// Steal prediction for the HBP merge sort actually built in `rws-algos` (c = 1 collection,
+/// `s(n) = n/2`, `T∞ = O(log² n)`): Theorem 6.3(i) gives
+/// `h(t) = O((b+s)/s·log²n + b/s·B·log(n/B))`.
+pub fn mergesort_steals(n: f64, a: f64, params: &Params) -> f64 {
+    let Params { p, b_words, miss_cost: b, steal_cost: s, .. } = *params;
+    let l = log2(n);
+    let s_star = log2(n / b_words.max(1.0)).max(1.0);
+    p * ((b + s) / s * l * l + b / s * b_words * s_star) * (1.0 + a)
+}
+
+/// Section 7: list ranking iterates a sort `O(log n)` times, so its bounds are at most
+/// `log n` times the sort's.
+pub fn list_ranking_steals(n: f64, a: f64, params: &Params) -> f64 {
+    sort_fft_steals(n, a, params) * log2(n)
+}
+
+/// Section 7: connected components iterates list ranking `O(log n)` times.
+pub fn connected_components_steals(n: f64, a: f64, params: &Params) -> f64 {
+    list_ranking_steals(n, a, params) * log2(n)
+}
+
+/// Space usage of the three matrix-multiply variants (Section 3, "Space Usage"):
+/// in-place `O(n²)`, limited-access depth-`n` `O(n² log p)`, depth-`log² n` `O(p^{1/3} n²)`.
+pub fn mm_space_words(n: f64, variant_limited: bool, variant_log2: bool, params: &Params) -> f64 {
+    if variant_log2 {
+        params.p.cbrt() * n * n
+    } else if variant_limited {
+        n * n * log2(params.p).max(1.0)
+    } else {
+        n * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(8, 4096, 8, 4, 8)
+    }
+
+    #[test]
+    fn depth_log2_steals_far_fewer_than_depth_n() {
+        let p = params();
+        for n in [256.0, 1024.0, 4096.0] {
+            let deep = mm_depth_n_steals(n, 1.0, &p);
+            let shallow = mm_depth_log2_steals(n, 1.0, &p);
+            assert!(
+                shallow * 4.0 < deep,
+                "log²-depth MM must steal far less: {shallow} vs {deep} at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_predictions_grow_with_p_and_n() {
+        let p = params();
+        let p2 = Params { p: 16.0, ..p };
+        assert!(mm_depth_n_steals(128.0, 1.0, &p2) > mm_depth_n_steals(128.0, 1.0, &p));
+        assert!(bp_steals(1_000_000.0, 1.0, &p) > bp_steals(1_000.0, 1.0, &p));
+        assert!(sort_fft_steals((1u64 << 20) as f64, 1.0, &p) > sort_fft_steals(1024.0, 1.0, &p));
+    }
+
+    #[test]
+    fn iterated_algorithms_multiply_by_log_factors() {
+        let p = params();
+        let n = 4096.0;
+        let sort = sort_fft_steals(n, 1.0, &p);
+        let lr = list_ranking_steals(n, 1.0, &p);
+        let cc = connected_components_steals(n, 1.0, &p);
+        assert!(lr > sort && cc > lr);
+        assert!((lr / sort - log2(n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimality_regions_shrink_with_more_processors() {
+        let small = Params::new(2, 1024, 8, 4, 8);
+        let huge = Params::new(1 << 20, 1024, 8, 4, 8);
+        assert!(mm_depth_n_optimal(512.0, &small));
+        assert!(!mm_depth_n_optimal(512.0, &huge));
+        assert!(bp_optimal((1u64 << 20) as f64, &small));
+        assert!(!bp_optimal(256.0, &huge));
+    }
+
+    #[test]
+    fn tall_cache_assumption_is_checked() {
+        // M < B² must never be declared optimal.
+        let squat = Params::new(2, 16, 8, 4, 8);
+        assert!(!mm_depth_n_optimal((1u64 << 20) as f64, &squat));
+        assert!(!mm_depth_log2_optimal((1u64 << 20) as f64, &squat));
+    }
+
+    #[test]
+    fn space_usage_ordering() {
+        let p = params();
+        let n = 256.0;
+        let in_place = mm_space_words(n, false, false, &p);
+        let limited = mm_space_words(n, true, false, &p);
+        let log2v = mm_space_words(n, true, true, &p);
+        assert!(in_place <= limited);
+        assert!(in_place <= log2v);
+    }
+
+    #[test]
+    fn mergesort_prediction_tracks_its_own_recursion() {
+        let p = params();
+        // The built merge sort has T∞ = Θ(log² n); its prediction must exceed the paper's
+        // sample-sort prediction (log n log log n) for large n.
+        let n = 1 << 20;
+        assert!(mergesort_steals(n as f64, 1.0, &p) > sort_fft_steals(n as f64, 1.0, &p));
+    }
+}

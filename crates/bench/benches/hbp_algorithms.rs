@@ -1,0 +1,23 @@
+//! Criterion bench: the HBP algorithm suite under the RWS simulator (experiments E13–E17).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rws_algos::fft::{fft_computation, FftConfig};
+use rws_algos::sort::{sort_computation, SortConfig};
+use rws_algos::transpose::transpose_bi_computation;
+use rws_bench::{default_machine, run_on};
+
+fn bench_suite(c: &mut Criterion) {
+    let machine = default_machine(8);
+    let mut group = c.benchmark_group("hbp_suite_rws_p8");
+    group.sample_size(10);
+    let sort = sort_computation(&SortConfig::new(1024));
+    group.bench_function("hbp_mergesort_1024", |b| b.iter(|| run_on(&sort, &machine, 5)));
+    let fft = fft_computation(&FftConfig::new(1024));
+    group.bench_function("fft_1024", |b| b.iter(|| run_on(&fft, &machine, 5)));
+    let transpose = transpose_bi_computation(32, 4);
+    group.bench_function("transpose_32", |b| b.iter(|| run_on(&transpose, &machine, 5)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

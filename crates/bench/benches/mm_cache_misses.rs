@@ -1,0 +1,25 @@
+//! Criterion bench: the two matrix-multiply variants under the RWS simulator (experiments
+//! E1/E2/E11/E12). Reported wall time is simulator throughput; the quantities of interest
+//! (steals, misses) are printed by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rws_algos::matmul::{matmul_computation, MatMulConfig, MmVariant};
+use rws_bench::{default_machine, run_on};
+
+fn bench_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_rws");
+    group.sample_size(10);
+    for (name, variant) in
+        [("depth_n_limited", MmVariant::DepthNLimitedAccess), ("depth_log2n", MmVariant::DepthLog2N)]
+    {
+        let comp = matmul_computation(&MatMulConfig { n: 16, base: 4, variant });
+        let machine = default_machine(4);
+        group.bench_with_input(BenchmarkId::new(name, 16), &machine, |b, machine| {
+            b.iter(|| run_on(&comp, machine, 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mm);
+criterion_main!(benches);

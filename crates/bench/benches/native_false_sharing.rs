@@ -1,0 +1,45 @@
+//! Criterion bench: real-hardware false sharing (experiment E19) — identical per-worker
+//! counter increments with packed vs cache-line-padded layouts, run on the native
+//! work-stealing pool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rws_runtime::padding::Counters;
+use rws_runtime::{PaddedCounters, ThreadPool, UnpaddedCounters};
+use std::sync::Arc;
+
+const ITERS: u64 = 500_000;
+
+fn hammer(counters: Arc<dyn Counters>, pool: &ThreadPool, threads: usize) {
+    let mut done = Vec::new();
+    for w in 0..threads {
+        let c = Arc::clone(&counters);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        pool.spawn(move || {
+            for _ in 0..ITERS {
+                c.add(w, 1);
+            }
+            let _ = tx.send(());
+        });
+        done.push(rx);
+    }
+    for rx in done {
+        let _ = rx.recv();
+    }
+}
+
+fn bench_false_sharing(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let pool = ThreadPool::new(threads);
+    let mut group = c.benchmark_group("native_false_sharing");
+    group.sample_size(10);
+    group.bench_function("unpadded", |b| {
+        b.iter(|| hammer(Arc::new(UnpaddedCounters::new(threads)), &pool, threads));
+    });
+    group.bench_function("padded", |b| {
+        b.iter(|| hammer(Arc::new(PaddedCounters::new(threads)), &pool, threads));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_false_sharing);
+criterion_main!(benches);

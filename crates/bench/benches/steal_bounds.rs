@@ -1,0 +1,22 @@
+//! Criterion bench: scheduler throughput and steal counts for the BP workload (prefix sums)
+//! across processor counts — the workload behind experiments E8/E9/E13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rws_algos::prefix::{prefix_sums_computation, PrefixConfig};
+use rws_bench::{default_machine, run_on};
+
+fn bench_steal_bounds(c: &mut Criterion) {
+    let comp = prefix_sums_computation(&PrefixConfig::new(4096));
+    let mut group = c.benchmark_group("prefix_sums_rws");
+    group.sample_size(10);
+    for p in [1usize, 4, 8] {
+        let machine = default_machine(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &machine, |b, machine| {
+            b.iter(|| run_on(&comp, machine, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steal_bounds);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! # rws-core
+//!
+//! The randomized work-stealing (RWS) scheduler simulator — the primary contribution of
+//! *Analysis of Randomized Work Stealing with False Sharing* (Cole & Ramachandran) turned
+//! into an executable system.
+//!
+//! The scheduler executes a series-parallel computation ([`rws_dag::SpDag`]) on `p` simulated
+//! processors, each with a private cache, following the paper's execution model:
+//!
+//! * every processor keeps a **work queue**; newly forked (stealable) tasks are pushed at the
+//!   bottom, the owner pops from the bottom, thieves steal from the top;
+//! * an idle processor picks a victim **uniformly at random** and attempts to steal; a
+//!   successful steal costs `s` time units and a failed one `O(s)`;
+//! * executing a dag node costs one time unit per operation plus `b` per cache or block miss,
+//!   with misses determined by the coherence-aware memory system of `rws-machine`;
+//! * each stolen task gets a fresh, block-aligned **execution stack** (Property 4.3); its
+//!   accesses to segments of its ancestors go to the victim's stack, which is exactly how the
+//!   paper's block misses (false sharing) on stacks arise;
+//! * when the processor executing a stolen task is the last to reach a join it **usurps** the
+//!   parent task and continues it (Definition 4.7 and the surrounding discussion).
+//!
+//! The result of a run is a [`RunReport`] with the quantities the paper's theorems bound:
+//! number of successful and failed steals, time spent stealing, cache misses, block misses,
+//! false-sharing misses, block transfers (block delay, Definition 4.1), usurpations and the
+//! simulated makespan. The [`potential`] module additionally computes the potential function
+//! and node heights used in the proofs of Theorems 5.1 and 6.1–6.4 so that experiments can
+//! check the phase lemmas empirically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deque;
+pub mod potential;
+pub mod report;
+pub mod scheduler;
+pub mod stack;
+pub mod task;
+
+pub use config::SimConfig;
+pub use deque::{DequeEntry, SimDeque};
+pub use potential::{HeightAssignment, PotentialSample, PotentialTracker};
+pub use report::{RunReport, StealEvent};
+pub use scheduler::RwsScheduler;
+pub use stack::{StackAllocator, TaskStack};
+
+pub use rws_machine::{MachineConfig, MemStats, ProcId};

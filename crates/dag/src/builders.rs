@@ -1,0 +1,139 @@
+//! Higher-level dag construction helpers.
+//!
+//! The paper's algorithms fork `v(n) >= 2` parallel recursive subproblems; the forking is
+//! "incorporated into the binary forking ... by using a fork-join structure identical to that
+//! for the tree algorithms" (Section 4.1). [`BalancedTreeBuilder`] builds exactly that
+//! balanced binary fork tree over an ordered list of already-built children.
+
+use crate::access::WorkUnit;
+use crate::dag::SpDagBuilder;
+use crate::node::NodeId;
+
+/// Builds balanced binary fork/join trees over collections of children.
+///
+/// The per-fork work and segment size can depend on the range of children the fork covers,
+/// which lets algorithms implement the paper's *Regular Pattern for BP Global Variable
+/// Access* (the i-th node in inorder writes a fixed-size slice of the output).
+pub struct BalancedTreeBuilder<'a> {
+    builder: &'a mut SpDagBuilder,
+    seg_words: u32,
+}
+
+impl<'a> BalancedTreeBuilder<'a> {
+    /// Create a tree builder that gives every internal fork a `seg_words`-word segment.
+    pub fn new(builder: &'a mut SpDagBuilder, seg_words: u32) -> Self {
+        BalancedTreeBuilder { builder, seg_words }
+    }
+
+    /// Combine `children` (already-built subtrees, in order) under a balanced binary tree of
+    /// fork/join nodes. `fork_work(lo, hi)` and `join_work(lo, hi)` provide the work of the
+    /// internal node covering children `lo..hi`. Returns the root of the combined tree.
+    ///
+    /// Panics if `children` is empty.
+    pub fn combine<F, J>(&mut self, children: &[NodeId], fork_work: F, join_work: J) -> NodeId
+    where
+        F: Fn(usize, usize) -> WorkUnit + Copy,
+        J: Fn(usize, usize) -> WorkUnit + Copy,
+    {
+        assert!(!children.is_empty(), "cannot combine an empty list of children");
+        self.combine_range(children, 0, children.len(), fork_work, join_work)
+    }
+
+    fn combine_range<F, J>(
+        &mut self,
+        children: &[NodeId],
+        lo: usize,
+        hi: usize,
+        fork_work: F,
+        join_work: J,
+    ) -> NodeId
+    where
+        F: Fn(usize, usize) -> WorkUnit + Copy,
+        J: Fn(usize, usize) -> WorkUnit + Copy,
+    {
+        debug_assert!(lo < hi);
+        if hi - lo == 1 {
+            return children[lo];
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = self.combine_range(children, lo, mid, fork_work, join_work);
+        let right = self.combine_range(children, mid, hi, fork_work, join_work);
+        self.builder.par_with_segment(
+            fork_work(lo, hi),
+            join_work(lo, hi),
+            left,
+            right,
+            self.seg_words,
+        )
+    }
+}
+
+/// Build a simple balanced binary fork tree over `leaves` with trivial fork/join work and
+/// per-fork segments of `seg_words` words. Convenience wrapper over [`BalancedTreeBuilder`].
+pub fn balanced_par(builder: &mut SpDagBuilder, leaves: &[NodeId], seg_words: u32) -> NodeId {
+    BalancedTreeBuilder::new(builder, seg_words).combine(
+        leaves,
+        |_, _| WorkUnit::compute(1),
+        |_, _| WorkUnit::compute(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::SpDagBuilder;
+
+    #[test]
+    fn single_child_is_returned_directly() {
+        let mut b = SpDagBuilder::new();
+        let l = b.leaf(WorkUnit::compute(1));
+        let root = balanced_par(&mut b, &[l], 0);
+        assert_eq!(root, l);
+        let d = b.build(root).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn power_of_two_children_give_complete_tree() {
+        let mut b = SpDagBuilder::new();
+        let leaves: Vec<NodeId> = (0..8).map(|_| b.leaf(WorkUnit::compute(1))).collect();
+        let root = balanced_par(&mut b, &leaves, 1);
+        let d = b.build(root).unwrap();
+        assert_eq!(d.leaf_count(), 8);
+        assert_eq!(d.fork_count(), 7);
+        // Balanced: span in nodes = depth 3 of forks (fork + join each) + 1 leaf = 3*2 + 1.
+        assert_eq!(d.span_nodes(), 7);
+    }
+
+    #[test]
+    fn non_power_of_two_children_still_balanced() {
+        let mut b = SpDagBuilder::new();
+        let leaves: Vec<NodeId> = (0..5).map(|_| b.leaf(WorkUnit::compute(1))).collect();
+        let root = balanced_par(&mut b, &leaves, 0);
+        let d = b.build(root).unwrap();
+        assert_eq!(d.leaf_count(), 5);
+        assert_eq!(d.fork_count(), 4);
+        // Depth is ceil(log2(5)) = 3 fork levels on the deepest path.
+        assert_eq!(d.span_nodes(), 3 * 2 + 1);
+    }
+
+    #[test]
+    fn fork_work_sees_ranges() {
+        use std::cell::RefCell;
+        let ranges: RefCell<Vec<(usize, usize)>> = RefCell::new(Vec::new());
+        let mut b = SpDagBuilder::new();
+        let leaves: Vec<NodeId> = (0..4).map(|_| b.leaf(WorkUnit::compute(1))).collect();
+        let root = BalancedTreeBuilder::new(&mut b, 0).combine(
+            &leaves,
+            |lo, hi| {
+                ranges.borrow_mut().push((lo, hi));
+                WorkUnit::compute(1)
+            },
+            |_, _| WorkUnit::compute(1),
+        );
+        b.build(root).unwrap();
+        let mut seen = ranges.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 2), (0, 4), (2, 4)]);
+    }
+}

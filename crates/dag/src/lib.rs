@@ -1,0 +1,40 @@
+//! # rws-dag
+//!
+//! Series-parallel computation dags in the sense of Section 2 of *Analysis of Randomized Work
+//! Stealing with False Sharing* (Cole & Ramachandran).
+//!
+//! A computation is a series-parallel dag whose nodes are constant-size computations. It is
+//! built from single nodes by **sequencing** and by the binary **parallel construct**
+//! (fork/join); multithreading follows the fork-join structure, so these dags are exactly the
+//! computations a randomized work-stealing scheduler executes.
+//!
+//! This crate provides:
+//!
+//! * the dag representation ([`SpDag`], [`node::SpStructure`]) with explicit per-node work
+//!   and memory accesses — global-array accesses are concrete addresses, local-variable
+//!   accesses are symbolic references into the enclosing execution-stack segments and are
+//!   resolved by the scheduler (or by the sequential tracer) at run time;
+//! * work / span / path-cost analysis ([`SpDag::work`], [`SpDag::span_nodes`], ...);
+//! * a sequential execution tracer ([`trace::SequentialTracer`]) used to obtain the paper's
+//!   `W` and `Q` (sequential operation count and sequential cache misses);
+//! * the algorithm classification metadata of Sections 4 and 6 ([`meta::AlgoClass`]):
+//!   Tree / BP algorithms, Hierarchical Tree algorithms and HBP algorithms, together with the
+//!   limited-access and space-bound properties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod builders;
+pub mod dag;
+pub mod meta;
+pub mod node;
+pub mod trace;
+
+pub use access::{LocalAccess, WorkUnit};
+pub use builders::BalancedTreeBuilder;
+pub use dag::{DagError, SpDag, SpDagBuilder};
+pub use meta::{AlgoClass, AlgoMeta, Computation, Shrink, SpaceBound};
+pub use node::{NodeId, SpNode, SpStructure};
+pub use rws_machine::{Access, Addr};
+pub use trace::{SequentialCosts, SequentialTracer};

@@ -1,0 +1,252 @@
+//! A single processor's private cache: fully associative, LRU replacement, with the
+//! bookkeeping needed to classify misses as cold, capacity or coherence (block) misses.
+
+use crate::addr::{Addr, BlockId};
+use crate::lru::LruSet;
+use std::collections::{HashMap, HashSet};
+
+/// What happened when a block was filled into the cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// A block that had to be evicted to make room, and whether it was dirty.
+    pub evicted: Option<(BlockId, bool)>,
+    /// `true` if this block had never been resident in this cache before.
+    pub cold: bool,
+    /// If the block was previously resident and was invalidated by another processor's
+    /// write, the word address of that write.
+    pub invalidated_by: Option<Addr>,
+}
+
+/// A private cache of `lines` blocks with LRU replacement.
+///
+/// The cache tracks, per block, whether the local copy is dirty (modified), whether the block
+/// has ever been resident (to distinguish cold from capacity misses) and whether a formerly
+/// resident copy was invalidated by a remote write (to classify the next miss on it as a
+/// *block miss* in the sense of the paper).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    lines: LruSet<BlockId>,
+    dirty: HashSet<BlockId>,
+    ever_loaded: HashSet<BlockId>,
+    invalidated_by: HashMap<BlockId, Addr>,
+}
+
+impl Cache {
+    /// Create a cache with capacity for `lines` blocks.
+    pub fn new(lines: usize) -> Self {
+        Cache {
+            lines: LruSet::new(lines),
+            dirty: HashSet::new(),
+            ever_loaded: HashSet::new(),
+            invalidated_by: HashMap::new(),
+        }
+    }
+
+    /// Number of blocks currently resident.
+    pub fn resident(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.lines.capacity()
+    }
+
+    /// Whether `block` is currently resident.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.lines.contains(&block)
+    }
+
+    /// Whether the resident copy of `block` is dirty.
+    pub fn is_dirty(&self, block: BlockId) -> bool {
+        self.dirty.contains(&block)
+    }
+
+    /// Touch `block` (LRU update). Returns `true` on a hit.
+    pub fn touch(&mut self, block: BlockId) -> bool {
+        self.lines.touch(&block)
+    }
+
+    /// Whether this cache has ever held `block` (used to classify cold vs capacity misses).
+    pub fn ever_loaded(&self, block: BlockId) -> bool {
+        self.ever_loaded.contains(&block)
+    }
+
+    /// Fill `block` into the cache (it must not currently be resident), possibly evicting the
+    /// LRU block. Returns what happened.
+    pub fn fill(&mut self, block: BlockId) -> FillOutcome {
+        debug_assert!(!self.contains(block), "fill() called for a resident block");
+        let cold = !self.ever_loaded.contains(&block);
+        let invalidated_by = self.invalidated_by.remove(&block);
+        let evicted = self.lines.insert(block).map(|victim| {
+            let was_dirty = self.dirty.remove(&victim);
+            (victim, was_dirty)
+        });
+        self.ever_loaded.insert(block);
+        FillOutcome { evicted, cold, invalidated_by }
+    }
+
+    /// Mark the resident copy of `block` as dirty (modified).
+    pub fn mark_dirty(&mut self, block: BlockId) {
+        debug_assert!(self.contains(block));
+        self.dirty.insert(block);
+    }
+
+    /// Downgrade a dirty copy to clean (after a write-back triggered by a remote read).
+    /// Returns `true` if the copy was dirty.
+    pub fn clean(&mut self, block: BlockId) -> bool {
+        self.dirty.remove(&block)
+    }
+
+    /// Invalidate the resident copy of `block` because another processor wrote word
+    /// `written_word` of it. Returns `true` if a copy was resident (and whether it was dirty
+    /// in the second component).
+    pub fn invalidate(&mut self, block: BlockId, written_word: Addr) -> (bool, bool) {
+        if self.lines.remove(&block) {
+            let was_dirty = self.dirty.remove(&block);
+            self.invalidated_by.insert(block, written_word);
+            (true, was_dirty)
+        } else {
+            (false, false)
+        }
+    }
+
+    /// Evict `block` voluntarily (used when a cache must shed a line for reasons other than
+    /// capacity, e.g. when resetting). Returns whether it was resident and dirty.
+    pub fn evict(&mut self, block: BlockId) -> (bool, bool) {
+        if self.lines.remove(&block) {
+            let was_dirty = self.dirty.remove(&block);
+            (true, was_dirty)
+        } else {
+            (false, false)
+        }
+    }
+
+    /// Iterate over resident blocks from most to least recently used.
+    pub fn resident_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.lines.iter_mru().copied()
+    }
+
+    /// Drop all state (resident lines, dirty bits, history).
+    pub fn clear(&mut self) {
+        let cap = self.lines.capacity();
+        self.lines = LruSet::new(cap);
+        self.dirty.clear();
+        self.ever_loaded.clear();
+        self.invalidated_by.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockId {
+        BlockId(i)
+    }
+
+    #[test]
+    fn fill_and_hit() {
+        let mut c = Cache::new(2);
+        assert!(!c.touch(b(1)));
+        let out = c.fill(b(1));
+        assert!(out.cold);
+        assert_eq!(out.evicted, None);
+        assert!(c.touch(b(1)));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_in_lru_order() {
+        let mut c = Cache::new(2);
+        c.fill(b(1));
+        c.fill(b(2));
+        let out = c.fill(b(3));
+        assert_eq!(out.evicted, Some((b(1), false)));
+        assert!(!c.contains(b(1)));
+        assert!(c.contains(b(2)));
+        assert!(c.contains(b(3)));
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut c = Cache::new(1);
+        c.fill(b(1));
+        c.mark_dirty(b(1));
+        let out = c.fill(b(2));
+        assert_eq!(out.evicted, Some((b(1), true)));
+        assert!(!c.is_dirty(b(1)));
+    }
+
+    #[test]
+    fn cold_vs_capacity_classification() {
+        let mut c = Cache::new(1);
+        assert!(c.fill(b(1)).cold);
+        c.fill(b(2)); // evicts 1
+        let refill = c.fill(b(1));
+        assert!(!refill.cold, "a refill after eviction is a capacity miss, not cold");
+    }
+
+    #[test]
+    fn invalidation_records_writer_word() {
+        let mut c = Cache::new(2);
+        c.fill(b(1));
+        let (was_resident, was_dirty) = c.invalidate(b(1), Addr(13));
+        assert!(was_resident);
+        assert!(!was_dirty);
+        assert!(!c.contains(b(1)));
+        let refill = c.fill(b(1));
+        assert_eq!(refill.invalidated_by, Some(Addr(13)));
+        // The record is consumed by the refill.
+        c.invalidate(b(1), Addr(14));
+        c.fill(b(2));
+        let refill2 = c.fill(b(1));
+        assert_eq!(refill2.invalidated_by, Some(Addr(14)));
+    }
+
+    #[test]
+    fn invalidate_dirty_copy() {
+        let mut c = Cache::new(2);
+        c.fill(b(1));
+        c.mark_dirty(b(1));
+        let (was_resident, was_dirty) = c.invalidate(b(1), Addr(0));
+        assert!(was_resident && was_dirty);
+    }
+
+    #[test]
+    fn invalidate_absent_block_is_noop() {
+        let mut c = Cache::new(2);
+        assert_eq!(c.invalidate(b(9), Addr(0)), (false, false));
+    }
+
+    #[test]
+    fn clean_downgrades() {
+        let mut c = Cache::new(2);
+        c.fill(b(1));
+        c.mark_dirty(b(1));
+        assert!(c.clean(b(1)));
+        assert!(!c.is_dirty(b(1)));
+        assert!(!c.clean(b(1)));
+        assert!(c.contains(b(1)), "clean keeps the block resident");
+    }
+
+    #[test]
+    fn clear_resets_history() {
+        let mut c = Cache::new(2);
+        c.fill(b(1));
+        c.clear();
+        assert_eq!(c.resident(), 0);
+        assert!(c.fill(b(1)).cold, "history is forgotten after clear");
+    }
+
+    #[test]
+    fn resident_blocks_iterates_mru_first() {
+        let mut c = Cache::new(3);
+        c.fill(b(1));
+        c.fill(b(2));
+        c.fill(b(3));
+        c.touch(b(1));
+        let order: Vec<BlockId> = c.resident_blocks().collect();
+        assert_eq!(order, vec![b(1), b(3), b(2)]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # rws-machine
+//!
+//! A simulated multicore memory system matching the machine model of
+//! *Analysis of Randomized Work Stealing with False Sharing* (Cole & Ramachandran):
+//!
+//! * `p` processors, each with a **private cache** of `M` words,
+//! * a shared memory of unbounded size,
+//! * data moved between shared memory and caches in **blocks** (cache lines) of `B` words,
+//! * an **invalidation-based coherence rule**: an update by processor `C'` to an entry of a
+//!   block `β` resident in processor `C`'s cache invalidates `C`'s copy, so `C` must re-read
+//!   `β` the next time it accesses any word of it (the paper's *block miss*, which includes
+//!   false sharing).
+//!
+//! The crate distinguishes, and counts separately, the two kinds of caching cost the paper
+//! defines in Section 2.1:
+//!
+//! * **cache miss** — a read of a block that is not in the cache because it was never read
+//!   or because it was evicted to make room (cold / capacity misses). These are the misses
+//!   that also occur in a sequential execution.
+//! * **block miss** — a miss caused by the block having been invalidated (or migrated) due
+//!   to another processor's write. These occur only in parallel executions; the subset where
+//!   the invalidating write touched a *different word* than the one now being accessed is
+//!   reported as **false sharing**.
+//!
+//! It also tracks the *block delay* of Definition 4.1: the number of times a block moves
+//! from one cache to another.
+//!
+//! The word-level simulator here is deliberately simple and deterministic; the scheduling
+//! and cost model live in `rws-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod coherence;
+pub mod config;
+pub mod lru;
+pub mod memory;
+pub mod stats;
+
+pub use addr::{Addr, BlockId, ProcId, Region};
+pub use cache::{Cache, FillOutcome};
+pub use coherence::{BlockState, Directory};
+pub use config::MachineConfig;
+pub use memory::{Access, AccessOutcome, MemorySystem, MissKind};
+pub use stats::{MemStats, ProcStats};

@@ -1,0 +1,31 @@
+//! # rws-runtime
+//!
+//! A small native randomized work-stealing thread pool, used to demonstrate on real hardware
+//! the phenomenon the paper models: false sharing between concurrently executing stolen
+//! tasks. It follows the paper's scheduling discipline — per-worker deques with bottom
+//! push/pop, steals from the top of a uniformly random victim — and exposes per-worker steal
+//! counters so experiments can relate measured slowdowns to steal counts.
+//!
+//! Two deque backends are provided:
+//!
+//! * [`deque::SimpleDeque`] — our own mutex-protected double-ended queue (the semantics of a
+//!   Chase–Lev deque without the lock-free implementation), and
+//! * the `crossbeam-deque` work-stealing deque as the baseline implementation (the
+//!   production-quality lock-free deque this crate would otherwise have to re-implement).
+//!
+//! The [`padding`] module provides the cache-line padding wrappers used by the false-sharing
+//! experiments (E19): identical workloads run once with per-worker accumulators packed into a
+//! single cache line (false sharing) and once with each accumulator padded to its own line.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deque;
+pub mod padding;
+pub mod pool;
+pub mod stats;
+
+pub use deque::{DequeBackend, SimpleDeque};
+pub use padding::{CacheAligned, PaddedCounters, UnpaddedCounters};
+pub use pool::{join, ThreadPool, ThreadPoolBuilder};
+pub use stats::PoolStats;

@@ -1,0 +1,134 @@
+//! Cache-line padding wrappers for the real-hardware false-sharing experiments.
+//!
+//! The paper's block misses are caused by distinct processors writing distinct words of the
+//! same cache line. The canonical native demonstration is a set of per-worker counters:
+//! packed into one line they ping-pong between cores (false sharing); padded to a line each
+//! they do not. [`UnpaddedCounters`] and [`PaddedCounters`] provide the two layouts behind a
+//! common interface so benchmarks can run the identical workload on both.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A value padded and aligned to a 64-byte cache line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> CacheAligned<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        CacheAligned(value)
+    }
+
+    /// Access the wrapped value.
+    pub fn get(&self) -> &T {
+        &self.0
+    }
+}
+
+/// A set of per-worker counters deliberately packed into as few cache lines as possible —
+/// concurrent increments from different workers falsely share lines.
+#[derive(Debug)]
+pub struct UnpaddedCounters {
+    counters: Vec<AtomicU64>,
+}
+
+/// A set of per-worker counters, each padded to its own cache line — no false sharing.
+#[derive(Debug)]
+pub struct PaddedCounters {
+    counters: Vec<CacheAligned<AtomicU64>>,
+}
+
+/// Common interface over the two counter layouts.
+pub trait Counters: Sync + Send {
+    /// Increment worker `i`'s counter `by`.
+    fn add(&self, i: usize, by: u64);
+    /// Read worker `i`'s counter.
+    fn get(&self, i: usize) -> u64;
+    /// Sum of all counters.
+    fn total(&self) -> u64;
+}
+
+impl UnpaddedCounters {
+    /// Create counters for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        UnpaddedCounters { counters: (0..workers).map(|_| AtomicU64::new(0)).collect() }
+    }
+}
+
+impl PaddedCounters {
+    /// Create counters for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        PaddedCounters {
+            counters: (0..workers).map(|_| CacheAligned::new(AtomicU64::new(0))).collect(),
+        }
+    }
+}
+
+impl Counters for UnpaddedCounters {
+    fn add(&self, i: usize, by: u64) {
+        self.counters[i].fetch_add(by, Ordering::Relaxed);
+    }
+    fn get(&self, i: usize) -> u64 {
+        self.counters[i].load(Ordering::Relaxed)
+    }
+    fn total(&self) -> u64 {
+        self.counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl Counters for PaddedCounters {
+    fn add(&self, i: usize, by: u64) {
+        self.counters[i].0.fetch_add(by, Ordering::Relaxed);
+    }
+    fn get(&self, i: usize) -> u64 {
+        self.counters[i].0.load(Ordering::Relaxed)
+    }
+    fn total(&self) -> u64 {
+        self.counters.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn cache_aligned_is_actually_aligned() {
+        assert!(std::mem::align_of::<CacheAligned<u64>>() >= 64);
+        assert!(std::mem::size_of::<CacheAligned<u64>>() >= 64);
+        let c = CacheAligned::new(7u64);
+        assert_eq!(*c.get(), 7);
+    }
+
+    fn exercise(counters: Arc<dyn Counters>) {
+        let workers = 4;
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let c = Arc::clone(&counters);
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.add(w, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for w in 0..workers {
+            assert_eq!(counters.get(w), 10_000);
+        }
+        assert_eq!(counters.total(), 40_000);
+    }
+
+    #[test]
+    fn unpadded_counters_count_correctly() {
+        exercise(Arc::new(UnpaddedCounters::new(4)));
+    }
+
+    #[test]
+    fn padded_counters_count_correctly() {
+        exercise(Arc::new(PaddedCounters::new(4)));
+    }
+}

@@ -1,0 +1,70 @@
+//! Pool statistics: per-worker steal and job counters (padded to avoid perturbing the very
+//! phenomenon the experiments measure).
+
+use crate::padding::CacheAligned;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters collected by the thread pool.
+#[derive(Debug)]
+pub struct PoolStats {
+    steals: Vec<CacheAligned<AtomicU64>>,
+    jobs: Vec<CacheAligned<AtomicU64>>,
+}
+
+impl PoolStats {
+    /// Zeroed statistics for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        PoolStats {
+            steals: (0..workers).map(|_| CacheAligned::new(AtomicU64::new(0))).collect(),
+            jobs: (0..workers).map(|_| CacheAligned::new(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Record a successful steal by worker `w`.
+    pub fn record_steal(&self, w: usize) {
+        self.steals[w].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a job executed by worker `w`.
+    pub fn record_job(&self, w: usize) {
+        self.jobs[w].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total successful steals.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total jobs executed.
+    pub fn total_jobs(&self) -> u64 {
+        self.jobs.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Steals performed by worker `w`.
+    pub fn steals_of(&self, w: usize) -> u64 {
+        self.steals[w].0.load(Ordering::Relaxed)
+    }
+
+    /// Number of workers the statistics cover.
+    pub fn workers(&self) -> usize {
+        self.steals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PoolStats::new(2);
+        s.record_steal(0);
+        s.record_steal(1);
+        s.record_steal(1);
+        s.record_job(0);
+        assert_eq!(s.total_steals(), 3);
+        assert_eq!(s.steals_of(1), 2);
+        assert_eq!(s.total_jobs(), 1);
+        assert_eq!(s.workers(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's running example: how algorithm design controls false sharing under randomized
+//! work stealing.
+//!
+//! Compares the three matrix-multiply variants of Section 3 (in-place depth-n, limited-access
+//! depth-n, depth-log²n) on the simulated machine, and shows the padded-segment ablation
+//! (Remark 4.1) that removes stack false sharing entirely.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p rws-bench --example matmul_false_sharing
+//! ```
+
+use rws_algos::matmul::{matmul_computation, MatMulConfig, MmVariant};
+use rws_core::{RwsScheduler, SimConfig};
+use rws_machine::MachineConfig;
+
+fn main() {
+    let n = 32;
+    let base = 4;
+    let machine = MachineConfig::small().with_procs(8);
+
+    println!("matrix multiply, n = {n}, base case {base}, p = 8, B = {} words\n", machine.block_words);
+    println!("{:<22} {:>8} {:>12} {:>12} {:>12} {:>10}", "variant", "steals", "cache-miss", "block-miss", "false-share", "blk-delay");
+    for variant in
+        [MmVariant::DepthNInPlace, MmVariant::DepthNLimitedAccess, MmVariant::DepthLog2N]
+    {
+        let comp = matmul_computation(&MatMulConfig { n, base, variant });
+        let report = RwsScheduler::new(machine.clone(), SimConfig::with_seed(7)).run(&comp);
+        println!(
+            "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10}",
+            format!("{variant:?}"),
+            report.successful_steals,
+            report.cache_misses(),
+            report.block_misses(),
+            report.false_sharing_misses(),
+            report.block_delay()
+        );
+    }
+
+    println!("\nPadded-segment ablation (Remark 4.1) for the limited-access variant:");
+    let comp = matmul_computation(&MatMulConfig { n, base, variant: MmVariant::DepthNLimitedAccess });
+    for (label, sim) in [
+        ("unpadded segments", SimConfig::with_seed(7)),
+        ("padded segments  ", SimConfig::with_seed(7).padded()),
+    ] {
+        let report = RwsScheduler::new(machine.clone(), sim).run(&comp);
+        println!(
+            "  {label}: stack-block transfers = {:>5}, block misses = {:>5}, block delay = {:>5}",
+            report.stack_block_transfers,
+            report.block_misses(),
+            report.block_delay()
+        );
+    }
+    println!("\nThe limited-access variants confine steal-induced sharing to O(1) blocks per stolen task (Lemma 4.5); padding the execution-stack segments to whole blocks removes the remaining stack sharing at the price of extra space.");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a computation, run it under the randomized work-stealing simulator, and
+//! read off the quantities the paper bounds — steals, cache misses, block misses (false
+//! sharing) and block delay.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p rws-bench --example quickstart
+//! ```
+
+use rws_algos::prefix::{prefix_sums_computation, PrefixConfig};
+use rws_core::{RwsScheduler, SimConfig};
+use rws_dag::SequentialTracer;
+use rws_machine::MachineConfig;
+
+fn main() {
+    // 1. Build a computation: prefix sums over 4096 elements — the paper's canonical BP
+    //    (Balanced Parallel) computation.
+    let computation = prefix_sums_computation(&PrefixConfig::new(4096));
+    println!("prefix sums over 4096 elements");
+    println!(
+        "  work W = {}, span T_inf = {} nodes, leaves = {}",
+        computation.dag.work(),
+        computation.dag.span_nodes(),
+        computation.dag.leaf_count()
+    );
+
+    // 2. Sequential baseline: W and Q of a one-processor execution.
+    let machine = MachineConfig::small();
+    let seq = SequentialTracer::new(&machine).run(&computation.dag);
+    println!("  sequential: Q = {} cache misses, time = {}", seq.cache_misses, seq.time);
+
+    // 3. Run under randomized work stealing on 1..16 simulated processors.
+    println!("\n  p   steals  failed  cache-miss  block-miss  false-share  blk-delay  makespan  speedup");
+    for p in [1usize, 2, 4, 8, 16] {
+        let scheduler =
+            RwsScheduler::new(machine.clone().with_procs(p), SimConfig::with_seed(42));
+        let report = scheduler.run(&computation);
+        println!(
+            "{:>3}  {:>7}  {:>6}  {:>10}  {:>10}  {:>11}  {:>9}  {:>8}  {:>7.2}",
+            p,
+            report.successful_steals,
+            report.failed_steals,
+            report.cache_misses(),
+            report.block_misses(),
+            report.false_sharing_misses(),
+            report.block_delay(),
+            report.makespan,
+            report.speedup(seq.time)
+        );
+    }
+    println!("\nBlock misses appear only once p > 1 — they are the cost the paper analyzes.");
+}

@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) over the core data structures and invariants:
+//! random series-parallel dags scheduled under RWS conserve work and never deadlock,
+//! sequential costs are independent of the machine's processor count, layouts are
+//! bijections, and the reference algorithms agree with simple oracles.
+
+use proptest::prelude::*;
+use rws_algos::layout::{bit_deinterleave, bit_interleave};
+use rws_algos::matmul::{from_bi, matmul_bi_reference, matmul_reference, to_bi};
+use rws_algos::prefix::prefix_sums_reference;
+use rws_algos::sort::{merge_sort_reference, sort_reference};
+use rws_core::{RwsScheduler, SimConfig};
+use rws_dag::{Addr, SequentialTracer, SpDag, SpDagBuilder, WorkUnit};
+use rws_machine::MachineConfig;
+
+/// Strategy: a random series-parallel dag described by a nesting structure. `depth` bounds
+/// recursion; leaves perform a few operations and touch a couple of global words.
+fn arb_dag() -> impl Strategy<Value = SpDag> {
+    // Encode the dag shape as a recursive enum first, then lower it into a builder.
+    #[derive(Clone, Debug)]
+    enum Shape {
+        Leaf { ops: u64, addr: u64, writes: bool },
+        Seq(Vec<Shape>),
+        Par(Box<Shape>, Box<Shape>, u32),
+    }
+    let leaf = (1u64..20, 0u64..64, any::<bool>())
+        .prop_map(|(ops, addr, writes)| Shape::Leaf { ops, addr, writes });
+    let shape = leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Seq),
+            (inner.clone(), inner, 0u32..4)
+                .prop_map(|(a, b, seg)| Shape::Par(Box::new(a), Box::new(b), seg)),
+        ]
+    });
+    fn lower(b: &mut SpDagBuilder, s: &Shape) -> rws_dag::NodeId {
+        match s {
+            Shape::Leaf { ops, addr, writes } => {
+                let unit = if *writes {
+                    WorkUnit::compute(*ops).write(Addr(*addr))
+                } else {
+                    WorkUnit::compute(*ops).read(Addr(*addr))
+                };
+                b.leaf(unit)
+            }
+            Shape::Seq(children) => {
+                let ids: Vec<_> = children.iter().map(|c| lower(b, c)).collect();
+                b.seq(ids)
+            }
+            Shape::Par(l, r, seg) => {
+                let lid = lower(b, l);
+                let rid = lower(b, r);
+                b.par_with_segment(WorkUnit::compute(1), WorkUnit::compute(1), lid, rid, *seg)
+            }
+        }
+    }
+    shape.prop_map(|s| {
+        let mut b = SpDagBuilder::new();
+        let root = lower(&mut b, &s);
+        b.build(root).expect("generated dags are structurally valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_conserve_work_under_rws(dag in arb_dag(), p in 1usize..6, seed in 0u64..1000) {
+        let machine = MachineConfig::small().with_procs(p);
+        let report = RwsScheduler::new(machine, SimConfig::with_seed(seed)).run_dag(&dag);
+        prop_assert_eq!(report.work_executed, dag.work());
+        prop_assert!(report.makespan >= dag.span_ops());
+        prop_assert_eq!(report.tasks_created, 1 + report.successful_steals + report.local_pops);
+    }
+
+    #[test]
+    fn single_processor_runs_match_the_sequential_tracer(dag in arb_dag(), b_words in 1u64..16) {
+        let machine = MachineConfig::small().with_block_words(b_words).with_cache_words(b_words * 64);
+        let seq = SequentialTracer::new(&machine).run(&dag);
+        let report = RwsScheduler::with_machine(machine.with_procs(1)).run_dag(&dag);
+        prop_assert_eq!(report.cache_misses(), seq.cache_misses);
+        prop_assert_eq!(report.block_misses(), 0u64);
+        prop_assert_eq!(report.makespan, seq.time);
+    }
+
+    #[test]
+    fn block_misses_never_appear_without_sharing(dag in arb_dag(), seed in 0u64..100) {
+        // Whatever the schedule, the count of block misses can only be nonzero when at least
+        // one steal happened.
+        let machine = MachineConfig::small().with_procs(4);
+        let report = RwsScheduler::new(machine, SimConfig::with_seed(seed)).run_dag(&dag);
+        if report.successful_steals == 0 {
+            prop_assert_eq!(report.block_misses(), 0u64);
+        }
+    }
+
+    #[test]
+    fn bit_interleave_roundtrips(i in 0u64..65536, j in 0u64..65536) {
+        prop_assert_eq!(bit_deinterleave(bit_interleave(i, j)), (i, j));
+    }
+
+    #[test]
+    fn bi_layout_roundtrips(values in prop::collection::vec(-100.0f64..100.0, 16)) {
+        let n = 4;
+        let bi = to_bi(&values, n);
+        prop_assert_eq!(from_bi(&bi, n), values);
+    }
+
+    #[test]
+    fn recursive_matmul_matches_naive(seed in 0u64..50) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 8usize;
+        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let expected = matmul_reference(&a, &b, n);
+        let got = from_bi(&matmul_bi_reference(&to_bi(&a, n), &to_bi(&b, n), n), n);
+        for (x, y) in got.iter().zip(&expected) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefix_sums_reference_is_a_running_total(xs in prop::collection::vec(-1000i64..1000, 0..200)) {
+        let sums = prefix_sums_reference(&xs);
+        prop_assert_eq!(sums.len(), xs.len());
+        let mut acc = 0i64;
+        for (i, x) in xs.iter().enumerate() {
+            acc += x;
+            prop_assert_eq!(sums[i], acc);
+        }
+    }
+
+    #[test]
+    fn merge_sort_reference_sorts(xs in prop::collection::vec(0u64..1000, 0..200), base in 1usize..16) {
+        prop_assert_eq!(merge_sort_reference(&xs, base), sort_reference(&xs));
+    }
+}
