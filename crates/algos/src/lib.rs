@@ -10,7 +10,12 @@
 //!   correctness the usual way), and
 //! * a **dag builder** returning a classified [`rws_dag::Computation`] whose nodes carry the
 //!   algorithm's memory-access structure (global-array addresses plus symbolic
-//!   execution-stack accesses), ready to be scheduled by `rws-core` and measured.
+//!   execution-stack accesses), ready to be scheduled by `rws-core` and measured, and
+//! * for the flagship workloads ([`matmul`], [`prefix`], [`sort`]) a **native fork-join
+//!   runner** built on [`rws_runtime::join`], mirroring the dag's decomposition on real
+//!   hardware so the `rws-exec` `Executor` abstraction can run the same algorithm on both
+//!   backends (the remaining algorithms run their sequential reference natively until
+//!   dedicated kernels land).
 //!
 //! Algorithms included (paper section in parentheses):
 //!

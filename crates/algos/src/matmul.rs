@@ -378,6 +378,65 @@ fn mm_bi_rec(c: &mut [f64], a: &[f64], b: &[f64], m: usize, accumulate: bool) {
     }
 }
 
+/// Native fork-join matrix multiply on the `rws-runtime` work-stealing pool.
+///
+/// The same eight-way limited-access decomposition as the simulated
+/// [`MmVariant::DepthLog2N`] variant: all eight half-size products are computed in one
+/// parallel collection (each into its own freshly allocated result — no two parallel tasks
+/// write the same destination), then paired sums produce the four output quadrants. Inputs
+/// and output are in the bit-interleaved layout, where quadrants are contiguous, so the
+/// recursion works on owned quadrant vectors. Call from inside
+/// [`rws_runtime::ThreadPool::install`] for parallel execution; outside a pool worker the
+/// `join`s degrade to sequential calls.
+pub fn matmul_native_bi(a_bi: &[f64], b_bi: &[f64], n: usize, base: usize) -> Vec<f64> {
+    assert!(n.is_power_of_two(), "matrix dimension must be a power of two");
+    assert!(base.is_power_of_two() && base >= 1 && base <= n);
+    assert_eq!(a_bi.len(), n * n);
+    assert_eq!(b_bi.len(), n * n);
+    mm_native(a_bi.to_vec(), b_bi.to_vec(), n, base)
+}
+
+type QuadPair = ((Vec<f64>, Vec<f64>), (Vec<f64>, Vec<f64>));
+
+fn mm_native(a: Vec<f64>, b: Vec<f64>, m: usize, base: usize) -> Vec<f64> {
+    use rws_runtime::join;
+
+    if m <= base {
+        return matmul_bi_reference(&a, &b, m);
+    }
+    let h = m / 2;
+    let s = h * h;
+    let quad = |x: &[f64], q: usize| x[q * s..(q + 1) * s].to_vec();
+    // Output quadrant q needs two products: C_0 = A0·B0 + A1·B2, C_1 = A0·B1 + A1·B3,
+    // C_2 = A2·B0 + A3·B2, C_3 = A2·B1 + A3·B3. Each product writes its own fresh vector
+    // (limited access); the addition pass pairs them up afterwards.
+    let mk = |ai: usize, bi: usize| (quad(&a, ai), quad(&b, bi));
+    let [q0, q1, q2, q3]: [QuadPair; 4] = [
+        (mk(0, 0), mk(1, 2)),
+        (mk(0, 1), mk(1, 3)),
+        (mk(2, 0), mk(3, 2)),
+        (mk(2, 1), mk(3, 3)),
+    ];
+
+    // One output quadrant: its two half-size products in parallel, then the element sum.
+    fn quadrant(pair: QuadPair, h: usize, base: usize) -> Vec<f64> {
+        let ((a1, b1), (a2, b2)) = pair;
+        let (x, y) = rws_runtime::join(
+            move || mm_native(a1, b1, h, base),
+            move || mm_native(a2, b2, h, base),
+        );
+        x.iter().zip(&y).map(|(u, v)| u + v).collect()
+    }
+
+    // All eight products run as one parallel collection via a three-level join tree.
+    let ((c0, c1), (c2, c3)) = join(
+        move || join(move || quadrant(q0, h, base), move || quadrant(q1, h, base)),
+        move || join(move || quadrant(q2, h, base), move || quadrant(q3, h, base)),
+    );
+    // Quadrants are contiguous in the bit-interleaved layout.
+    [c0, c1, c2, c3].concat()
+}
+
 /// Number of base-case leaves of the recursive decomposition: `(n / base)³`.
 pub fn expected_leaf_count(n: usize, base: usize) -> u64 {
     let k = (n / base) as u64;
@@ -398,6 +457,18 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
             assert!((x - y).abs() < 1e-9, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn native_runner_matches_naive_outside_a_pool() {
+        // Outside a pool worker the joins run sequentially; correctness is identical.
+        for (n, base) in [(4usize, 1usize), (8, 2), (16, 4)] {
+            let a = random_matrix(n, 21 + n as u64);
+            let b = random_matrix(n, 23 + n as u64);
+            let expected = matmul_reference(&a, &b, n);
+            let got_bi = matmul_native_bi(&to_bi(&a, n), &to_bi(&b, n), n, base);
+            assert_close(&from_bi(&got_bi, n), &expected);
         }
     }
 

@@ -33,7 +33,7 @@ impl PrefixConfig {
     }
 
     fn leaves(&self) -> usize {
-        assert!(self.chunk >= 1 && self.n % self.chunk == 0, "n must be a multiple of chunk");
+        assert!(self.chunk >= 1 && self.n.is_multiple_of(self.chunk), "n must be a multiple of chunk");
         let leaves = self.n / self.chunk;
         assert!(leaves.is_power_of_two(), "n / chunk must be a power of two");
         leaves
@@ -130,6 +130,84 @@ pub fn prefix_sums_computation(cfg: &PrefixConfig) -> Computation {
     Computation::new(dag, meta)
 }
 
+/// Chunk size of the native runner's leaves (the counterpart of [`PrefixConfig::chunk`],
+/// sized for real hardware rather than the simulator).
+pub const NATIVE_CHUNK: usize = 1024;
+
+/// Native fork-join prefix sums on the `rws-runtime` work-stealing pool.
+///
+/// The same two-pass BP structure as [`prefix_sums_computation`]: pass 1 reduces each chunk
+/// to its sum with a recursive fork-join tree, a cheap sequential scan turns the chunk sums
+/// into chunk offsets, and pass 2 writes each output chunk in parallel given its offset.
+/// Call from inside [`rws_runtime::ThreadPool::install`] for parallel execution; outside a
+/// pool worker the `join`s degrade gracefully to sequential calls.
+pub fn prefix_sums_native(x: &[i64]) -> Vec<i64> {
+    use std::sync::Arc;
+
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = n.div_ceil(NATIVE_CHUNK);
+    let input: Arc<Vec<i64>> = Arc::new(x.to_vec());
+
+    // Pass 1: per-chunk sums via a fork-join tree over the chunk index range.
+    fn chunk_sums(input: Arc<Vec<i64>>, lo: usize, hi: usize) -> Vec<i64> {
+        if hi - lo == 1 {
+            let start = lo * NATIVE_CHUNK;
+            let end = ((lo + 1) * NATIVE_CHUNK).min(input.len());
+            return vec![input[start..end].iter().sum()];
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (i1, i2) = (Arc::clone(&input), input);
+        let (mut left, right) =
+            rws_runtime::join(move || chunk_sums(i1, lo, mid), move || chunk_sums(i2, mid, hi));
+        left.extend(right);
+        left
+    }
+    let sums = chunk_sums(Arc::clone(&input), 0, chunks);
+
+    // Exclusive scan of the chunk sums: offset of each chunk (O(n / chunk), sequential).
+    let mut offsets = Vec::with_capacity(chunks);
+    let mut acc = 0i64;
+    for &s in &sums {
+        offsets.push(acc);
+        acc += s;
+    }
+    let offsets = Arc::new(offsets);
+
+    // Pass 2: each chunk produces its slice of the output given its offset; chunks are
+    // disjoint, so the tree returns owned chunk vectors and concatenates — no shared
+    // mutation needed.
+    fn distribute(
+        input: Arc<Vec<i64>>,
+        offsets: Arc<Vec<i64>>,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<i64> {
+        if hi - lo == 1 {
+            let start = lo * NATIVE_CHUNK;
+            let end = ((lo + 1) * NATIVE_CHUNK).min(input.len());
+            let mut acc = offsets[lo];
+            let mut out = Vec::with_capacity(end - start);
+            for i in start..end {
+                acc += input[i];
+                out.push(acc);
+            }
+            return out;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (i1, o1) = (Arc::clone(&input), Arc::clone(&offsets));
+        let (mut left, right) = rws_runtime::join(
+            move || distribute(i1, o1, lo, mid),
+            move || distribute(input, offsets, mid, hi),
+        );
+        left.extend(right);
+        left
+    }
+    distribute(input, offsets, 0, chunks)
+}
+
 /// Sequential reference: inclusive prefix sums.
 pub fn prefix_sums_reference(x: &[i64]) -> Vec<i64> {
     let mut out = Vec::with_capacity(x.len());
@@ -144,6 +222,15 @@ pub fn prefix_sums_reference(x: &[i64]) -> Vec<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn native_runner_matches_reference_outside_a_pool() {
+        // Outside a pool worker the joins run sequentially; correctness is identical.
+        let x: Vec<i64> = (0..5000).map(|i| (i % 23) - 11).collect();
+        assert_eq!(prefix_sums_native(&x), prefix_sums_reference(&x));
+        assert_eq!(prefix_sums_native(&[]), Vec::<i64>::new());
+        assert_eq!(prefix_sums_native(&[7]), vec![7]);
+    }
 
     #[test]
     fn reference_prefix_sums() {

@@ -118,6 +118,39 @@ fn build_sort(
     b.seq_with_segment(vec![halves, merge], u32::try_from(m).expect("segment size"))
 }
 
+/// Native fork-join merge sort on the `rws-runtime` work-stealing pool.
+///
+/// The same HBP structure as [`sort_computation`]: the two half sorts are one parallel
+/// collection of recursive calls into fresh local arrays, followed by a merge writing each
+/// destination slot exactly once. Call from inside [`rws_runtime::ThreadPool::install`] for
+/// parallel execution; outside a pool worker the `join`s degrade to sequential calls.
+pub fn merge_sort_native(keys: &[u64], base: usize) -> Vec<u64> {
+    fn msort(mut keys: Vec<u64>, base: usize) -> Vec<u64> {
+        if keys.len() <= base {
+            keys.sort();
+            return keys;
+        }
+        let right = keys.split_off(keys.len() / 2);
+        let (left, right) =
+            rws_runtime::join(move || msort(keys, base), move || msort(right, base));
+        let mut out = Vec::with_capacity(left.len() + right.len());
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < right.len() {
+            if left[i] <= right[j] {
+                out.push(left[i]);
+                i += 1;
+            } else {
+                out.push(right[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&left[i..]);
+        out.extend_from_slice(&right[j..]);
+        out
+    }
+    msort(keys.to_vec(), base.max(1))
+}
+
 /// Sequential reference sort (stable).
 pub fn sort_reference(keys: &[u64]) -> Vec<u64> {
     let mut v = keys.to_vec();
@@ -163,6 +196,15 @@ mod tests {
         for len in [0usize, 1, 2, 17, 64, 255] {
             let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
             assert_eq!(merge_sort_reference(&keys, 4), sort_reference(&keys));
+        }
+    }
+
+    #[test]
+    fn native_runner_sorts_outside_a_pool() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for len in [0usize, 1, 2, 33, 256, 1000] {
+            let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..500)).collect();
+            assert_eq!(merge_sort_native(&keys, 16), sort_reference(&keys));
         }
     }
 

@@ -18,13 +18,28 @@ pub mod table;
 
 pub use table::Table;
 
-use rws_core::{RwsScheduler, SimConfig};
+use rws_core::SimConfig;
 use rws_dag::{Computation, SequentialTracer};
+use rws_exec::{ExecReport, SimExecutor};
 use rws_machine::MachineConfig;
 
+/// The simulated executor the experiments sweep with: the given machine, seeded.
+pub fn sim_executor(machine: &MachineConfig, seed: u64) -> SimExecutor {
+    SimExecutor::new(machine.clone(), SimConfig::with_seed(seed))
+}
+
 /// Run `comp` on a `procs`-processor machine with the given seed and return the report.
+///
+/// Routed through the [`SimExecutor`] backend of `rws-exec`; the full simulator report is
+/// unwrapped from the normalized [`ExecReport`] for the experiments that need the paper's
+/// detailed counts.
 pub fn run_on(comp: &Computation, machine: &MachineConfig, seed: u64) -> rws_core::RunReport {
-    RwsScheduler::new(machine.clone(), SimConfig::with_seed(seed)).run(comp)
+    run_exec(comp, machine, seed).sim.expect("the simulated backend preserves its RunReport")
+}
+
+/// Run `comp` under the simulated backend and return the normalized cross-backend report.
+pub fn run_exec(comp: &Computation, machine: &MachineConfig, seed: u64) -> ExecReport {
+    sim_executor(machine, seed).run_computation(comp)
 }
 
 /// Run `comp` sequentially (one processor) and return its sequential costs (`W`, `Q`).
@@ -73,6 +88,10 @@ mod tests {
         let machine = default_machine(4);
         let report = run_on(&comp, &machine, 1);
         assert_eq!(report.work_executed, comp.dag.work());
+        let norm = run_exec(&comp, &machine, 1);
+        assert_eq!(norm.steals, report.successful_steals);
+        assert_eq!(norm.time_units, report.makespan);
+        assert_eq!(norm.procs, 4);
         let seq = sequential_costs(&comp, &machine);
         assert!(seq.cache_misses > 0);
         let avg =

@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn number_formatting() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.142");
+        assert_eq!(fnum(7.65432), "7.654");
         assert_eq!(fnum(42.42), "42.4");
         assert_eq!(fnum(12345.6), "12346");
     }

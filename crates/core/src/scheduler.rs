@@ -209,7 +209,7 @@ impl<'a> Sim<'a> {
                     }
                 }
             }
-            if self.sim.track_potential && self.events % 256 == 0 {
+            if self.sim.track_potential && self.events.is_multiple_of(256) {
                 self.sample_potential();
             }
             if !self.finished && !self.procs[p].parked {

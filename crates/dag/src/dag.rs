@@ -370,7 +370,7 @@ impl SpDag {
     /// Upper bound on the number of memory accesses along any root-to-sink path (a proxy for
     /// the paper's `D_b`, the cache-miss cost along any path, measured in accesses).
     pub fn path_access_bound(&self) -> u64 {
-        self.fold_costs(&|w: &WorkUnit| w.access_count()).1
+        self.fold_costs(|w: &WorkUnit| w.access_count()).1
     }
 
     /// Maximum nesting depth of execution-stack segments along any path (bounds the
@@ -427,12 +427,12 @@ impl SpDag {
 
     /// Total number of global-array accesses over the whole dag.
     pub fn total_global_accesses(&self) -> u64 {
-        self.fold_costs(&|w: &WorkUnit| w.global.len() as u64).0
+        self.fold_costs(|w: &WorkUnit| w.global.len() as u64).0
     }
 
     /// Total number of local (stack) accesses over the whole dag.
     pub fn total_local_accesses(&self) -> u64 {
-        self.fold_costs(&|w: &WorkUnit| w.locals.len() as u64).0
+        self.fold_costs(|w: &WorkUnit| w.locals.len() as u64).0
     }
 
     /// Maximum number of times any single global word is written over the whole computation.

@@ -1,0 +1,47 @@
+//! # rws-exec
+//!
+//! One interface over the two execution backends of this repository: the discrete-event
+//! randomized work-stealing **simulator** of `rws-core` (the paper's machine model, exact
+//! counts of steals / cache misses / block misses) and the **native** work-stealing thread
+//! pool of `rws-runtime` (real hardware, wall-clock time and steal counters).
+//!
+//! The pieces:
+//!
+//! * [`Workload`] — an algorithm instance that can run on either backend: it supplies the
+//!   series-parallel dag for the simulator, a fork-join closure for the native pool, and a
+//!   sequential reference that defines the correct output;
+//! * [`Executor`] — the backend abstraction, implemented by [`SimExecutor`] (wrapping
+//!   [`rws_core::RwsScheduler`]) and [`NativeExecutor`] (wrapping
+//!   [`rws_runtime::ThreadPool`] and its fork-join [`rws_runtime::join`]);
+//! * [`ExecReport`] — the normalized result schema: steals, work items and elapsed time in
+//!   one shape for both backends, with the full simulator [`rws_core::RunReport`] preserved
+//!   when available;
+//! * [`workloads`] — ready-made [`Workload`]s for the algorithm suite of `rws-algos`.
+//!
+//! This is the seam experiments plug into: anything written against `&dyn Executor` can
+//! compare the paper's predicted bounds against both simulated and measured behavior, and
+//! future backends (async pools, sharded machines) implement the same trait.
+//!
+//! ```
+//! use rws_exec::{Executor, NativeExecutor, SimExecutor, workloads::PrefixWorkload};
+//! use std::sync::Arc;
+//!
+//! let workload = Arc::new(PrefixWorkload::demo(4096));
+//! let sim = SimExecutor::with_procs(4);
+//! let native = NativeExecutor::new(4);
+//! let a = sim.execute(workload.clone());
+//! let b = native.execute(workload);
+//! assert_eq!(a.output, b.output); // identical results through one trait
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod report;
+pub mod workload;
+pub mod workloads;
+
+pub use executor::{Executor, NativeExecutor, SimExecutor};
+pub use report::{Backend, ExecReport};
+pub use workload::{AlgoOutput, ExecOutcome, SharedWorkload, Workload};

@@ -1,0 +1,116 @@
+//! The normalized execution report shared by all backends.
+
+use rws_core::RunReport;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which kind of backend produced a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// The discrete-event simulator of `rws-core` (time in simulated ticks).
+    Simulated,
+    /// The native thread pool of `rws-runtime` (time in wall-clock nanoseconds).
+    Native,
+}
+
+impl Backend {
+    /// The unit of [`ExecReport::time_units`] for this backend.
+    pub fn time_unit(&self) -> &'static str {
+        match self {
+            Backend::Simulated => "ticks",
+            Backend::Native => "ns",
+        }
+    }
+}
+
+/// One run's results, normalized across backends.
+///
+/// The simulator's [`RunReport`] and the native pool's `PoolStats` count different things in
+/// different units; this schema puts the quantities every experiment needs — how parallel
+/// was it (`procs`), how much scheduling happened (`steals`), how much work ran
+/// (`work_items`), how long it took (`time_units`) — into one shape, and keeps the full
+/// simulator report for backend-specific detail.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// The backend that produced this report.
+    pub backend: Backend,
+    /// Name of the executor instance (e.g. `sim(p=4)`, `native(crossbeam,t=8)`).
+    pub executor: String,
+    /// Name of the workload that ran.
+    pub workload: String,
+    /// Simulated processors or native worker threads.
+    pub procs: usize,
+    /// Successful steals: the simulator's `successful_steals`, or the pool's steal counter
+    /// delta over the run.
+    pub steals: u64,
+    /// Work executed: dag operations for the simulator, jobs run for the native pool.
+    pub work_items: u64,
+    /// Elapsed time in the backend's unit ([`Backend::time_unit`]): the simulated makespan,
+    /// or wall-clock nanoseconds.
+    pub time_units: u64,
+    /// Real time the run took on the host (for the simulator this is simulation throughput,
+    /// not modeled time).
+    pub wall: Duration,
+    /// The full simulator report, when the backend was [`Backend::Simulated`].
+    pub sim: Option<RunReport>,
+}
+
+impl ExecReport {
+    /// Steals per unit of work — comparable across backends as a scheduling-intensity
+    /// measure.
+    pub fn steals_per_work_item(&self) -> f64 {
+        if self.work_items == 0 {
+            return 0.0;
+        }
+        self.steals as f64 / self.work_items as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ran {} on {} procs: {} steals, {} work items, {} {}",
+            self.executor,
+            self.workload,
+            self.procs,
+            self.steals,
+            self.work_items,
+            self.time_units,
+            self.backend.time_unit()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(backend: Backend) -> ExecReport {
+        ExecReport {
+            backend,
+            executor: "test".into(),
+            workload: "w".into(),
+            procs: 4,
+            steals: 10,
+            work_items: 100,
+            time_units: 1234,
+            wall: Duration::from_millis(1),
+            sim: None,
+        }
+    }
+
+    #[test]
+    fn units_follow_the_backend() {
+        assert_eq!(Backend::Simulated.time_unit(), "ticks");
+        assert_eq!(Backend::Native.time_unit(), "ns");
+    }
+
+    #[test]
+    fn derived_metrics_and_summary() {
+        let r = report(Backend::Simulated);
+        assert!((r.steals_per_work_item() - 0.1).abs() < 1e-12);
+        let s = r.summary();
+        assert!(s.contains("10 steals") && s.contains("ticks"), "{s}");
+        let zero = ExecReport { work_items: 0, ..report(Backend::Native) };
+        assert_eq!(zero.steals_per_work_item(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The [`Workload`] trait: an algorithm instance runnable on every backend.
+
+use crate::report::ExecReport;
+use rws_dag::Computation;
+use std::sync::Arc;
+
+/// The output of one algorithm run, in a comparable form.
+///
+/// Both backends of an algorithm must produce the same output — this is what the parity
+/// tests assert through the `Executor` trait. Floating-point variants compare with a
+/// tolerance because the native fork-join runners may sum in a different association order
+/// than the sequential reference.
+#[derive(Clone, Debug)]
+pub enum AlgoOutput {
+    /// Signed integers (e.g. prefix sums).
+    I64(Vec<i64>),
+    /// Unsigned integers (e.g. sorted keys).
+    U64(Vec<u64>),
+    /// Floating point (e.g. matrix products), compared with tolerance `1e-9`.
+    F64(Vec<f64>),
+}
+
+impl AlgoOutput {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            AlgoOutput::I64(v) => v.len(),
+            AlgoOutput::U64(v) => v.len(),
+            AlgoOutput::F64(v) => v.len(),
+        }
+    }
+
+    /// Whether the output is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PartialEq for AlgoOutput {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AlgoOutput::I64(a), AlgoOutput::I64(b)) => a == b,
+            (AlgoOutput::U64(a), AlgoOutput::U64(b)) => a == b,
+            (AlgoOutput::F64(a), AlgoOutput::F64(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// An algorithm instance that can run on any [`crate::Executor`].
+///
+/// A workload carries its input data and knows how to express the algorithm three ways:
+///
+/// * [`Workload::computation`] — the series-parallel dag the simulator schedules;
+/// * [`Workload::run_native`] — a fork-join implementation over `rws_runtime::join`,
+///   executed on the native pool's workers;
+/// * [`Workload::run_reference`] — the sequential oracle defining the correct output.
+///
+/// The simulator executes the dag's *memory-access structure* (its words are addresses, not
+/// values), so the simulated backend reports the reference output as its result; the native
+/// backend computes the output for real. Parity between the two is exactly the check that
+/// the native decomposition implements the same function the dag models.
+pub trait Workload: Send + Sync {
+    /// Human-readable workload name (algorithm plus instance size).
+    fn name(&self) -> String;
+
+    /// Build the series-parallel dag for the simulated backend.
+    fn computation(&self) -> Computation;
+
+    /// Run the algorithm with native fork-join. Called on a pool worker thread, so
+    /// `rws_runtime::join` inside it uses the pool's work-stealing deques.
+    fn run_native(&self) -> AlgoOutput;
+
+    /// Run the sequential reference implementation.
+    fn run_reference(&self) -> AlgoOutput;
+}
+
+/// A workload shared across executors (and movable onto pool worker threads).
+pub type SharedWorkload = Arc<dyn Workload>;
+
+/// The result of [`crate::Executor::execute`]: the normalized report plus the output.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    /// Normalized run statistics.
+    pub report: ExecReport,
+    /// The algorithm's output on this backend.
+    pub output: AlgoOutput,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_outputs_compare_with_tolerance() {
+        let a = AlgoOutput::F64(vec![1.0, 2.0]);
+        let b = AlgoOutput::F64(vec![1.0 + 1e-12, 2.0 - 1e-12]);
+        let c = AlgoOutput::F64(vec![1.0, 2.1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mismatched_kinds_and_lengths_differ() {
+        assert_ne!(AlgoOutput::I64(vec![1]), AlgoOutput::U64(vec![1]));
+        assert_ne!(AlgoOutput::I64(vec![1]), AlgoOutput::I64(vec![1, 2]));
+        assert_eq!(AlgoOutput::U64(vec![3, 4]), AlgoOutput::U64(vec![3, 4]));
+        assert!(AlgoOutput::I64(Vec::new()).is_empty());
+        assert_eq!(AlgoOutput::F64(vec![0.5]).len(), 1);
+    }
+}

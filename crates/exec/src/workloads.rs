@@ -1,0 +1,378 @@
+//! Ready-made [`Workload`]s for the algorithm suite of `rws-algos`.
+//!
+//! The flagship workloads ([`MatMulWorkload`], [`PrefixWorkload`], [`SortWorkload`]) run a
+//! true fork-join decomposition on the native backend; the remaining algorithms
+//! ([`FftWorkload`], [`TransposeWorkload`], [`ListRankWorkload`]) currently run their
+//! sequential reference natively — they still flow through the [`Executor`](crate::Executor)
+//! trait end to end, and gain parallel kernels by overriding one method when those land.
+//!
+//! `demo` constructors fill inputs from a seeded [`SmallRng`], so runs are deterministic.
+//! Constructors validate instance shapes eagerly (power-of-two sizes where the dag builders
+//! require them), so a workload that constructs is runnable on *every* backend.
+
+use crate::workload::{AlgoOutput, Workload};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rws_algos::fft::{dft_reference, fft_computation, fft_reference, Complex, FftConfig};
+use rws_algos::listrank::{list_ranking_computation, list_ranking_reference, ListRankConfig};
+use rws_algos::matmul::{
+    from_bi, matmul_computation, matmul_native_bi, matmul_reference, to_bi, MatMulConfig,
+    MmVariant,
+};
+use rws_algos::prefix::{
+    prefix_sums_computation, prefix_sums_native, prefix_sums_reference, PrefixConfig,
+};
+use rws_algos::sort::{merge_sort_native, sort_computation, sort_reference, SortConfig};
+use rws_algos::transpose::{transpose_bi_computation, transpose_reference};
+use rws_dag::Computation;
+
+fn demo_f64(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// Prefix sums (the paper's canonical BP computation) over an `i64` input.
+#[derive(Clone, Debug)]
+pub struct PrefixWorkload {
+    input: Vec<i64>,
+    cfg: PrefixConfig,
+}
+
+impl PrefixWorkload {
+    /// A workload over the given input; `n` must be a multiple of `chunk` and `n / chunk` a
+    /// power of two (validated here so a constructed workload runs on every backend, not
+    /// just the ones that happen to build the dag).
+    pub fn new(input: Vec<i64>, chunk: usize) -> Self {
+        let n = input.len();
+        assert!(
+            chunk >= 1 && n.is_multiple_of(chunk) && (n / chunk).is_power_of_two(),
+            "prefix workload needs n / chunk to be a power of two, got n = {n}, chunk = {chunk}"
+        );
+        let cfg = PrefixConfig::new(n).with_chunk(chunk);
+        PrefixWorkload { input, cfg }
+    }
+
+    /// A deterministic demo instance over `n` elements (`n` a power-of-two multiple of 8).
+    pub fn demo(n: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(0xBEEF);
+        Self::new((0..n).map(|_| rng.gen_range(-1000i64..1001)).collect(), 8.min(n))
+    }
+}
+
+impl Workload for PrefixWorkload {
+    fn name(&self) -> String {
+        format!("prefix-sums(n={})", self.input.len())
+    }
+
+    fn computation(&self) -> Computation {
+        prefix_sums_computation(&self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        AlgoOutput::I64(prefix_sums_native(&self.input))
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::I64(prefix_sums_reference(&self.input))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// Matrix multiplication (the paper's running example), row-major `f64` inputs.
+#[derive(Clone, Debug)]
+pub struct MatMulWorkload {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    cfg: MatMulConfig,
+}
+
+impl MatMulWorkload {
+    /// A workload multiplying the row-major `n × n` matrices `a` and `b`.
+    pub fn new(a: Vec<f64>, b: Vec<f64>, cfg: MatMulConfig) -> Self {
+        assert!(
+            cfg.n.is_power_of_two() && cfg.base.is_power_of_two() && cfg.base <= cfg.n,
+            "matmul workload needs power-of-two n and base <= n"
+        );
+        assert_eq!(a.len(), cfg.n * cfg.n);
+        assert_eq!(b.len(), cfg.n * cfg.n);
+        MatMulWorkload { a, b, cfg }
+    }
+
+    /// A deterministic demo instance: `n × n` limited-access depth-`log² n` multiply.
+    pub fn demo(n: usize, base: usize) -> Self {
+        let cfg = MatMulConfig::new(n, MmVariant::DepthLog2N).with_base(base);
+        Self::new(demo_f64(n * n, 0xA11CE), demo_f64(n * n, 0xB0B), cfg)
+    }
+}
+
+impl Workload for MatMulWorkload {
+    fn name(&self) -> String {
+        format!("matmul(n={},{:?})", self.cfg.n, self.cfg.variant)
+    }
+
+    fn computation(&self) -> Computation {
+        matmul_computation(&self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        let n = self.cfg.n;
+        let c_bi = matmul_native_bi(&to_bi(&self.a, n), &to_bi(&self.b, n), n, self.cfg.base);
+        AlgoOutput::F64(from_bi(&c_bi, n))
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::F64(matmul_reference(&self.a, &self.b, self.cfg.n))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// HBP merge sort over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct SortWorkload {
+    keys: Vec<u64>,
+    cfg: SortConfig,
+}
+
+impl SortWorkload {
+    /// A workload sorting the given keys (`keys.len()` a power of two, validated here).
+    pub fn new(keys: Vec<u64>, base: usize) -> Self {
+        assert!(
+            keys.len().is_power_of_two() && base.is_power_of_two() && base <= keys.len(),
+            "sort workload needs power-of-two key count and base, got n = {}, base = {base}",
+            keys.len()
+        );
+        let cfg = SortConfig::new(keys.len()).with_base(base);
+        SortWorkload { keys, cfg }
+    }
+
+    /// A deterministic demo instance over `n` keys.
+    pub fn demo(n: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(0x50FA);
+        Self::new((0..n).map(|_| rng.gen_range(0u64..100_000)).collect(), 16.min(n.max(1)))
+    }
+}
+
+impl Workload for SortWorkload {
+    fn name(&self) -> String {
+        format!("hbp-mergesort(n={})", self.keys.len())
+    }
+
+    fn computation(&self) -> Computation {
+        sort_computation(&self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        AlgoOutput::U64(merge_sort_native(&self.keys, self.cfg.base))
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::U64(sort_reference(&self.keys))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// FFT over a complex input (native side currently runs the sequential reference).
+#[derive(Clone, Debug)]
+pub struct FftWorkload {
+    input: Vec<Complex>,
+    cfg: FftConfig,
+}
+
+impl FftWorkload {
+    /// A workload transforming the given input (`input.len()` a power of two, validated
+    /// here).
+    pub fn new(input: Vec<Complex>) -> Self {
+        assert!(input.len().is_power_of_two(), "fft workload needs a power-of-two length");
+        let cfg = FftConfig::new(input.len());
+        FftWorkload { input, cfg }
+    }
+
+    /// A deterministic demo instance over `n` points.
+    pub fn demo(n: usize) -> Self {
+        let re = demo_f64(n, 0xF0F1);
+        let im = demo_f64(n, 0xF0F2);
+        Self::new(re.into_iter().zip(im).collect())
+    }
+
+    fn flatten(out: Vec<Complex>) -> AlgoOutput {
+        AlgoOutput::F64(out.into_iter().flat_map(|(re, im)| [re, im]).collect())
+    }
+
+    /// The `O(n²)` DFT oracle, for validating both backends externally.
+    pub fn dft(&self) -> AlgoOutput {
+        Self::flatten(dft_reference(&self.input))
+    }
+}
+
+impl Workload for FftWorkload {
+    fn name(&self) -> String {
+        format!("fft(n={})", self.input.len())
+    }
+
+    fn computation(&self) -> Computation {
+        fft_computation(&self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        // Sequential stub until a fork-join FFT kernel lands.
+        Self::flatten(fft_reference(&self.input))
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        Self::flatten(fft_reference(&self.input))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// Matrix transpose in the bit-interleaved layout (native side runs the reference).
+#[derive(Clone, Debug)]
+pub struct TransposeWorkload {
+    a: Vec<f64>,
+    n: usize,
+    base: usize,
+}
+
+impl TransposeWorkload {
+    /// A workload transposing the row-major `n × n` matrix `a`.
+    pub fn new(a: Vec<f64>, n: usize, base: usize) -> Self {
+        assert_eq!(a.len(), n * n);
+        TransposeWorkload { a, n, base }
+    }
+
+    /// A deterministic demo instance.
+    pub fn demo(n: usize, base: usize) -> Self {
+        Self::new(demo_f64(n * n, 0x7A05), n, base)
+    }
+}
+
+impl Workload for TransposeWorkload {
+    fn name(&self) -> String {
+        format!("transpose(n={})", self.n)
+    }
+
+    fn computation(&self) -> Computation {
+        transpose_bi_computation(self.n, self.base)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        // Sequential stub until a fork-join transpose kernel lands.
+        self.run_reference()
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::F64(transpose_reference(&self.a, self.n))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// List ranking (Type-3/4 workload; native side runs the reference).
+#[derive(Clone, Debug)]
+pub struct ListRankWorkload {
+    succ: Vec<usize>,
+    cfg: ListRankConfig,
+}
+
+impl ListRankWorkload {
+    /// A workload ranking the list given by the successor array `succ`.
+    pub fn new(succ: Vec<usize>) -> Self {
+        let cfg = ListRankConfig::new(succ.len());
+        ListRankWorkload { succ, cfg }
+    }
+
+    /// A deterministic demo instance over `n` nodes (a shuffled ring).
+    pub fn demo(n: usize) -> Self {
+        // A simple deterministic permutation cycle: node i's successor is (i + step) mod n
+        // with step coprime to n, forming one cycle through every node.
+        let step = (1..n).find(|s| gcd(*s, n) == 1).unwrap_or(1);
+        Self::new((0..n).map(|i| (i + step) % n).collect())
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Workload for ListRankWorkload {
+    fn name(&self) -> String {
+        format!("list-ranking(n={})", self.succ.len())
+    }
+
+    fn computation(&self) -> Computation {
+        list_ranking_computation(&self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        // Sequential stub until a fork-join pointer-jumping kernel lands.
+        self.run_reference()
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::I64(
+            list_ranking_reference(&self.succ).into_iter().map(|r| r as i64).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_inputs_are_deterministic() {
+        let a = PrefixWorkload::demo(256);
+        let b = PrefixWorkload::demo(256);
+        assert_eq!(a.input, b.input);
+        let m1 = MatMulWorkload::demo(8, 2);
+        let m2 = MatMulWorkload::demo(8, 2);
+        assert_eq!(m1.a, m2.a);
+        assert_eq!(m1.b, m2.b);
+    }
+
+    #[test]
+    fn native_matches_reference_for_all_workloads_outside_a_pool() {
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(PrefixWorkload::demo(512)),
+            Box::new(MatMulWorkload::demo(8, 2)),
+            Box::new(SortWorkload::demo(256)),
+            Box::new(FftWorkload::demo(64)),
+            Box::new(TransposeWorkload::demo(8, 2)),
+            Box::new(ListRankWorkload::demo(64)),
+        ];
+        for w in &workloads {
+            assert_eq!(w.run_native(), w.run_reference(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn computations_build_and_validate() {
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(PrefixWorkload::demo(256)),
+            Box::new(MatMulWorkload::demo(8, 2)),
+            Box::new(SortWorkload::demo(256)),
+            Box::new(FftWorkload::demo(64)),
+            Box::new(TransposeWorkload::demo(8, 2)),
+            Box::new(ListRankWorkload::demo(64)),
+        ];
+        for w in &workloads {
+            let comp = w.computation();
+            assert!(comp.check_properties().is_empty(), "{}", w.name());
+            assert!(comp.dag.work() > 0);
+        }
+    }
+
+    #[test]
+    fn fft_reference_agrees_with_dft() {
+        let w = FftWorkload::demo(32);
+        assert_eq!(w.run_reference(), w.dft());
+    }
+}

@@ -116,10 +116,7 @@ impl Directory {
     pub fn record_fill(&mut self, block: BlockId, proc: ProcId) -> bool {
         let e = self.entry(block);
         e.sharers.insert(proc);
-        let transferred = match e.last_holder {
-            Some(prev) if prev != proc => true,
-            _ => false,
-        };
+        let transferred = matches!(e.last_holder, Some(prev) if prev != proc);
         if transferred {
             e.transfers += 1;
         }

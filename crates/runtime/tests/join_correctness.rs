@@ -1,0 +1,101 @@
+//! Native `join` correctness under both deque backends: balanced and unbalanced recursion,
+//! deep nesting, many small joins, and values that must move between threads intact.
+
+use rws_runtime::{join, DequeBackend, ThreadPoolBuilder};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const BACKENDS: [DequeBackend; 2] = [DequeBackend::Crossbeam, DequeBackend::Simple];
+
+fn pool(threads: usize, backend: DequeBackend) -> rws_runtime::ThreadPool {
+    ThreadPoolBuilder::new().threads(threads).backend(backend).build()
+}
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(move || fib(n - 1), move || fib(n - 2));
+    a + b
+}
+
+#[test]
+fn nested_unbalanced_joins_compute_fib_on_both_backends() {
+    for backend in BACKENDS {
+        let p = pool(4, backend);
+        assert_eq!(p.install(|| fib(20)), 6765, "{backend:?}");
+    }
+}
+
+fn sum_tree(lo: u64, hi: u64, grain: u64) -> u64 {
+    if hi - lo <= grain {
+        return (lo..hi).sum();
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) =
+        join(move || sum_tree(lo, mid, grain), move || sum_tree(mid, hi, grain));
+    a + b
+}
+
+#[test]
+fn balanced_recursion_is_correct_on_both_backends_and_thread_counts() {
+    for backend in BACKENDS {
+        for threads in [1usize, 2, 7] {
+            let p = pool(threads, backend);
+            let n = 300_000u64;
+            assert_eq!(
+                p.install(move || sum_tree(0, n, 512)),
+                n * (n - 1) / 2,
+                "{backend:?} with {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn fine_grained_joins_run_every_leaf_exactly_once() {
+    for backend in BACKENDS {
+        let p = pool(4, backend);
+        let counter = Arc::new(AtomicU64::new(0));
+        fn touch(counter: Arc<AtomicU64>, lo: u64, hi: u64) {
+            if hi - lo == 1 {
+                counter.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let c2 = Arc::clone(&counter);
+            join(move || touch(counter, lo, mid), move || touch(c2, mid, hi));
+        }
+        let c = Arc::clone(&counter);
+        p.install(move || touch(c, 0, 2048));
+        assert_eq!(counter.load(Ordering::Relaxed), 2048, "{backend:?}");
+    }
+}
+
+#[test]
+fn join_moves_owned_values_across_branches() {
+    for backend in BACKENDS {
+        let p = pool(3, backend);
+        let out = p.install(|| {
+            let left = vec![1u32; 1000];
+            let right = String::from("payload");
+            let (l, r) = join(move || left.iter().sum::<u32>(), move || right.len());
+            (l, r)
+        });
+        assert_eq!(out, (1000, 7), "{backend:?}");
+    }
+}
+
+#[test]
+fn steals_occur_under_both_backends_when_work_is_wide() {
+    for backend in BACKENDS {
+        let p = pool(4, backend);
+        let n = 2_000_000u64;
+        assert_eq!(p.install(move || sum_tree(0, n, 256)), n * (n - 1) / 2);
+        assert!(p.stats().total_jobs() > 0, "{backend:?}: forked jobs must be recorded");
+        assert!(
+            p.stats().total_steals() > 0,
+            "{backend:?}: a wide 4-worker run must steal at least once"
+        );
+    }
+}

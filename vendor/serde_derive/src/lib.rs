@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace cannot fetch crates from the network, and nothing in it actually
+//! serializes data — `Serialize` / `Deserialize` appear only in `#[derive(...)]` lists so
+//! that downstream consumers *could* serialize reports. The companion `serde` stub defines
+//! the two traits as markers with blanket implementations, so these derives need to emit
+//! nothing at all: deriving a marker that every type already implements is a no-op.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the stub `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the stub `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
