@@ -1,0 +1,138 @@
+//! Emit `BENCH_native.json`: the native hot-path benchmark comparing the lock-free
+//! Chase–Lev deque backend against the mutex-protected `SimpleDeque` across workloads and
+//! thread counts.
+//!
+//! ```text
+//! native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N]
+//! ```
+//!
+//! The process installs a counting global allocator so the suite can report
+//! allocations-per-fork (the "is `join` really allocation-free" trajectory number). After
+//! writing, the document is re-read and structurally validated; any problem — malformed
+//! JSON, a panicking backend — exits nonzero, which is what the CI smoke step checks.
+
+use rws_bench::native_bench::{run_suite, to_json, validate_json, BenchConfig, SizeClass};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// NOTE: duplicated in crates/runtime/tests/alloc_free_join.rs — a #[global_allocator] must
+// be declared in each binary crate root, so only the wrapper could be shared, at the cost
+// of a public test-support surface on rws-runtime. Keep the two copies in sync.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut size = SizeClass::Full;
+    let mut out = String::from("BENCH_native.json");
+    let mut threads: Option<Vec<usize>> = None;
+    let mut repeats: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--size" => {
+                size = it.next().and_then(|s| SizeClass::parse(s)).unwrap_or_else(|| usage())
+            }
+            "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--threads" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|t| t.trim().parse::<usize>()).collect();
+                threads = Some(parsed.unwrap_or_else(|_| usage()));
+            }
+            "--repeats" => {
+                repeats = Some(
+                    it.next().and_then(|r| r.parse().ok()).filter(|&r| r > 0).unwrap_or_else(
+                        || usage(),
+                    ),
+                )
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = BenchConfig::for_size(size);
+    if let Some(t) = threads {
+        cfg.threads = t;
+    }
+    if let Some(r) = repeats {
+        cfg.repeats = r;
+    }
+
+    eprintln!(
+        "native_bench: size={} threads={:?} repeats={} -> {}",
+        cfg.size.name(),
+        cfg.threads,
+        cfg.repeats,
+        out
+    );
+    let records = run_suite(&cfg, || ALLOCATIONS.load(Ordering::Relaxed));
+    for r in &records {
+        eprintln!(
+            "  {:>13} {:>8} t={}  median {:>12} ns  steals {:>6}  jobs {:>8}  retries {:>5}  \
+             parks {:>4}  allocs/fork {:.4}",
+            r.workload,
+            r.backend,
+            r.threads,
+            r.wall_ns_median,
+            r.steals,
+            r.jobs,
+            r.steal_retries,
+            r.parks,
+            r.allocs_per_fork
+        );
+    }
+    let doc = to_json(&cfg, &records);
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("native_bench: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Validate what actually landed on disk, not the in-memory string.
+    let written = match std::fs::read_to_string(&out) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("native_bench: failed to re-read {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_json(&written) {
+        eprintln!("native_bench: {out} is malformed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("native_bench: wrote {out} ({} records)", records.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,567 @@
+//! The native hot-path benchmark suite behind the `native_bench` binary and
+//! `BENCH_native.json`.
+//!
+//! Runs a set of fork-join workloads on both deque backends of `rws-runtime` — the
+//! lock-free Chase–Lev deque (`chaselev`) and the mutex-protected `SimpleDeque`
+//! (`simple`) — across a thread sweep, and records per configuration the median wall time,
+//! the pool's steal/retry/park counter deltas, and (when the caller supplies an
+//! allocation-counter hook, as the binary's counting global allocator does)
+//! allocations-per-fork. The output is the JSON perf trajectory future PRs must beat.
+//!
+//! The JSON is hand-rolled because the workspace's vendored `serde` is a no-op marker; the
+//! structural [`validate_json`] check runs after every write so a malformed emission fails
+//! loudly (in CI, the bench smoke step).
+
+use rws_algos::prefix::prefix_sums_native;
+use rws_algos::sort::merge_sort_native;
+use rws_runtime::{join, DequeBackend, ThreadPool, ThreadPoolBuilder};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How big the suite's inputs are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Tiny inputs for CI smoke runs: seconds, not minutes.
+    Smoke,
+    /// The committed-baseline sizes.
+    Full,
+}
+
+impl SizeClass {
+    /// Parse a `--size` argument.
+    pub fn parse(s: &str) -> Option<SizeClass> {
+        match s {
+            "smoke" => Some(SizeClass::Smoke),
+            "full" => Some(SizeClass::Full),
+            _ => None,
+        }
+    }
+
+    /// The size's name as it appears in the JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeClass::Smoke => "smoke",
+            SizeClass::Full => "full",
+        }
+    }
+}
+
+/// Suite configuration.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Input sizes.
+    pub size: SizeClass,
+    /// Worker-thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Timed repetitions per configuration (the median is reported).
+    pub repeats: usize,
+}
+
+impl BenchConfig {
+    /// The default sweep for a size class.
+    pub fn for_size(size: SizeClass) -> Self {
+        match size {
+            SizeClass::Smoke => BenchConfig { size, threads: vec![1, 4], repeats: 1 },
+            SizeClass::Full => BenchConfig { size, threads: vec![1, 2, 4, 8], repeats: 7 },
+        }
+    }
+}
+
+/// One (workload, backend, threads) measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Workload name (`recursive-sum`, `matmul`, …).
+    pub workload: String,
+    /// Deque backend name (`chaselev` or `simple`).
+    pub backend: String,
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Median wall time over the repeats, nanoseconds.
+    pub wall_ns_median: u64,
+    /// Fastest repeat, nanoseconds.
+    pub wall_ns_min: u64,
+    /// Successful steals (pool counter delta, median run).
+    pub steals: u64,
+    /// Fork branches executed (pool counter delta, median run).
+    pub jobs: u64,
+    /// Steal attempts that lost a CAS race (`Steal::Retry`; always 0 on `simple`).
+    pub steal_retries: u64,
+    /// Times a worker parked during the run.
+    pub parks: u64,
+    /// Heap allocations observed during the median run (0 when no hook was supplied).
+    pub allocs: u64,
+    /// Allocations per executed fork branch — the "is `join` really allocation-free"
+    /// trajectory number (includes the workload's own result buffers, identical across
+    /// backends).
+    pub allocs_per_fork: f64,
+}
+
+fn backend_name(b: DequeBackend) -> &'static str {
+    match b {
+        DequeBackend::Crossbeam => "chaselev",
+        DequeBackend::Simple => "simple",
+    }
+}
+
+fn recursive_sum(lo: u64, hi: u64) -> u64 {
+    if hi - lo <= 1024 {
+        return (lo..hi).sum();
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = join(move || recursive_sum(lo, mid), move || recursive_sum(mid, hi));
+    a + b
+}
+
+/// In-place fork-join matmul: recurse over output row bands, then over column segments of a
+/// single row, down to `grain`-column leaves. Unlike `rws_algos::matmul_native_bi` (whose
+/// per-node temporaries make it allocator-bound — thousands of allocations per fork), this
+/// decomposition allocates nothing, so its wall time actually measures the fork/steal hot
+/// path this benchmark exists to track. The fine grain is deliberate: thousands of
+/// sub-microsecond tasks are exactly the regime where deque overhead shows.
+fn mm_rows(a: &[f64], bt: &[f64], c: &mut [f64], n: usize, row0: usize, grain: usize) {
+    let rows = c.len() / n;
+    if rows == 1 {
+        mm_cols(a, bt, c, n, row0, 0, grain);
+        return;
+    }
+    let mid = rows / 2;
+    let (lo, hi) = c.split_at_mut(mid * n);
+    join(
+        || mm_rows(a, bt, lo, n, row0, grain),
+        || mm_rows(a, bt, hi, n, row0 + mid, grain),
+    );
+}
+
+/// `bt` is B transposed, so a leaf reads contiguous rows of both operands: the leaf stays
+/// compute-bound and small, keeping scheduler overhead — the thing under test — visible
+/// instead of being buried under strided-access memory stalls.
+fn mm_cols(a: &[f64], bt: &[f64], row: &mut [f64], n: usize, i: usize, col0: usize, grain: usize) {
+    if row.len() <= grain {
+        let arow = &a[i * n..(i + 1) * n];
+        for (jj, out) in row.iter_mut().enumerate() {
+            let j = col0 + jj;
+            let brow = &bt[j * n..(j + 1) * n];
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += arow[k] * brow[k];
+            }
+            *out = acc;
+        }
+        return;
+    }
+    let mid = row.len() / 2;
+    let (l, r) = row.split_at_mut(mid);
+    join(
+        || mm_cols(a, bt, l, n, i, col0, grain),
+        || mm_cols(a, bt, r, n, i, col0 + mid, grain),
+    );
+}
+
+struct WorkloadSpec {
+    name: &'static str,
+    /// Runs the workload once on the given pool and returns a checksum (forcing the result
+    /// to actually be computed). Inputs are generated once, outside every timed window.
+    run: Box<dyn Fn(&ThreadPool) -> u64>,
+}
+
+fn suite(size: SizeClass) -> Vec<WorkloadSpec> {
+    let (sum_n, mm_n, mm_iters, prefix_n, sort_n) = match size {
+        SizeClass::Smoke => (1u64 << 18, 32usize, 2usize, 1usize << 14, 1usize << 14),
+        SizeClass::Full => (1u64 << 23, 128usize, 10usize, 1usize << 20, 1usize << 20),
+    };
+    let mm_a: Arc<Vec<f64>> = Arc::new((0..mm_n * mm_n).map(|i| (i % 7) as f64).collect());
+    // Stored transposed (see `mm_cols`); as bench input it is simply an arbitrary matrix.
+    let mm_bt: Arc<Vec<f64>> = Arc::new((0..mm_n * mm_n).map(|i| (i % 5) as f64).collect());
+    let prefix_x: Arc<Vec<i64>> = Arc::new((0..prefix_n as i64).collect());
+    let sort_keys: Arc<Vec<u64>> =
+        Arc::new((0..sort_n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect());
+    vec![
+        WorkloadSpec {
+            name: "recursive-sum",
+            run: Box::new(move |pool| pool.install(move || recursive_sum(0, sum_n))),
+        },
+        WorkloadSpec {
+            name: "matmul",
+            run: Box::new(move |pool| {
+                let a = Arc::clone(&mm_a);
+                let bt = Arc::clone(&mm_bt);
+                pool.install(move || {
+                    let mut c = vec![0.0f64; mm_n * mm_n];
+                    for _ in 0..mm_iters {
+                        mm_rows(&a, &bt, &mut c, mm_n, 0, 1);
+                    }
+                    c.iter().map(|v| v.to_bits()).fold(0u64, u64::wrapping_add)
+                })
+            }),
+        },
+        WorkloadSpec {
+            name: "prefix-sums",
+            run: Box::new(move |pool| {
+                let x = Arc::clone(&prefix_x);
+                let out = pool.install(move || prefix_sums_native(&x));
+                out.last().copied().unwrap_or(0) as u64
+            }),
+        },
+        WorkloadSpec {
+            name: "merge-sort",
+            run: Box::new(move |pool| {
+                let keys = Arc::clone(&sort_keys);
+                let sorted = pool.install(move || merge_sort_native(&keys, 512));
+                sorted[sorted.len() / 2]
+            }),
+        },
+    ]
+}
+
+struct OneRun {
+    wall_ns: u64,
+    steals: u64,
+    jobs: u64,
+    retries: u64,
+    parks: u64,
+    allocs: u64,
+}
+
+/// Run the full suite. `alloc_count` reads the process-wide allocation counter (the binary
+/// installs a counting global allocator; library callers can pass `|| 0`).
+pub fn run_suite(cfg: &BenchConfig, alloc_count: impl Fn() -> u64) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for spec in suite(cfg.size) {
+        for &backend in &[DequeBackend::Crossbeam, DequeBackend::Simple] {
+            for &threads in &cfg.threads {
+                // One pool per configuration: counters attribute through deltas, and pool
+                // construction stays outside every timed window (the hot path is what is
+                // being measured, not thread spawning). One untimed warm-up run absorbs
+                // first-touch costs.
+                let pool = ThreadPoolBuilder::new().threads(threads).backend(backend).build();
+                let warm = (spec.run)(&pool);
+                let mut runs: Vec<OneRun> = Vec::with_capacity(cfg.repeats);
+                for _ in 0..cfg.repeats {
+                    let steals0 = pool.stats().total_steals();
+                    let jobs0 = pool.stats().total_jobs();
+                    let retries0 = pool.stats().total_retries();
+                    let parks0 = pool.stats().total_parks();
+                    let allocs0 = alloc_count();
+                    let start = Instant::now();
+                    let check = (spec.run)(&pool);
+                    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    assert_eq!(check, warm, "{}: nondeterministic checksum", spec.name);
+                    runs.push(OneRun {
+                        wall_ns,
+                        steals: pool.stats().total_steals() - steals0,
+                        jobs: pool.stats().total_jobs() - jobs0,
+                        retries: pool.stats().total_retries() - retries0,
+                        parks: pool.stats().total_parks() - parks0,
+                        allocs: alloc_count() - allocs0,
+                    });
+                }
+                runs.sort_by_key(|r| r.wall_ns);
+                let median = &runs[runs.len() / 2];
+                records.push(BenchRecord {
+                    workload: spec.name.to_string(),
+                    backend: backend_name(backend).to_string(),
+                    threads,
+                    wall_ns_median: median.wall_ns,
+                    wall_ns_min: runs[0].wall_ns,
+                    steals: median.steals,
+                    jobs: median.jobs,
+                    steal_retries: median.retries,
+                    parks: median.parks,
+                    allocs: median.allocs,
+                    allocs_per_fork: if median.jobs == 0 {
+                        0.0
+                    } else {
+                        median.allocs as f64 / median.jobs as f64
+                    },
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Head-to-head comparison derived from the records: for each (workload, threads), the
+/// chaselev-vs-simple speedup on median wall time.
+pub fn comparisons(records: &[BenchRecord]) -> Vec<(String, usize, u64, u64, f64)> {
+    let mut out = Vec::new();
+    for r in records.iter().filter(|r| r.backend == "chaselev") {
+        if let Some(s) = records
+            .iter()
+            .find(|s| s.backend == "simple" && s.workload == r.workload && s.threads == r.threads)
+        {
+            let speedup = if r.wall_ns_median == 0 {
+                1.0
+            } else {
+                s.wall_ns_median as f64 / r.wall_ns_median as f64
+            };
+            out.push((r.workload.clone(), r.threads, r.wall_ns_median, s.wall_ns_median, speedup));
+        }
+    }
+    out
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    // JSON has no NaN/Infinity; clamp defensively (validate_json re-checks).
+    if v.is_finite() {
+        let _ = write!(out, "{v:.6}");
+    } else {
+        out.push('0');
+    }
+}
+
+/// Serialize the suite results as the `BENCH_native.json` document.
+pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"rws-bench-native/v1\",");
+    let _ = writeln!(s, "  \"size\": \"{}\",", cfg.size.name());
+    let _ = writeln!(s, "  \"repeats\": {},", cfg.repeats);
+    let _ = writeln!(
+        s,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+    );
+    s.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
+             \"wall_ns_median\": {}, \"wall_ns_min\": {}, \"steals\": {}, \"jobs\": {}, \
+             \"steal_retries\": {}, \"parks\": {}, \"allocs\": {}, \"allocs_per_fork\": ",
+            r.workload,
+            r.backend,
+            r.threads,
+            r.wall_ns_median,
+            r.wall_ns_min,
+            r.steals,
+            r.jobs,
+            r.steal_retries,
+            r.parks,
+            r.allocs,
+        );
+        push_json_f64(&mut s, r.allocs_per_fork);
+        s.push('}');
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"chaselev_vs_simple\": [\n");
+    let cmps = comparisons(records);
+    for (i, (workload, threads, cl, simple, speedup)) in cmps.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workload\": \"{workload}\", \"threads\": {threads}, \
+             \"chaselev_ns\": {cl}, \"simple_ns\": {simple}, \"speedup\": "
+        );
+        push_json_f64(&mut s, *speedup);
+        s.push('}');
+        s.push_str(if i + 1 < cmps.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_native.json` document: well-formed JSON (objects,
+/// arrays, strings, numbers — the subset the emitter produces) plus the required keys.
+/// Returns a description of the first problem found.
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    // A tiny recursive-descent well-formedness scanner.
+    struct P<'a> {
+        bytes: &'a [u8],
+        i: usize,
+    }
+    impl<'a> P<'a> {
+        fn ws(&mut self) {
+            while self.i < self.bytes.len() && self.bytes[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.bytes.get(self.i).copied()
+        }
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.i))
+            }
+        }
+        fn value(&mut self) -> Result<(), String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                Some(b't') => self.literal("true"),
+                Some(b'f') => self.literal("false"),
+                Some(b'n') => self.literal("null"),
+                other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+            }
+        }
+        fn literal(&mut self, lit: &str) -> Result<(), String> {
+            if self.bytes[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn object(&mut self) -> Result<(), String> {
+            self.expect(b'{')?;
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.string()?;
+                self.expect(b':')?;
+                self.value()?;
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad object at byte {}: {other:?}", self.i)),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<(), String> {
+            self.expect(b'[')?;
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value()?;
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad array at byte {}: {other:?}", self.i)),
+                }
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.expect(b'"')?;
+            while let Some(&c) = self.bytes.get(self.i) {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => self.i += 1,
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            while let Some(&c) = self.bytes.get(self.i) {
+                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.i == start {
+                Err(format!("empty number at byte {start}"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+    let mut p = P { bytes: doc.as_bytes(), i: 0 };
+    p.value()?;
+    p.ws();
+    if p.i != doc.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    for key in ["\"schema\"", "\"records\"", "\"chaselev_vs_simple\"", "\"wall_ns_median\""] {
+        if !doc.contains(key) {
+            return Err(format!("missing required key {key}"));
+        }
+    }
+    if doc.contains("NaN") || doc.contains("inf") {
+        return Err("non-finite number leaked into the document".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_records() -> Vec<BenchRecord> {
+        vec![
+            BenchRecord {
+                workload: "recursive-sum".into(),
+                backend: "chaselev".into(),
+                threads: 4,
+                wall_ns_median: 100,
+                wall_ns_min: 90,
+                steals: 5,
+                jobs: 50,
+                steal_retries: 1,
+                parks: 2,
+                allocs: 3,
+                allocs_per_fork: 0.06,
+            },
+            BenchRecord {
+                workload: "recursive-sum".into(),
+                backend: "simple".into(),
+                threads: 4,
+                wall_ns_median: 150,
+                wall_ns_min: 140,
+                steals: 6,
+                jobs: 50,
+                steal_retries: 0,
+                parks: 2,
+                allocs: 3,
+                allocs_per_fork: 0.06,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_emission_is_structurally_valid() {
+        let cfg = BenchConfig::for_size(SizeClass::Smoke);
+        let doc = to_json(&cfg, &tiny_records());
+        validate_json(&doc).expect("emitted JSON must validate");
+        assert!(doc.contains("\"speedup\": 1.500000"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{}").is_err(), "required keys missing");
+        assert!(validate_json("{\"schema\": \"x\", \"records\": [}]").is_err());
+        let cfg = BenchConfig::for_size(SizeClass::Smoke);
+        let good = to_json(&cfg, &tiny_records());
+        let truncated = &good[..good.len() - 4];
+        assert!(validate_json(truncated).is_err());
+    }
+
+    #[test]
+    fn comparisons_pair_backends() {
+        let cmps = comparisons(&tiny_records());
+        assert_eq!(cmps.len(), 1);
+        let (w, t, cl, simple, speedup) = &cmps[0];
+        assert_eq!((w.as_str(), *t, *cl, *simple), ("recursive-sum", 4, 100, 150));
+        assert!((speedup - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoke_suite_runs_end_to_end_on_both_backends() {
+        // The CI smoke path in miniature: tiny sizes, one thread count, validated output.
+        let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![2], repeats: 1 };
+        let records = run_suite(&cfg, || 0);
+        assert_eq!(records.len(), 4 * 2, "4 workloads x 2 backends");
+        assert!(records.iter().all(|r| r.jobs > 0), "every run must execute forks");
+        let doc = to_json(&cfg, &records);
+        validate_json(&doc).expect("smoke suite JSON must validate");
+    }
+}

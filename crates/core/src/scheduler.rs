@@ -712,6 +712,16 @@ mod tests {
     }
 
     #[test]
+    fn steal_events_are_not_recorded_by_default() {
+        // The event log is opt-in (`SimConfig::with_steal_events`): a long simulation with
+        // the default config must not grow an unbounded per-steal log nobody reads.
+        let dag = tree_dag(64, 32);
+        let report = RwsScheduler::with_machine(machine(4)).run_dag(&dag);
+        assert!(report.successful_steals > 0, "the run must steal for this test to mean anything");
+        assert!(report.steal_events.is_empty(), "no steal events without the opt-in flag");
+    }
+
+    #[test]
     fn steal_events_are_recorded_when_requested() {
         let dag = tree_dag(32, 32);
         let report = RwsScheduler::new(machine(4), SimConfig::default().with_steal_events())

@@ -78,6 +78,7 @@ impl SimExecutor {
             workload,
             procs: self.procs(),
             steals: report.successful_steals,
+            failed_steals: report.failed_steals,
             work_items: report.work_executed,
             time_units: report.makespan,
             wall: start.elapsed(),
@@ -164,6 +165,7 @@ impl Executor for NativeExecutor {
     fn execute(&self, workload: SharedWorkload) -> ExecOutcome {
         let steals_before = self.pool.stats().total_steals();
         let jobs_before = self.pool.stats().total_jobs();
+        let failed_before = self.pool.stats().total_failed_steals();
         let start = Instant::now();
         let on_pool = Arc::clone(&workload);
         let output = self.pool.install(move || on_pool.run_native());
@@ -174,6 +176,7 @@ impl Executor for NativeExecutor {
             workload: workload.name(),
             procs: self.procs(),
             steals: self.pool.stats().total_steals() - steals_before,
+            failed_steals: self.pool.stats().total_failed_steals() - failed_before,
             work_items: self.pool.stats().total_jobs() - jobs_before,
             time_units: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
             wall,

@@ -43,6 +43,11 @@ pub struct ExecReport {
     /// Successful steals: the simulator's `successful_steals`, or the pool's steal counter
     /// delta over the run.
     pub steals: u64,
+    /// Unsuccessful steal attempts: the simulator's `failed_steals`, or — for the native
+    /// pool — empty-victim probes plus steal attempts that lost a CAS race
+    /// (`Steal::Retry`) over the run. Both count "a processor reached for work and came
+    /// back empty-handed", the quantity the paper's steal-cost term charges.
+    pub failed_steals: u64,
     /// Work executed: dag operations for the simulator, jobs run for the native pool.
     pub work_items: u64,
     /// Elapsed time in the backend's unit ([`Backend::time_unit`]): the simulated makespan,
@@ -91,6 +96,7 @@ mod tests {
             workload: "w".into(),
             procs: 4,
             steals: 10,
+            failed_steals: 3,
             work_items: 100,
             time_units: 1234,
             wall: Duration::from_millis(1),

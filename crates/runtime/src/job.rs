@@ -1,0 +1,212 @@
+//! Job representations for the pool's deques.
+//!
+//! The hot path of fork-join execution is [`StackJob`]: the right branch of a `join` lives
+//! in the **caller's stack frame** and is pushed into the deque as a [`JobRef`] — two words,
+//! no `Box`, no `Arc`, no `Mutex`. Exactly-once execution is guaranteed by the deque itself
+//! (each pushed item is popped or stolen exactly once); the atomic [`Latch`] only tells the
+//! owner *when* a stolen branch has finished and carries the result back through an
+//! `UnsafeCell` write that the latch's release/acquire pair orders.
+//!
+//! Heap-allocated jobs ([`Job::Heap`]) remain for the cold entry points (`spawn`,
+//! cross-thread `install`), where an allocation per submission is irrelevant.
+
+#![allow(unsafe_code)]
+
+use crate::sleep::Sleep;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A unit of work queued in a worker deque or the injector.
+pub(crate) enum Job {
+    /// A boxed closure from the cold submission path (`spawn` / cross-thread `install`).
+    Heap(Box<dyn FnOnce() + Send + 'static>),
+    /// A pointer to a [`StackJob`] living in some `join` caller's stack frame.
+    Stack(JobRef),
+}
+
+impl Job {
+    /// Execute the job, consuming it. Never unwinds: a panic from a heap job is caught
+    /// here, because the executing worker may be *helping* from inside a blocked `join` —
+    /// unwinding through that frame would destroy a `StackJob` a thief is still running
+    /// (use-after-free) — and an unwind through `worker_loop` would silently kill the
+    /// worker thread. A panicking `install` closure still surfaces at the caller: its
+    /// channel sender is dropped without sending, so the caller's `recv` fails. A
+    /// panicking fire-and-forget `spawn` closure is dropped with the job, like a detached
+    /// thread's. (Stack jobs do their own capturing and re-throw the payload at the
+    /// owning `join`.)
+    pub(crate) fn execute(self) {
+        match self {
+            Job::Heap(f) => {
+                let _ = panic::catch_unwind(AssertUnwindSafe(f));
+            }
+            // Safety: a queued JobRef's StackJob is kept alive by its `join` frame until
+            // the latch is set, which only `execute` does (after running the closure).
+            Job::Stack(r) => unsafe { r.execute() },
+        }
+    }
+
+    /// Whether this job is the given stack job (pointer identity) — the `join` fast path's
+    /// "did I just pop my own right branch?" test.
+    pub(crate) fn is_ref(&self, r: &JobRef) -> bool {
+        match self {
+            Job::Heap(_) => false,
+            Job::Stack(mine) => std::ptr::eq(mine.data, r.data),
+        }
+    }
+}
+
+/// A type-erased pointer to a [`StackJob`] plus its execute function: the two-word queue
+/// entry of the allocation-free fork path. `Copy` so the owner can keep an identity witness
+/// while the queue holds the working copy (only one of the two is ever executed).
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef only travels from the owner's push to exactly one executor (owner or
+// thief), and the StackJob it points to is Sync for exactly that transfer (the closure and
+// result are `Send`).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the referenced stack job.
+    ///
+    /// # Safety
+    /// The referenced [`StackJob`] must still be alive, and this must be the job's only
+    /// executor (guaranteed by the deque's exactly-once pop/steal discipline).
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// A set-once completion flag with release/acquire ordering, used by the owner of a `join`
+/// to wait for a stolen branch. Setting the latch also wakes parked workers through the
+/// pool's [`Sleep`] so a sleeping owner learns of the completion promptly.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    sleep: *const Sleep,
+}
+
+impl Latch {
+    fn new(sleep: &Sleep) -> Self {
+        Latch { done: AtomicBool::new(false), sleep }
+    }
+
+    /// Whether the latch has been set (acquire: a true result also acquires the setter's
+    /// writes, in particular the stolen branch's result).
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Set the latch and wake sleepers.
+    ///
+    /// # Safety
+    /// The `Sleep` this latch points into must still be alive — true whenever a worker of
+    /// the pool executes the job, since workers hold the pool's `Shared` alive.
+    unsafe fn set(&self) {
+        let sleep = self.sleep;
+        self.done.store(true, Ordering::Release);
+        // After the store above the owner may already have returned from `join` and
+        // destroyed this latch, so `self` must not be touched again; the raw pointer into
+        // the long-lived Shared is what keeps the wakeup safe. Broadcast (rather than
+        // notify-one) because the parked waiter that cares about this latch may not be
+        // the sleeper a single notify would pick; completions are rare enough not to
+        // matter.
+        if (*sleep).sleepers() > 0 {
+            (*sleep).notify_all_now();
+        }
+    }
+}
+
+/// The right branch of a `join`, allocated in the caller's stack frame.
+///
+/// Lifecycle: the owner creates it, pushes its [`JobRef`], runs the left branch, and then
+/// either pops it back (fast path: takes the closure out and runs it inline — no atomics
+/// beyond the deque's own) or, if a thief took it, waits on the latch and reads the result.
+pub(crate) struct StackJob<F, R> {
+    latch: Latch,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JoinResult<R>>,
+}
+
+/// Outcome of the stolen branch, written by the executor before the latch is set.
+pub(crate) enum JoinResult<R> {
+    /// Not executed yet.
+    Pending,
+    /// The branch returned a value.
+    Ok(R),
+    /// The branch panicked; the payload is rethrown on the owner's thread.
+    Panic(Box<dyn Any + Send>),
+}
+
+// Safety: the only cross-thread access pattern is one executor writing `func`/`result`
+// before the latch release-store, and the owner reading after the latch acquire-load.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, sleep: &Sleep) -> Self {
+        StackJob {
+            latch: Latch::new(sleep),
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JoinResult::Pending),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    /// The queue entry pointing at this job.
+    ///
+    /// # Safety
+    /// The caller must keep `self` alive until the ref is either executed (latch set) or
+    /// reclaimed by popping it back off the deque — `join` guarantees this by not returning
+    /// until one of the two has happened.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { data: self as *const Self as *const (), execute_fn: Self::execute_from_ref }
+    }
+
+    unsafe fn execute_from_ref(data: *const ()) {
+        let this = &*(data as *const Self);
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JoinResult::Ok(r),
+            Err(payload) => JoinResult::Panic(payload),
+        };
+        *this.result.get() = result;
+        this.latch.set();
+    }
+
+    /// Fast path: the owner popped its own ref back — run the closure inline and return the
+    /// value directly (panics propagate normally; the job is exclusively ours again).
+    ///
+    /// # Safety
+    /// Must only be called after reclaiming the job's ref from the deque.
+    pub(crate) unsafe fn run_inline(self) -> R {
+        let func = self.func.into_inner().expect("reclaimed stack job must hold its closure");
+        func()
+    }
+
+    /// Drop the unexecuted closure (owner reclaimed the ref while unwinding from a panic in
+    /// the left branch).
+    ///
+    /// # Safety
+    /// Must only be called after reclaiming the job's ref from the deque.
+    pub(crate) unsafe fn abandon(self) {
+        drop(self.func.into_inner());
+    }
+
+    /// Take the stolen branch's outcome. Only valid once the latch has been probed `true`.
+    pub(crate) fn into_result(self) -> JoinResult<R> {
+        debug_assert!(self.latch.probe(), "result taken before the latch was set");
+        self.result.into_inner()
+    }
+}

@@ -1,31 +1,46 @@
 //! # rws-runtime
 //!
 //! A small native randomized work-stealing thread pool, used to demonstrate on real hardware
-//! the phenomenon the paper models: false sharing between concurrently executing stolen
-//! tasks. It follows the paper's scheduling discipline — per-worker deques with bottom
-//! push/pop, steals from the top of a uniformly random victim — and exposes per-worker steal
-//! counters so experiments can relate measured slowdowns to steal counts.
+//! the phenomena the paper models. It follows the paper's scheduling discipline — per-worker
+//! deques with bottom push/pop, steals from the top of a uniformly random victim — and
+//! exposes per-worker steal counters so experiments can relate measured slowdowns to steal
+//! counts.
 //!
-//! Two deque backends are provided:
+//! The fork/steal hot path is engineered to cost what the model charges it and nothing more:
 //!
-//! * [`deque::SimpleDeque`] — our own mutex-protected double-ended queue (the semantics of a
-//!   Chase–Lev deque without the lock-free implementation), and
-//! * the `crossbeam-deque` work-stealing deque as the baseline implementation (the
-//!   production-quality lock-free deque this crate would otherwise have to re-implement).
+//! * **Lock-free deques** — the default backend is a real Chase–Lev deque (the vendored
+//!   `crossbeam-deque`): atomic top/bottom indices, CAS-arbitrated steals with
+//!   `Steal::Retry` on lost races, a growable ring buffer, and no locks anywhere.
+//! * **Allocation-free `join`** — the right branch of a [`join`] is a *stack job* in the
+//!   caller's frame, queued by reference; the unstolen fast path performs zero heap
+//!   allocations and takes no lock (asserted by a counting-allocator test), touching only
+//!   the deque's indices and this worker's own padded counters.
+//! * **Parked idle workers** — a worker that finds no work spins briefly and then parks on
+//!   the pool's sleep protocol; an idle pool burns no CPU, and a fork wakes sleepers with a
+//!   single relaxed load on the producer side.
+//!
+//! [`deque::SimpleDeque`] — a mutex-protected deque with identical owner/thief semantics —
+//! is kept as the contrast backend ([`DequeBackend::Simple`]) that the `BENCH_native.json`
+//! benchmarks compare the lock-free implementation against.
 //!
 //! The [`padding`] module provides the cache-line padding wrappers used by the false-sharing
 //! experiments (E19): identical workloads run once with per-worker accumulators packed into a
 //! single cache line (false sharing) and once with each accumulator padded to its own line.
 
+// Unsafe is confined to the stack-job handoff in `job` (and its use in `pool`): the
+// invariants are documented at each site and covered by the stress, correctness, and
+// counting-allocator tests.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod deque;
+mod job;
 pub mod padding;
 pub mod pool;
+mod sleep;
 pub mod stats;
 
 pub use deque::{DequeBackend, SimpleDeque};
-pub use padding::{CacheAligned, PaddedCounters, UnpaddedCounters};
+pub use padding::{CacheAligned, CachePadded, PaddedCounters, UnpaddedCounters};
 pub use pool::{join, ThreadPool, ThreadPoolBuilder};
 pub use stats::PoolStats;

@@ -8,15 +8,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A value padded and aligned to a 64-byte cache line.
+/// A value padded and aligned to a 64-byte cache line (the crossbeam-utils `CachePadded`
+/// idiom).
 #[derive(Debug, Default)]
 #[repr(align(64))]
-pub struct CacheAligned<T>(pub T);
+pub struct CachePadded<T>(pub T);
 
-impl<T> CacheAligned<T> {
+impl<T> CachePadded<T> {
     /// Wrap a value.
     pub fn new(value: T) -> Self {
-        CacheAligned(value)
+        CachePadded(value)
     }
 
     /// Access the wrapped value.
@@ -24,6 +25,9 @@ impl<T> CacheAligned<T> {
         &self.0
     }
 }
+
+/// Former name of [`CachePadded`], kept so downstream code keeps compiling.
+pub type CacheAligned<T> = CachePadded<T>;
 
 /// A set of per-worker counters deliberately packed into as few cache lines as possible —
 /// concurrent increments from different workers falsely share lines.
@@ -35,7 +39,7 @@ pub struct UnpaddedCounters {
 /// A set of per-worker counters, each padded to its own cache line — no false sharing.
 #[derive(Debug)]
 pub struct PaddedCounters {
-    counters: Vec<CacheAligned<AtomicU64>>,
+    counters: Vec<CachePadded<AtomicU64>>,
 }
 
 /// Common interface over the two counter layouts.
@@ -59,7 +63,7 @@ impl PaddedCounters {
     /// Create counters for `workers` workers.
     pub fn new(workers: usize) -> Self {
         PaddedCounters {
-            counters: (0..workers).map(|_| CacheAligned::new(AtomicU64::new(0))).collect(),
+            counters: (0..workers).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
         }
     }
 }

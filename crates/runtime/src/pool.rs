@@ -3,22 +3,35 @@
 //! Workers follow the paper's discipline: each has a private deque; new tasks go to the
 //! bottom; an idle worker first drains the global injector, then repeatedly picks a victim
 //! uniformly at random and steals from the *top* of its deque. [`join`] implements fork-join
-//! on top of this: the right branch is pushed as a stealable job, the left branch runs
-//! inline, and if the right branch was stolen the worker helps execute other jobs until the
-//! thief finishes (so a blocked join never idles a core).
+//! on top of this with an **allocation-free fast path**: the right branch is a
+//! [`StackJob`](crate::job) in the caller's own stack frame, pushed into the deque as a
+//! two-word reference. When nobody steals it the owner pops it straight back and runs it
+//! inline — no `Box`, no `Arc`, no lock, no latch traffic. Only when a thief takes the
+//! branch does the owner wait on the job's atomic latch, helping execute other jobs in the
+//! meantime (a blocked join never idles a core) and parking via the pool's
+//! [`Sleep`](crate::sleep) protocol when there is nothing to help with.
+
+// The unsafe here is confined to the stack-job handoff (see `job.rs` for the invariants);
+// everything else in the pool is safe code over the lock-free deques.
+#![allow(unsafe_code)]
 
 use crate::deque::{DequeBackend, SimpleDeque};
+use crate::job::{Job, JoinResult, Latch, StackJob};
+use crate::sleep::Sleep;
 use crate::stats::PoolStats;
-use crossbeam_deque::{Injector, Stealer, Worker as CbWorker};
-use parking_lot::Mutex;
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as CbWorker};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// Rounds of spinning (with periodic yields) before an idle worker parks.
+const SPIN_ROUNDS: u32 = 64;
+/// Consecutive `Steal::Retry` results tolerated per victim before trying another.
+const STEAL_RETRIES: u32 = 4;
 
 struct Shared {
     injector: Injector<Job>,
@@ -26,8 +39,23 @@ struct Shared {
     simple_deques: Vec<Arc<SimpleDeque<Job>>>,
     backend: DequeBackend,
     stats: PoolStats,
+    sleep: Sleep,
     shutdown: AtomicBool,
     workers: usize,
+}
+
+impl Shared {
+    /// Whether any queue visibly holds work (the pre-park check; racy by design — a missed
+    /// observation is covered by the sleep protocol's backstop).
+    fn has_visible_work(&self) -> bool {
+        if !self.injector.is_empty() {
+            return true;
+        }
+        match self.backend {
+            DequeBackend::Crossbeam => self.cb_stealers.iter().any(|s| !s.is_empty()),
+            DequeBackend::Simple => self.simple_deques.iter().any(|d| !d.is_empty()),
+        }
+    }
 }
 
 struct WorkerHandle {
@@ -50,6 +78,8 @@ impl WorkerHandle {
                 self.simple_local.as_ref().expect("simple deque").push_bottom(job)
             }
         }
+        // One relaxed load when the pool is busy; a real wakeup only if somebody parked.
+        self.shared.sleep.notify();
     }
 
     fn pop_local(&self) -> Option<Job> {
@@ -59,20 +89,29 @@ impl WorkerHandle {
         }
     }
 
-    fn steal_from(&self, victim: usize) -> Option<Job> {
+    fn steal_from(&self, victim: usize) -> Steal<Job> {
         match self.shared.backend {
-            DequeBackend::Crossbeam => self.shared.cb_stealers[victim].steal().success(),
-            DequeBackend::Simple => self.shared.simple_deques[victim].steal_top(),
+            DequeBackend::Crossbeam => self.shared.cb_stealers[victim].steal(),
+            DequeBackend::Simple => match self.shared.simple_deques[victim].steal_top() {
+                Some(job) => Steal::Success(job),
+                None => Steal::Empty,
+            },
         }
     }
 
     /// Find one job: local deque first, then the injector, then a bounded number of random
-    /// steal attempts.
-    fn find_job(&self) -> Option<Job> {
+    /// steal attempts (with a short per-victim retry budget for lost CAS races).
+    ///
+    /// `record_failures` gates the failed-steal/retry accounting: the first sweep of an
+    /// activity burst records (that is the paper's "active processor probed and missed"),
+    /// while the subsequent spin rounds and the 1ms park-backstop rechecks do not — an
+    /// idle pool would otherwise inflate `failed_steals` by thousands per second of pure
+    /// parking noise.
+    fn find_job(&self, record_failures: bool) -> Option<Job> {
         if let Some(job) = self.pop_local() {
             return Some(job);
         }
-        if let crossbeam_deque::Steal::Success(job) = self.shared.injector.steal() {
+        if let Steal::Success(job) = self.shared.injector.steal() {
             return Some(job);
         }
         let workers = self.shared.workers;
@@ -87,9 +126,30 @@ impl WorkerHandle {
                         v
                     }
                 };
-                if let Some(job) = self.steal_from(victim) {
-                    self.shared.stats.record_steal(self.index);
-                    return Some(job);
+                let mut retries = 0;
+                loop {
+                    match self.steal_from(victim) {
+                        Steal::Success(job) => {
+                            self.shared.stats.record_steal(self.index);
+                            return Some(job);
+                        }
+                        Steal::Empty => {
+                            if record_failures {
+                                self.shared.stats.record_failed_steal(self.index);
+                            }
+                            break;
+                        }
+                        Steal::Retry => {
+                            if record_failures {
+                                self.shared.stats.record_retry(self.index);
+                            }
+                            retries += 1;
+                            if retries >= STEAL_RETRIES {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
                 }
             }
         }
@@ -98,22 +158,62 @@ impl WorkerHandle {
 
     fn run_job(&self, job: Job) {
         self.shared.stats.record_job(self.index);
-        job();
+        job.execute();
+    }
+
+    /// One step of the spin-then-park idle protocol: advance the spin counter, yielding
+    /// every 16th round, and park once the spin budget is spent. `ready` is the wake
+    /// condition re-checked before actually sleeping (see [`Sleep::sleep_unless`]). After a
+    /// meaningful wake (notification / work visible) the caller's next find sweep starts a
+    /// fresh activity burst (`idle == 0`); after a backstop timeout the spin budget stays
+    /// spent, so the worker makes one quiet rescan and goes right back to sleep.
+    fn idle_step(&self, idle: &mut u32, ready: impl FnMut() -> bool) {
+        *idle += 1;
+        if *idle <= SPIN_ROUNDS {
+            if idle.is_multiple_of(16) {
+                thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        } else {
+            self.shared.stats.record_park(self.index);
+            let notified = self.shared.sleep.sleep_unless(ready);
+            *idle = if notified { 0 } else { SPIN_ROUNDS };
+        }
+    }
+
+    /// Help-then-park until `latch` is set: run any job we can find; with nothing to do,
+    /// spin briefly, then park (woken by new pushes or the latch completion itself).
+    fn wait_for_latch(&self, latch: &Latch) {
+        let mut idle = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_job(idle == 0) {
+                idle = 0;
+                self.run_job(job);
+                continue;
+            }
+            let shared = &self.shared;
+            self.idle_step(&mut idle, || latch.probe() || shared.has_visible_work());
+        }
     }
 }
 
 fn worker_loop(handle: Rc<WorkerHandle>) {
     CURRENT_WORKER.with(|w| *w.borrow_mut() = Some(Rc::clone(&handle)));
+    let mut idle = 0u32;
     loop {
-        match handle.find_job() {
-            Some(job) => handle.run_job(job),
-            None => {
-                if handle.shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                thread::yield_now();
-            }
+        if let Some(job) = handle.find_job(idle == 0) {
+            idle = 0;
+            handle.run_job(job);
+            continue;
         }
+        if handle.shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let shared = &handle.shared;
+        handle.idle_step(&mut idle, || {
+            shared.shutdown.load(Ordering::Acquire) || shared.has_visible_work()
+        });
     }
     CURRENT_WORKER.with(|w| *w.borrow_mut() = None);
 }
@@ -166,7 +266,7 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// A pool with one worker per available core and the crossbeam deque backend.
+    /// A pool with `threads` workers and the lock-free Chase–Lev deque backend.
     pub fn new(threads: usize) -> Self {
         Self::with_config(threads, DequeBackend::Crossbeam)
     }
@@ -183,6 +283,7 @@ impl ThreadPool {
             simple_deques: simple_deques.clone(),
             backend,
             stats: PoolStats::new(threads),
+            sleep: Sleep::new(),
             shutdown: AtomicBool::new(false),
             workers: threads,
         });
@@ -216,23 +317,40 @@ impl ThreadPool {
         self.shared.workers
     }
 
-    /// Pool statistics (steals, jobs).
+    /// Pool statistics (steals, jobs, retries, parks).
     pub fn stats(&self) -> &PoolStats {
         &self.shared.stats
     }
 
+    /// Number of workers currently parked (an instantaneous, racy reading — useful for
+    /// verifying that an idle pool actually sleeps instead of spinning).
+    pub fn parked_workers(&self) -> usize {
+        self.shared.sleep.sleepers()
+    }
+
     /// Submit a fire-and-forget job.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
-        self.shared.injector.push(Box::new(job));
+        self.shared.injector.push(Job::Heap(Box::new(job)));
+        self.shared.sleep.notify();
     }
 
     /// Run `f` on a worker thread and block until it returns. Calls to [`join`] inside `f`
     /// use the pool's work-stealing deques.
+    ///
+    /// When called from inside one of this pool's own workers, `f` runs inline — queuing it
+    /// and blocking on the result would deadlock a single-worker pool (the blocked worker is
+    /// the only one that could run the job) and waste a worker on any pool.
     pub fn install<R, F>(&self, f: F) -> R
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
+        let on_this_pool = CURRENT_WORKER.with(|w| {
+            w.borrow().as_ref().is_some_and(|h| Arc::ptr_eq(&h.shared, &self.shared))
+        });
+        if on_this_pool {
+            return f();
+        }
         let (tx, rx) = mpsc::channel();
         self.spawn(move || {
             let _ = tx.send(f());
@@ -244,29 +362,29 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.sleep.notify_all_now();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-struct JoinSlot<B, RB> {
-    taken: AtomicBool,
-    done: AtomicBool,
-    func: Mutex<Option<B>>,
-    result: Mutex<Option<RB>>,
-}
-
 /// Fork-join: run `a` and `b`, potentially in parallel, returning both results.
 ///
 /// Must be called from inside a pool worker (e.g. within [`ThreadPool::install`]); when
 /// called from an ordinary thread the two closures simply run sequentially.
+///
+/// The fast path is allocation-free: the right branch lives in this stack frame and is
+/// queued by reference; if no thief takes it, the owner pops it straight back and runs it
+/// inline. If a branch panics, the panic is rethrown on the caller's thread *after* both
+/// branches have been resolved (so no stack job is ever left dangling); when both panic,
+/// the left branch's payload wins.
 pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
 where
-    RA: Send + 'static,
-    RB: Send + 'static,
-    A: FnOnce() -> RA + Send + 'static,
-    B: FnOnce() -> RB + Send + 'static,
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
 {
     let worker = CURRENT_WORKER.with(|w| w.borrow().clone());
     let worker = match worker {
@@ -278,51 +396,75 @@ where
             return (ra, rb);
         }
     };
+    join_on_worker(&worker, a, b)
+}
 
-    // The right branch is shared between the queued job and this worker: whoever wins the
-    // `taken` flag takes the closure out of the slot and runs it exactly once.
-    let slot = Arc::new(JoinSlot::<B, RB> {
-        taken: AtomicBool::new(false),
-        done: AtomicBool::new(false),
-        func: Mutex::new(Some(b)),
-        result: Mutex::new(None),
-    });
-    let slot_for_job = Arc::clone(&slot);
-    let job: Job = Box::new(move || {
-        if slot_for_job
-            .taken
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
-            let func = slot_for_job.func.lock().take().expect("join closure present");
-            let r = func();
-            *slot_for_job.result.lock() = Some(r);
-            slot_for_job.done.store(true, Ordering::Release);
-        }
-    });
-    worker.push_local(job);
+fn join_on_worker<RA, RB, A, B>(worker: &WorkerHandle, a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    // The right branch lives in this frame; the queue holds only a reference to it. We must
+    // not leave this function until the reference is out of the queue (reclaimed below) or
+    // executed (latch set) — both paths below guarantee that before returning or unwinding.
+    let job_b = StackJob::new(b, &worker.shared.sleep);
+    let job_ref = unsafe { job_b.as_job_ref() };
+    worker.push_local(Job::Stack(job_ref));
 
-    let ra = a();
+    // Run the left branch, capturing a panic so an unwind cannot tear down this frame while
+    // `job_b`'s reference is still out there.
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
 
-    // Try to run `b` ourselves; if a thief already took it, help run other jobs until the
-    // thief finishes (a blocked join never idles the core).
-    if slot.taken.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok() {
-        // The queued job may still be popped later, but its closure will see `taken == true`
-        // and return immediately, so `b` runs exactly once.
-        let func = slot.func.lock().take().expect("join closure present");
-        let rb = func();
-        return (ra, rb);
-    }
-    loop {
-        if slot.done.load(Ordering::Acquire) {
-            break;
+    // Resolve the right branch.
+    let result_b: JoinResult<RB> = loop {
+        if job_b.latch().probe() {
+            // A thief ran it to completion already.
+            break job_b.into_result();
         }
-        match worker.find_job() {
-            Some(job) => worker.run_job(job),
-            None => thread::yield_now(),
+        match worker.pop_local() {
+            Some(job) if job.is_ref(&job_ref) => {
+                // Fast path: nobody stole it — the job is exclusively ours again. `job` is
+                // just the two-word reference; dropping it here is inert.
+                match result_a {
+                    Ok(ra) => {
+                        // Still a unit of fork-join work: count it (one relaxed add on this
+                        // worker's own padded line) so job counts mean "branches executed"
+                        // regardless of whether the branch was stolen.
+                        worker.shared.stats.record_job(worker.index);
+                        let rb = unsafe { job_b.run_inline() };
+                        return (ra, rb);
+                    }
+                    Err(payload) => {
+                        // The left branch panicked; skip the unexecuted right branch.
+                        unsafe { job_b.abandon() };
+                        panic::resume_unwind(payload);
+                    }
+                }
+            }
+            Some(job) => {
+                // With strictly nested joins the top of our deque is always our own ref (or
+                // empty); tolerate foreign jobs anyway by just running them.
+                worker.run_job(job);
+            }
+            None => {
+                // Stolen and in flight: help run other work until the thief finishes.
+                worker.wait_for_latch(job_b.latch());
+                break job_b.into_result();
+            }
         }
-    }
-    let rb = slot.result.lock().take().expect("join result must be present after completion");
+    };
+
+    let ra = match result_a {
+        Ok(ra) => ra,
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    let rb = match result_b {
+        JoinResult::Ok(rb) => rb,
+        JoinResult::Panic(payload) => panic::resume_unwind(payload),
+        JoinResult::Pending => unreachable!("latch set without a result"),
+    };
     (ra, rb)
 }
 
@@ -330,6 +472,7 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
 
     fn parallel_sum(pool_threads: usize, backend: DequeBackend, n: u64) -> u64 {
         let pool = ThreadPoolBuilder::new().threads(pool_threads).backend(backend).build();
@@ -371,6 +514,25 @@ mod tests {
     }
 
     #[test]
+    fn join_borrows_caller_data_without_static_bounds() {
+        // The stack-job design admits rayon-style borrowing closures.
+        let pool = ThreadPool::new(2);
+        let data: Vec<u64> = (0..10_000).collect();
+        let total = pool.install(move || {
+            fn sum(slice: &[u64]) -> u64 {
+                if slice.len() <= 256 {
+                    return slice.iter().sum();
+                }
+                let (l, r) = slice.split_at(slice.len() / 2);
+                let (a, b) = join(|| sum(l), || sum(r));
+                a + b
+            }
+            sum(&data)
+        });
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
     fn spawn_runs_jobs() {
         let pool = ThreadPool::new(2);
         let counter = Arc::new(AtomicU64::new(0));
@@ -396,5 +558,95 @@ mod tests {
         let total = pool.install(move || recursive_sum(0, n));
         assert_eq!(total, n * (n - 1) / 2);
         assert!(pool.stats().total_jobs() > 0);
+    }
+
+    #[test]
+    fn nested_install_on_the_same_pool_runs_inline_instead_of_deadlocking() {
+        // Regression test: install-from-a-worker used to queue the job and block that worker
+        // on the result — on a 1-thread pool the only worker that could run it.
+        let pool = Arc::new(ThreadPool::new(1));
+        let inner = Arc::clone(&pool);
+        let out = pool.install(move || inner.install(|| 40) + 2);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn install_from_another_pools_worker_still_works() {
+        let a = Arc::new(ThreadPool::new(1));
+        let b = Arc::new(ThreadPool::new(1));
+        let b2 = Arc::clone(&b);
+        let out = a.install(move || b2.install(|| 7) * 6);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn idle_workers_park_instead_of_spinning() {
+        let pool = ThreadPool::new(3);
+        // Give the freshly started workers time to run out of work and park.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.parked_workers() < 3 {
+            assert!(Instant::now() < deadline, "idle workers never parked");
+            thread::sleep(Duration::from_millis(5));
+        }
+        // And parked workers still wake up for new work.
+        assert_eq!(pool.install(|| 21 * 2), 42);
+    }
+
+    #[test]
+    fn panic_in_left_branch_propagates_after_right_resolves() {
+        let pool = ThreadPool::new(2);
+        let ran_b = Arc::new(AtomicU64::new(0));
+        let ran_b2 = Arc::clone(&ran_b);
+        let result = pool.install(move || {
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                join(
+                    || panic!("left goes down"),
+                    move || {
+                        ran_b2.fetch_add(1, Ordering::Relaxed);
+                    },
+                )
+            }))
+            .is_err()
+        });
+        assert!(result, "the panic must surface on the joining thread");
+        // Whether b ran (stolen) or was abandoned (reclaimed) is timing-dependent; the pool
+        // must simply survive and stay usable.
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn panicking_spawned_job_does_not_kill_workers() {
+        // Regression test: Job::execute must not let a heap job's panic unwind the worker
+        // (or a join frame the worker is helping from — that would be a use-after-free of
+        // the frame's StackJob).
+        let pool = ThreadPool::new(1);
+        for _ in 0..5 {
+            pool.spawn(|| panic!("fire-and-forget failure"));
+        }
+        // The single worker must survive all five panics and still serve installs.
+        assert_eq!(pool.install(|| 6 * 7), 42);
+    }
+
+    #[test]
+    fn panicking_install_surfaces_at_the_caller() {
+        let pool = ThreadPool::new(2);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| -> u64 { panic!("installed closure fails") })
+        }));
+        assert!(outcome.is_err(), "the caller must observe the panic");
+        assert_eq!(pool.install(|| 5), 5, "the pool stays usable afterwards");
+    }
+
+    #[test]
+    fn panic_in_right_branch_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = pool.install(|| {
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                join(|| 1 + 1, || -> u64 { panic!("right goes down") })
+            }))
+            .is_err()
+        });
+        assert!(result);
+        assert_eq!(pool.install(|| 5), 5);
     }
 }

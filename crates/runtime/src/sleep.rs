@@ -1,0 +1,160 @@
+//! The pool's spin-then-park idle protocol.
+//!
+//! An idle worker used to `thread::yield_now()` forever, burning a full core per idle
+//! worker. Now it spins a bounded number of rounds (work usually arrives within
+//! microseconds under recursive fork-join) and then **parks** on a condvar guarded by an
+//! event counter. The other half of the contract is deliberately asymmetric, because
+//! producers are the hot path:
+//!
+//! * A producer (deque push, injector push, latch completion) does a single `Relaxed` load
+//!   of the sleeper count; only if somebody is actually parked does it take the lock, bump
+//!   the event counter and notify — so while the pool is busy, waking costs one untaken
+//!   branch per fork.
+//! * A would-be sleeper first registers in `sleepers` (`SeqCst`), re-reads the event
+//!   counter, runs its final work check, and only then waits — a producer that published
+//!   work *after* the final check necessarily saw `sleepers > 0` and bumps the counter,
+//!   which the waiter observes.
+//!
+//! One theoretical hole remains: the producer's relaxed sleeper-count load can race the
+//! sleeper's registration (classic StoreLoad reordering — the producer's push may still sit
+//! in its store buffer when the sleeper makes its final check). Closing it on the producer
+//! side would cost a full `SeqCst` fence on **every fork**, which is exactly the overhead
+//! this module exists to avoid; instead every park uses a short `wait_timeout`, so the
+//! worst case for that vanishingly rare interleaving is one extra millisecond of latency,
+//! never a lost wakeup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a parked worker waits before re-checking for work on its own (the backstop for
+/// the producer-side relaxed load; see the module docs).
+const PARK_BACKSTOP: Duration = Duration::from_millis(1);
+
+/// Shared sleep state: an event counter under a mutex, a condvar, and the sleeper count
+/// producers check.
+#[derive(Debug, Default)]
+pub(crate) struct Sleep {
+    /// Number of workers registered as (about to be) parked. Producers skip all locking
+    /// while this is zero.
+    sleepers: AtomicUsize,
+    /// Bumped on every notification; a sleeper only waits while the counter holds the value
+    /// it read before its final work check.
+    event: Mutex<u64>,
+    condvar: Condvar,
+}
+
+impl Sleep {
+    pub(crate) fn new() -> Self {
+        Sleep::default()
+    }
+
+    /// Number of currently parked (or registering) workers. Test/diagnostic use.
+    pub(crate) fn sleepers(&self) -> usize {
+        self.sleepers.load(Ordering::Acquire)
+    }
+
+    /// Hot-path wakeup for one newly published job: no-op unless somebody is parked, and
+    /// then wakes a **single** sleeper — one job needs one thief, and waking the whole
+    /// pool per fork would turn a deep serial recursion (everyone else parked) into a
+    /// thundering herd. Any remaining sleepers are covered by later notifies and the
+    /// backstop timeout.
+    #[inline]
+    pub(crate) fn notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let mut event = self.event.lock().unwrap_or_else(|e| e.into_inner());
+            *event = event.wrapping_add(1);
+            drop(event);
+            self.condvar.notify_one();
+        }
+    }
+
+    /// Unconditional broadcast wakeup (shutdown, and latch completions — where the one
+    /// waiter that matters may not be the one `notify_one` would pick).
+    pub(crate) fn notify_all_now(&self) {
+        let mut event = self.event.lock().unwrap_or_else(|e| e.into_inner());
+        *event = event.wrapping_add(1);
+        drop(event);
+        self.condvar.notify_all();
+    }
+
+    /// Park the calling worker until notified (or the backstop timeout), unless `ready`
+    /// turns true in the final pre-sleep check. `ready` is re-evaluated once per wakeup.
+    ///
+    /// Returns `true` when the wakeup was meaningful — `ready` held before sleeping, or a
+    /// notification arrived — and `false` when only the backstop timer fired, so the
+    /// caller can treat a backstop recheck differently (one quiet rescan, no spin burst,
+    /// no steal-failure accounting).
+    ///
+    /// Locking the event mutex here synchronizes with producers' counter bumps, so work
+    /// published before a bump we observe is visible to `ready`.
+    pub(crate) fn sleep_unless(&self, mut ready: impl FnMut() -> bool) -> bool {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let observed = *self.event.lock().unwrap_or_else(|e| e.into_inner());
+        let mut notified = true;
+        if !ready() {
+            let mut event = self.event.lock().unwrap_or_else(|e| e.into_inner());
+            while *event == observed {
+                let (guard, timeout) = self
+                    .condvar
+                    .wait_timeout(event, PARK_BACKSTOP)
+                    .unwrap_or_else(|e| e.into_inner());
+                event = guard;
+                if timeout.timed_out() {
+                    notified = false;
+                    break;
+                }
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        notified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn notify_wakes_a_sleeper() {
+        let sleep = Arc::new(Sleep::new());
+        let woke = Arc::new(AtomicBool::new(false));
+        let s = Arc::clone(&sleep);
+        let w = Arc::clone(&woke);
+        let h = thread::spawn(move || {
+            // Sleep until the flag is set; each backstop wakeup re-checks.
+            while !w.load(Ordering::Acquire) {
+                s.sleep_unless(|| w.load(Ordering::Acquire));
+            }
+        });
+        // Wait until the worker registers, then publish + notify.
+        while sleep.sleepers() == 0 {
+            thread::yield_now();
+        }
+        woke.store(true, Ordering::Release);
+        sleep.notify();
+        h.join().unwrap();
+        assert_eq!(sleep.sleepers(), 0);
+    }
+
+    #[test]
+    fn ready_check_short_circuits_the_park() {
+        let sleep = Sleep::new();
+        // ready() is true immediately: must return without any notification.
+        sleep.sleep_unless(|| true);
+        assert_eq!(sleep.sleepers(), 0);
+    }
+
+    #[test]
+    fn notify_without_sleepers_is_cheap_and_harmless() {
+        let sleep = Sleep::new();
+        for _ in 0..1000 {
+            sleep.notify();
+        }
+        // And an unconditional notify with nobody parked is fine too.
+        sleep.notify_all_now();
+    }
+}

@@ -1,53 +1,106 @@
-//! Pool statistics: per-worker steal and job counters (padded to avoid perturbing the very
-//! phenomenon the experiments measure).
+//! Pool statistics: per-worker counters, one cache line per worker.
+//!
+//! Each worker's counters live together in a single [`CachePadded`] struct so that (a)
+//! recording from different workers never false-shares — the very effect the paper analyzes
+//! would otherwise be injected by the measurement itself — and (b) one worker's related
+//! counters share a line, so recording a steal and a job costs one line, not two.
 
-use crate::padding::CacheAligned;
+use crate::padding::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One worker's counters, padded to a cache line.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    steals: AtomicU64,
+    jobs: AtomicU64,
+    failed_steals: AtomicU64,
+    steal_retries: AtomicU64,
+    parks: AtomicU64,
+}
 
 /// Counters collected by the thread pool.
 #[derive(Debug)]
 pub struct PoolStats {
-    steals: Vec<CacheAligned<AtomicU64>>,
-    jobs: Vec<CacheAligned<AtomicU64>>,
+    workers: Vec<CachePadded<WorkerCounters>>,
 }
 
 impl PoolStats {
     /// Zeroed statistics for `workers` workers.
     pub fn new(workers: usize) -> Self {
-        PoolStats {
-            steals: (0..workers).map(|_| CacheAligned::new(AtomicU64::new(0))).collect(),
-            jobs: (0..workers).map(|_| CacheAligned::new(AtomicU64::new(0))).collect(),
-        }
+        PoolStats { workers: (0..workers).map(|_| CachePadded::default()).collect() }
     }
 
     /// Record a successful steal by worker `w`.
     pub fn record_steal(&self, w: usize) {
-        self.steals[w].0.fetch_add(1, Ordering::Relaxed);
+        self.workers[w].0.steals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a job executed by worker `w`.
     pub fn record_job(&self, w: usize) {
-        self.jobs[w].0.fetch_add(1, Ordering::Relaxed);
+        self.workers[w].0.jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a steal attempt by worker `w` that found the victim's deque empty.
+    pub fn record_failed_steal(&self, w: usize) {
+        self.workers[w].0.failed_steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a steal attempt by worker `w` that lost a CAS race (`Steal::Retry`).
+    pub fn record_retry(&self, w: usize) {
+        self.workers[w].0.steal_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record worker `w` parking after finding no work.
+    pub fn record_park(&self, w: usize) {
+        self.workers[w].0.parks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total successful steals.
     pub fn total_steals(&self) -> u64 {
-        self.steals.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+        self.workers.iter().map(|c| c.0.steals.load(Ordering::Relaxed)).sum()
     }
 
     /// Total jobs executed.
     pub fn total_jobs(&self) -> u64 {
-        self.jobs.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+        self.workers.iter().map(|c| c.0.jobs.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total fruitless steal attempts: empty-victim probes plus lost CAS races — the native
+    /// analogue of the simulator's `failed_steals` (every time a worker reached for work
+    /// and came back empty-handed).
+    pub fn total_failed_steals(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|c| {
+                c.0.failed_steals.load(Ordering::Relaxed)
+                    + c.0.steal_retries.load(Ordering::Relaxed)
+            })
+            .sum()
+    }
+
+    /// Total steal attempts that lost a CAS race.
+    pub fn total_retries(&self) -> u64 {
+        self.workers.iter().map(|c| c.0.steal_retries.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total times any worker parked.
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|c| c.0.parks.load(Ordering::Relaxed)).sum()
     }
 
     /// Steals performed by worker `w`.
     pub fn steals_of(&self, w: usize) -> u64 {
-        self.steals[w].0.load(Ordering::Relaxed)
+        self.workers[w].0.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs executed by worker `w`.
+    pub fn jobs_of(&self, w: usize) -> u64 {
+        self.workers[w].0.jobs.load(Ordering::Relaxed)
     }
 
     /// Number of workers the statistics cover.
     pub fn workers(&self) -> usize {
-        self.steals.len()
+        self.workers.len()
     }
 }
 
@@ -62,9 +115,23 @@ mod tests {
         s.record_steal(1);
         s.record_steal(1);
         s.record_job(0);
+        s.record_retry(1);
+        s.record_failed_steal(0);
+        s.record_failed_steal(1);
+        s.record_park(0);
         assert_eq!(s.total_steals(), 3);
         assert_eq!(s.steals_of(1), 2);
         assert_eq!(s.total_jobs(), 1);
+        assert_eq!(s.jobs_of(0), 1);
+        assert_eq!(s.total_retries(), 1);
+        assert_eq!(s.total_failed_steals(), 3, "empty probes plus CAS losses");
+        assert_eq!(s.total_parks(), 1);
         assert_eq!(s.workers(), 2);
+    }
+
+    #[test]
+    fn each_worker_occupies_its_own_cache_line() {
+        assert!(std::mem::size_of::<CachePadded<WorkerCounters>>() >= 64);
+        assert!(std::mem::align_of::<CachePadded<WorkerCounters>>() >= 64);
     }
 }

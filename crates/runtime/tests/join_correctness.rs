@@ -87,15 +87,63 @@ fn join_moves_owned_values_across_branches() {
 }
 
 #[test]
+fn stolen_branches_execute_exactly_once_under_contention() {
+    // Every join's right branch increments the counter once before recursing, so a complete
+    // binary recursion of depth d must add exactly 2^d - 1 — any double execution of a
+    // stolen stack job (or a lost one) breaks the count. Wide pools on few cores maximize
+    // preemption-driven interleavings; repeated runs vary the schedule.
+    fn count_tree(counter: &AtomicU64, depth: u32) {
+        if depth == 0 {
+            return;
+        }
+        join(
+            || count_tree(counter, depth - 1),
+            || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                count_tree(counter, depth - 1);
+            },
+        );
+    }
+    for backend in BACKENDS {
+        let p = pool(8, backend);
+        // On a starved host a small tree can occasionally complete on the installed worker
+        // before any thief is scheduled, so keep running rounds (each one exact-checked)
+        // until steals have demonstrably happened.
+        let mut rounds = 0;
+        while p.stats().total_steals() == 0 {
+            rounds += 1;
+            assert!(rounds <= 100, "{backend:?}: no steal in {rounds} rounds — not contending");
+            let depth = 13;
+            let count = p.install(move || {
+                let counter = AtomicU64::new(0);
+                count_tree(&counter, depth);
+                counter.load(Ordering::Relaxed)
+            });
+            assert_eq!(
+                count,
+                (1 << depth) - 1,
+                "{backend:?} round {rounds}: stolen right branches must run exactly once"
+            );
+        }
+    }
+}
+
+#[test]
 fn steals_occur_under_both_backends_when_work_is_wide() {
     for backend in BACKENDS {
         let p = pool(4, backend);
-        let n = 2_000_000u64;
-        assert_eq!(p.install(move || sum_tree(0, n, 256)), n * (n - 1) / 2);
-        assert!(p.stats().total_jobs() > 0, "{backend:?}: forked jobs must be recorded");
-        assert!(
-            p.stats().total_steals() > 0,
-            "{backend:?}: a wide 4-worker run must steal at least once"
-        );
+        // On a starved host (or with the allocation-free hot path in a release build) one
+        // run can finish on the installed worker before any thief is scheduled; repeat —
+        // with rounds long enough to outlast an OS scheduling quantum, so on a single CPU
+        // the running worker is eventually preempted while work is still queued — until a
+        // steal demonstrably happened.
+        let mut rounds = 0;
+        while p.stats().total_steals() == 0 {
+            rounds += 1;
+            assert!(rounds <= 50, "{backend:?}: a wide 4-worker run must steal at least once");
+            let n = 8_000_000u64;
+            assert_eq!(p.install(move || sum_tree(0, n, 64)), n * (n - 1) / 2);
+            assert!(p.stats().total_jobs() > 0, "{backend:?}: forked jobs must be recorded");
+        }
     }
 }

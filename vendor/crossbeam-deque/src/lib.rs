@@ -1,17 +1,31 @@
 //! Offline stand-in for `crossbeam-deque`, covering the surface this workspace uses:
-//! [`Worker`] (`new_lifo`, `push`, `pop`, `stealer`), [`Stealer`] (`steal`), [`Injector`]
-//! (`new`, `push`, `steal`) and the [`Steal`] result enum.
+//! [`Worker`] (`new_lifo`, `new_fifo`, `push`, `pop`, `stealer`), [`Stealer`] (`steal`),
+//! [`Injector`] (`new`, `push`, `steal`) and the [`Steal`] result enum.
 //!
-//! Semantics match the real crate's work-stealing discipline — the LIFO worker pushes and
-//! pops at one end while stealers take from the opposite end, so thieves always receive the
-//! **oldest** (largest, in recursive computations) task; the injector is a FIFO shared
-//! queue. The implementation is a mutex-protected `VecDeque` rather than a lock-free
-//! Chase–Lev deque: correct under the same API, slower under heavy contention, and entirely
-//! sufficient for a dependency-free build. `rws-runtime` treats this exactly as it treats
-//! its own `SimpleDeque`, and the pool's `DequeBackend` abstraction means a real crates.io
+//! [`Worker`]/[`Stealer`] are a real lock-free **Chase–Lev deque** (Chase & Lev, SPAA'05,
+//! with the C11 memory orderings of Lê et al., PPoPP'13): the owner pushes and pops at the
+//! bottom with plain loads plus one `SeqCst` fence on `pop`, thieves `CAS` the top index and
+//! report [`Steal::Retry`] when they lose a race, and the circular buffer grows geometrically
+//! without ever blocking stealers. Thieves always receive the **oldest** (largest, in
+//! recursive computations) task, exactly the work-stealing discipline the paper analyzes.
+//!
+//! Buffer reclamation does not require an epoch GC: only the owner replaces the buffer, and
+//! retired buffers are kept alive until the deque itself drops, so a stealer holding a stale
+//! buffer pointer can always complete its (failed) read. The retired buffers' total size is
+//! bounded by the final buffer's size, so this costs at most 2x the peak buffer memory.
+//!
+//! The [`Injector`] is the pool's *submission* queue — it sees one push per external
+//! `spawn`/`install`, never the per-fork traffic — so it remains a mutex-protected `VecDeque`
+//! off the hot path. `rws-runtime`'s `DequeBackend` abstraction means the real crates.io
 //! `crossbeam-deque` can be swapped back in without source changes.
 
+use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The result of a steal attempt.
@@ -43,103 +57,374 @@ impl<T> Steal<T> {
     pub fn is_success(&self) -> bool {
         matches!(self, Steal::Success(_))
     }
+
+    /// Whether the attempt lost a race and should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// Pads and aligns its contents to a cache line so the hot atomic indices of the deque do
+/// not false-share — the very effect this workspace's paper analyzes.
+#[repr(align(128))]
+struct Padded<T>(T);
+
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity ring of `MaybeUninit<T>` slots, indexed by the unbounded monotone
+/// `top`/`bottom` counters modulo the (power-of-two) capacity. Slots live in `UnsafeCell`s:
+/// the owner mutates them while stealers hold shared references to the same buffer, which
+/// without interior mutability would violate the aliasing rules (the racing reads stay
+/// sound because a stale read is confirmed by the `top` CAS before the value is used).
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> Box<Buffer<T>> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer { slots, mask: cap - 1 })
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, index: isize) -> *mut T {
+        self.slots[(index as usize) & self.mask].get() as *mut T
+    }
+
+    /// Write a value into the slot for `index`.
+    ///
+    /// # Safety
+    /// Only the owner calls this, and only for indices in the currently-unused window; the
+    /// volatile write keeps a racing stale stealer read from tearing under compiler
+    /// transformations (that stealer's CAS is guaranteed to fail, so the bits it read are
+    /// discarded, never interpreted).
+    unsafe fn write(&self, index: isize, value: T) {
+        ptr::write_volatile(self.slot(index), value)
+    }
+
+    /// Read the bits at `index` without consuming the slot.
+    ///
+    /// Returns `MaybeUninit` rather than `T`: a racing reader may observe a torn or
+    /// never-written slot, and materializing such bits as a typed `T` (with validity
+    /// invariants like non-null `Box` pointers) would be immediate UB even if the value
+    /// were never used. Callers `assume_init` only after their claim on the index is
+    /// confirmed — unique ownership for the owner, a successful `top` CAS for a thief.
+    unsafe fn read(&self, index: isize) -> MaybeUninit<T> {
+        ptr::read_volatile(self.slot(index) as *const MaybeUninit<T>)
+    }
+}
+
+struct Inner<T> {
+    /// Thieves' end: next index to steal. Monotonically increasing.
+    top: Padded<AtomicIsize>,
+    /// Owner's end: next index to push. `bottom - top` is the queue length.
+    bottom: Padded<AtomicIsize>,
+    /// The current ring buffer. Replaced (by the owner only) on growth.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers retired by growth, kept alive until drop so stale stealer reads stay valid.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    fn new() -> Self {
+        Inner {
+            top: Padded(AtomicIsize::new(0)),
+            bottom: Padded(AtomicIsize::new(0)),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::alloc(MIN_CAP))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn len_estimate(&self) -> isize {
+        let b = self.bottom.0.load(Ordering::Acquire);
+        let t = self.top.0.load(Ordering::Acquire);
+        b - t
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the remaining queued values, then free every buffer.
+        let buf = *self.buffer.get_mut();
+        let t = *self.top.0.get_mut();
+        let b = *self.bottom.0.get_mut();
+        unsafe {
+            for i in t..b {
+                // Exclusive access: the live window is fully initialized.
+                drop((*buf).read(i).assume_init());
+            }
+            drop(Box::from_raw(buf));
+            for old in self.retired.get_mut().unwrap_or_else(|e| e.into_inner()).drain(..) {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// Pop discipline of the owner end.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// Owner pops the most recently pushed task (depth-first execution).
+    Lifo,
+    /// Owner pops the oldest task (same end thieves take from).
+    Fifo,
+}
+
+/// The owner end of a lock-free Chase–Lev work-stealing deque.
+///
+/// `Worker` is `Send` but deliberately not `Sync`: all owner-end operations must come from
+/// one thread at a time (the worker thread that owns the deque).
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    flavor: Flavor,
+    /// Owner-side operations are single-threaded; `!Sync` is enforced via this marker.
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker").field("len", &self.inner.len_estimate()).finish()
+    }
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops the most recently pushed task (depth-first execution).
+    pub fn new_lifo() -> Self {
+        Worker { inner: Arc::new(Inner::new()), flavor: Flavor::Lifo, _not_sync: PhantomData }
+    }
+
+    /// A deque whose owner pops the oldest task.
+    pub fn new_fifo() -> Self {
+        Worker { inner: Arc::new(Inner::new()), flavor: Flavor::Fifo, _not_sync: PhantomData }
+    }
+
+    /// Push a task onto the owner end. Never blocks; grows the buffer when full.
+    pub fn push(&self, task: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.0.load(Ordering::Relaxed);
+        let t = inner.top.0.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buf).cap() as isize {
+                buf = self.grow(t, b, buf);
+            }
+            (*buf).write(b, task);
+        }
+        // Publish the slot before the new bottom becomes visible to stealers.
+        inner.bottom.0.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop a task from the owner end. Lock-free; at most one CAS (for the last element).
+    pub fn pop(&self) -> Option<T> {
+        match self.flavor {
+            Flavor::Lifo => self.pop_lifo(),
+            Flavor::Fifo => self.pop_fifo(),
+        }
+    }
+
+    fn pop_lifo(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.0.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        // Reserve the bottom slot, then synchronize with concurrent steals: the SeqCst
+        // fence orders our `bottom` store before our `top` load against the symmetric
+        // steal-side fence, so owner and thief cannot both take the last element.
+        inner.bottom.0.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.0.load(Ordering::Relaxed);
+
+        if t <= b {
+            unsafe {
+                let value = (*buf).read(b);
+                if t == b {
+                    // Single element left: race thieves for it via `top`.
+                    if inner
+                        .top
+                        .0
+                        .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        // A thief won; the bits we read are theirs, not ours (dropping a
+                        // MaybeUninit is inert).
+                        inner.bottom.0.store(b + 1, Ordering::Relaxed);
+                        return None;
+                    }
+                    inner.bottom.0.store(b + 1, Ordering::Relaxed);
+                }
+                // Claim confirmed (reserved bottom slot, or won the CAS): the slot was
+                // initialized by our own earlier push.
+                Some(value.assume_init())
+            }
+        } else {
+            // Empty: restore bottom.
+            inner.bottom.0.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn pop_fifo(&self) -> Option<T> {
+        // The owner takes from the thieves' end; contend through the same CAS protocol.
+        loop {
+            match steal_from(&self.inner) {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// Whether the deque is currently empty (a racy estimate, like the real crate's).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len_estimate() <= 0
+    }
+
+    /// Number of queued tasks (racy estimate).
+    pub fn len(&self) -> usize {
+        self.inner.len_estimate().max(0) as usize
+    }
+
+    /// A handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Double the buffer, copying the live window `[t, b)`; the old buffer is retired, not
+    /// freed, so stealers holding stale pointers stay safe. Owner-only.
+    unsafe fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let new = Buffer::alloc((*old).cap() * 2);
+        let new = Box::into_raw(new);
+        for i in t..b {
+            // Copy raw bits without materializing a T: slots below a concurrently
+            // advancing `top` may already have been moved out by thieves, and their
+            // copies in the new buffer are dead (never read, never dropped).
+            ptr::write_volatile((*new).slot(i) as *mut MaybeUninit<T>, (*old).read(i));
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.lock().unwrap_or_else(|e| e.into_inner()).push(old);
+        new
+    }
+}
+
+/// The thief end of a lock-free Chase–Lev work-stealing deque.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stealer").field("len", &self.inner.len_estimate()).finish()
+    }
+}
+
+fn steal_from<T>(inner: &Inner<T>) -> Steal<T> {
+    let t = inner.top.0.load(Ordering::Acquire);
+    // Order the `top` load before the `bottom` load against the owner's pop-side fence.
+    fence(Ordering::SeqCst);
+    let b = inner.bottom.0.load(Ordering::Acquire);
+
+    if t >= b {
+        return Steal::Empty;
+    }
+    unsafe {
+        // Read the bits *before* claiming the index: the CAS below confirms the read was
+        // not overtaken (by the owner popping it, another thief claiming it, or a buffer
+        // swap). Until then the bits stay in a MaybeUninit — a torn or stale read is
+        // discarded without ever being materialized as a T.
+        let buf = inner.buffer.load(Ordering::Acquire);
+        let value = (*buf).read(t);
+        if inner.top.0.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return Steal::Retry;
+        }
+        Steal::Success(value.assume_init())
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task from the deque.
+    ///
+    /// Returns [`Steal::Retry`] when the attempt lost a CAS race with the owner or another
+    /// thief; the caller decides whether to retry immediately or move to another victim.
+    pub fn steal(&self) -> Steal<T> {
+        steal_from(&self.inner)
+    }
+
+    /// Whether the deque is currently empty (racy estimate).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len_estimate() <= 0
+    }
+
+    /// Number of queued tasks (racy estimate).
+    pub fn len(&self) -> usize {
+        self.inner.len_estimate().max(0) as usize
+    }
+}
+
+/// A FIFO queue every worker can push to and steal from (the pool's submission queue).
+///
+/// This is the *cold* entry point — one push per external `spawn`/`install`, none per fork —
+/// so it stays a mutex-protected `VecDeque` rather than a segmented lock-free queue; its
+/// `steal` never returns [`Steal::Retry`]. What is **not** cold is the empty probe: every
+/// idle worker polls the injector on each work-finding scan, so emptiness is tracked in an
+/// atomic length and the common empty case takes no lock at all.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Queue length, maintained inside the critical sections; lets `steal`/`is_empty`
+    /// answer "empty" without touching the mutex.
+    len: std::sync::atomic::AtomicUsize,
 }
 
 fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
     q.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// The owner end of a work-stealing deque.
-#[derive(Debug)]
-pub struct Worker<T> {
-    queue: Arc<Mutex<VecDeque<T>>>,
-    lifo: bool,
-}
-
-impl<T> Worker<T> {
-    /// A deque whose owner pops the most recently pushed task (depth-first execution).
-    pub fn new_lifo() -> Self {
-        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), lifo: true }
-    }
-
-    /// A deque whose owner pops the oldest task.
-    pub fn new_fifo() -> Self {
-        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), lifo: false }
-    }
-
-    /// Push a task onto the owner end.
-    pub fn push(&self, task: T) {
-        lock(&self.queue).push_back(task);
-    }
-
-    /// Pop a task from the owner end.
-    pub fn pop(&self) -> Option<T> {
-        let mut q = lock(&self.queue);
-        if self.lifo {
-            q.pop_back()
-        } else {
-            q.pop_front()
-        }
-    }
-
-    /// Whether the deque is currently empty.
-    pub fn is_empty(&self) -> bool {
-        lock(&self.queue).is_empty()
-    }
-
-    /// A handle other threads can steal through.
-    pub fn stealer(&self) -> Stealer<T> {
-        Stealer { queue: Arc::clone(&self.queue) }
-    }
-}
-
-/// The thief end of a work-stealing deque.
-#[derive(Debug)]
-pub struct Stealer<T> {
-    queue: Arc<Mutex<VecDeque<T>>>,
-}
-
-impl<T> Clone for Stealer<T> {
-    fn clone(&self) -> Self {
-        Stealer { queue: Arc::clone(&self.queue) }
-    }
-}
-
-impl<T> Stealer<T> {
-    /// Steal the oldest task from the deque.
-    pub fn steal(&self) -> Steal<T> {
-        match lock(&self.queue).pop_front() {
-            Some(t) => Steal::Success(t),
-            None => Steal::Empty,
-        }
-    }
-
-    /// Whether the deque is currently empty.
-    pub fn is_empty(&self) -> bool {
-        lock(&self.queue).is_empty()
-    }
-}
-
-/// A FIFO queue every worker can push to and steal from (the pool's submission queue).
-#[derive(Debug, Default)]
-pub struct Injector<T> {
-    queue: Mutex<VecDeque<T>>,
-}
-
 impl<T> Injector<T> {
     /// An empty injector.
     pub fn new() -> Self {
-        Injector { queue: Mutex::new(VecDeque::new()) }
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+            len: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     /// Push a task onto the queue.
     pub fn push(&self, task: T) {
-        lock(&self.queue).push_back(task);
+        let mut q = lock(&self.queue);
+        q.push_back(task);
+        self.len.store(q.len(), Ordering::Release);
     }
 
     /// Steal the oldest task from the queue.
     pub fn steal(&self) -> Steal<T> {
-        match lock(&self.queue).pop_front() {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return Steal::Empty;
+        }
+        let mut q = lock(&self.queue);
+        let out = q.pop_front();
+        self.len.store(q.len(), Ordering::Release);
+        match out {
             Some(t) => Steal::Success(t),
             None => Steal::Empty,
         }
@@ -147,14 +432,14 @@ impl<T> Injector<T> {
 
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
-        lock(&self.queue).is_empty()
+        self.len.load(Ordering::Acquire) == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
     use std::thread;
 
     #[test]
@@ -169,6 +454,51 @@ mod tests {
         assert_eq!(w.pop(), Some(2));
         assert_eq!(w.pop(), None);
         assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn fifo_owner_takes_the_oldest() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn buffer_grows_past_initial_capacity() {
+        let w = Worker::new_lifo();
+        let n = 10 * MIN_CAP;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        for i in (0..n).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        let w = Worker::new_lifo();
+        let live = Arc::new(AtomicUsize::new(0));
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        for _ in 0..(3 * MIN_CAP) {
+            live.fetch_add(1, Ordering::Relaxed);
+            w.push(Tracked(Arc::clone(&live)));
+        }
+        for _ in 0..MIN_CAP {
+            drop(w.pop());
+        }
+        drop(w);
+        assert_eq!(live.load(Ordering::Relaxed), 0, "all queued values must be dropped");
     }
 
     #[test]
@@ -193,9 +523,13 @@ mod tests {
             for _ in 0..4 {
                 let s = w.stealer();
                 let taken = &taken;
-                scope.spawn(move || {
-                    while s.steal().success().is_some() {
-                        taken.fetch_add(1, Ordering::Relaxed);
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(_) => {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => break,
                     }
                 });
             }

@@ -1,0 +1,206 @@
+//! Seeded stress tests for the lock-free Chase–Lev deque: owner pop racing concurrent
+//! stealers, buffer growth under contention, LIFO/FIFO order against a model, and the
+//! no-lost-no-duplicated-items invariant that the pool's exactly-once `join` relies on.
+
+use crossbeam_deque::{Steal, Worker};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::thread;
+
+/// A tiny deterministic RNG (xorshift64*) so every run of a stress schedule is seeded and
+/// reproducible without external dependencies.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Owner pushes and pops at random while stealers hammer the top: every pushed item must be
+/// consumed exactly once, across owner and thieves, for several seeds.
+#[test]
+fn randomized_owner_ops_vs_concurrent_stealers_lose_and_duplicate_nothing() {
+    const ITEMS: usize = 20_000;
+    const STEALERS: usize = 4;
+    for seed in [1u64, 42, 0xC0FFEE] {
+        let w: Worker<usize> = Worker::new_lifo();
+        let seen: Vec<AtomicU8> = (0..ITEMS).map(|_| AtomicU8::new(0)).collect();
+        let done = AtomicBool::new(false);
+        thread::scope(|scope| {
+            for t in 0..STEALERS {
+                let s = w.stealer();
+                let seen = &seen;
+                let done = &done;
+                let mut rng = XorShift::new(seed ^ (t as u64 + 1) << 32);
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(i) => {
+                            let prev = seen[i].fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(prev, 0, "item {i} consumed twice (seed {seed})");
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && s.is_empty() {
+                                break;
+                            }
+                            if rng.below(4) == 0 {
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+            // The owner interleaves pushes and pops following the seed.
+            let mut rng = XorShift::new(seed);
+            let mut next = 0usize;
+            while next < ITEMS {
+                let burst = 1 + rng.below(16) as usize;
+                for _ in 0..burst.min(ITEMS - next) {
+                    w.push(next);
+                    next += 1;
+                }
+                let pops = rng.below(8) as usize;
+                for _ in 0..pops {
+                    if let Some(i) = w.pop() {
+                        let prev = seen[i].fetch_add(1, Ordering::Relaxed);
+                        assert_eq!(prev, 0, "item {i} consumed twice (seed {seed})");
+                    }
+                }
+            }
+            // Drain what the thieves left behind.
+            while let Some(i) = w.pop() {
+                let prev = seen[i].fetch_add(1, Ordering::Relaxed);
+                assert_eq!(prev, 0, "item {i} consumed twice (seed {seed})");
+            }
+            done.store(true, Ordering::Release);
+        });
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "item {i} lost (seed {seed})");
+        }
+    }
+}
+
+/// Push far past the initial capacity while thieves steal, forcing multiple buffer growths
+/// mid-contention; stale stealer reads of retired buffers must stay safe and every item
+/// must come out exactly once.
+#[test]
+fn buffer_growth_under_concurrent_steals_is_safe_and_lossless() {
+    const ITEMS: usize = 200_000; // initial capacity is 64: many doublings
+    const STEALERS: usize = 3;
+    let w = Worker::new_lifo();
+    let taken = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    thread::scope(|scope| {
+        for _ in 0..STEALERS {
+            let s = w.stealer();
+            let taken = &taken;
+            let done = &done;
+            scope.spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(_) => {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) && s.is_empty() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        let mut owner_taken = 0usize;
+        for i in 0..ITEMS {
+            w.push(i);
+            // Occasional owner pops keep both ends hot during growth.
+            if i % 7 == 0 && w.pop().is_some() {
+                owner_taken += 1;
+            }
+        }
+        while w.pop().is_some() {
+            owner_taken += 1;
+        }
+        taken.fetch_add(owner_taken, Ordering::Relaxed);
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(taken.load(Ordering::Relaxed), ITEMS, "every pushed item consumed exactly once");
+}
+
+/// Single-threaded model check: a long random schedule of pushes and pops must match a
+/// `VecDeque` executing the same schedule — LIFO for the owner, growth included.
+#[test]
+fn lifo_owner_matches_a_vecdeque_model_across_growth() {
+    let mut rng = XorShift::new(7);
+    let w = Worker::new_lifo();
+    let mut model: Vec<u64> = Vec::new();
+    let mut next = 0u64;
+    for _ in 0..100_000 {
+        if rng.below(5) < 3 {
+            w.push(next);
+            model.push(next);
+            next += 1;
+        } else {
+            assert_eq!(w.pop(), model.pop(), "owner pop must be LIFO");
+        }
+    }
+    while let Some(expect) = model.pop() {
+        assert_eq!(w.pop(), Some(expect));
+    }
+    assert_eq!(w.pop(), None);
+}
+
+/// The FIFO flavor pops from the thieves' end: oldest first, like a queue.
+#[test]
+fn fifo_owner_matches_a_queue_model() {
+    let mut rng = XorShift::new(11);
+    let w = Worker::new_fifo();
+    let mut model: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    for _ in 0..50_000 {
+        if rng.below(5) < 3 {
+            w.push(next);
+            model.push_back(next);
+            next += 1;
+        } else {
+            assert_eq!(w.pop(), model.pop_front(), "fifo owner pop must take the oldest");
+        }
+    }
+}
+
+/// Thieves see strictly increasing (oldest-first) indices from a LIFO worker, even while
+/// the owner keeps pushing — the property that makes stolen tasks the *largest* ones in
+/// recursive computations, which the paper's analysis depends on.
+#[test]
+fn steals_arrive_oldest_first_per_thief() {
+    let w = Worker::new_lifo();
+    for i in 0..1000u64 {
+        w.push(i);
+    }
+    let s = w.stealer();
+    let mut last = None;
+    for _ in 0..500 {
+        match s.steal() {
+            Steal::Success(v) => {
+                if let Some(prev) = last {
+                    assert!(v > prev, "steals must move top-down: got {v} after {prev}");
+                }
+                last = Some(v);
+            }
+            Steal::Retry => {}
+            Steal::Empty => break,
+        }
+    }
+}
