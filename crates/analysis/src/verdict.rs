@@ -1,0 +1,133 @@
+//! Structured pass/fail verdicts: the paper's bounds as an executable regression suite.
+//!
+//! The bound functions in [`crate::bounds`] and [`crate::predictions`] return `f64`
+//! predictions with the asymptotic constants taken as 1. A [`BoundCheck`] compares a
+//! measured quantity against such a prediction under an explicit slack factor (the elided
+//! constant) and records a machine-checkable [`Verdict`], so experiment harnesses can gate
+//! on the theory instead of printing tables for a human to eyeball.
+
+use std::fmt;
+
+/// The outcome of comparing a measurement against a bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The measurement is within `slack × bound`.
+    Pass,
+    /// The measurement exceeds `slack × bound` (or one of the quantities was not finite).
+    Fail,
+}
+
+impl Verdict {
+    /// Lower-case label as it appears in reports (`pass` / `fail`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Fail => "fail",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One executed bound comparison: `measured ≤ slack × bound`?
+///
+/// `slack` stands in for the constant the asymptotic bound elides; it is part of the check's
+/// declaration (a scenario file can tighten or relax it) and is recorded in the result so a
+/// report always shows what was actually asserted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundCheck {
+    /// What was checked (e.g. `steals`, `block-misses`, `runtime`).
+    pub name: String,
+    /// The measured quantity.
+    pub measured: f64,
+    /// The predicted bound (constants taken as 1).
+    pub bound: f64,
+    /// The allowed constant factor: the check passes iff `measured ≤ slack × bound`.
+    pub slack: f64,
+    /// The outcome, fixed at construction.
+    pub verdict: Verdict,
+}
+
+impl BoundCheck {
+    /// Compare `measured` against `slack × bound`. Non-finite inputs (a NaN bound from a
+    /// degenerate parameter combination, an infinite measurement) always fail: a check that
+    /// cannot be evaluated must not silently pass.
+    pub fn new(name: impl Into<String>, measured: f64, bound: f64, slack: f64) -> Self {
+        let finite = measured.is_finite() && bound.is_finite() && slack.is_finite();
+        let verdict = if finite && measured <= slack * bound {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        };
+        BoundCheck { name: name.into(), measured, bound, slack, verdict }
+    }
+
+    /// Whether the check passed.
+    pub fn passed(&self) -> bool {
+        self.verdict == Verdict::Pass
+    }
+
+    /// `measured / (slack × bound)` — how much of the allowed envelope was used. Values
+    /// `≤ 1` pass; `∞` when the allowed envelope is zero but the measurement is not.
+    pub fn ratio(&self) -> f64 {
+        let allowed = self.slack * self.bound;
+        if allowed == 0.0 {
+            return if self.measured == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        self.measured / allowed
+    }
+
+    /// One-line human-readable form.
+    pub fn summary(&self) -> String {
+        format!(
+            "[{}] {}: measured {:.1} vs {:.1} × bound {:.1} (ratio {:.3})",
+            self.verdict.label(),
+            self.name,
+            self.measured,
+            self.slack,
+            self.bound,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_and_fail_follow_the_envelope() {
+        assert!(BoundCheck::new("steals", 10.0, 5.0, 4.0).passed());
+        assert!(!BoundCheck::new("steals", 21.0, 5.0, 4.0).passed());
+        // Boundary: exactly slack × bound passes.
+        assert!(BoundCheck::new("steals", 20.0, 5.0, 4.0).passed());
+    }
+
+    #[test]
+    fn zero_bounds_and_non_finite_inputs() {
+        let both_zero = BoundCheck::new("block-misses", 0.0, 0.0, 8.0);
+        assert!(both_zero.passed());
+        assert_eq!(both_zero.ratio(), 0.0);
+        let exceeded = BoundCheck::new("block-misses", 1.0, 0.0, 8.0);
+        assert!(!exceeded.passed());
+        assert!(exceeded.ratio().is_infinite());
+        assert!(!BoundCheck::new("runtime", f64::NAN, 1.0, 1.0).passed());
+        assert!(!BoundCheck::new("runtime", 1.0, f64::NAN, 1.0).passed());
+        assert!(!BoundCheck::new("runtime", 1.0, f64::INFINITY, 1.0).passed());
+    }
+
+    #[test]
+    fn summary_and_labels() {
+        let c = BoundCheck::new("runtime", 2.0, 4.0, 2.0);
+        assert_eq!(c.verdict, Verdict::Pass);
+        assert_eq!(c.verdict.label(), "pass");
+        assert_eq!(format!("{}", Verdict::Fail), "fail");
+        let s = c.summary();
+        assert!(s.contains("[pass] runtime"), "{s}");
+        assert!((c.ratio() - 0.25).abs() < 1e-12);
+    }
+}

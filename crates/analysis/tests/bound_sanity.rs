@@ -1,0 +1,224 @@
+//! Property tests for the bound formulas: every bound is nonnegative on sane parameters and
+//! monotone in the obvious directions (nondecreasing in `T∞`, `p`, the miss cost, the steal
+//! count, …). A typo in a formula — a dropped term, an inverted ratio — shifts shapes in
+//! exactly these directions, so these properties keep a silent formula regression from
+//! passing every downstream `BoundCheck`.
+//!
+//! Seeded `SmallRng` loops stand in for proptest (the workspace is offline-vendored), so
+//! failures are reproducible bit for bit.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rws_analysis as analysis;
+use rws_analysis::Params;
+
+const CASES: usize = 400;
+
+/// A random parameter set that satisfies the paper's standing assumptions: `p ≥ 1`,
+/// `B ≥ 2`, `M ≥ B` (usually `≥ B²`, the tall-cache case), `b ≥ 1`, `s ≥ b`.
+fn random_params(rng: &mut SmallRng) -> Params {
+    let p = rng.gen_range(1usize..128);
+    let b_words = 1u64 << rng.gen_range(1u32..7); // 2..=64
+    let m = b_words * b_words * (1 << rng.gen_range(0u32..6));
+    let miss_cost = rng.gen_range(1u64..32);
+    let steal_cost = miss_cost + rng.gen_range(0u64..64);
+    Params::new(p, m, b_words, miss_cost, steal_cost)
+}
+
+/// All the closed-form bounds evaluated on one (params, instance) draw, by name.
+fn all_bounds(params: &Params, t_inf: f64, e: f64, a: f64, n: f64, s: f64) -> Vec<(&'static str, f64)> {
+    let s_star = (n.log2() - params.b_words.log2()).max(1.0);
+    vec![
+        ("h_root_general", analysis::h_root_general(t_inf, e, params)),
+        ("steal_bound_general", analysis::steal_bound_general(t_inf, e, a, params)),
+        ("steal_time_bound_general", analysis::steal_time_bound_general(t_inf, e, a, params)),
+        ("h_root_bp", analysis::h_root_bp(n, params)),
+        ("steal_bound_hbp", analysis::steal_bound_hbp(analysis::h_root_bp(n, params), a, params)),
+        ("h_root_hbp_c1", analysis::h_root_hbp_c1(t_inf, n, s_star, params)),
+        ("h_root_hbp_c2_sqrt", analysis::h_root_hbp_c2_sqrt(t_inf, n, params)),
+        ("h_root_hbp_c2_quarter", analysis::h_root_hbp_c2_quarter(t_inf, n, params)),
+        ("y_block_delay", analysis::y_block_delay(n, 2.0, params)),
+        ("block_delay_bound", analysis::block_delay_bound(s, params)),
+        ("mm_cache_misses", analysis::mm_cache_misses(n, s, params)),
+        ("mm_sequential_cache_misses", analysis::mm_sequential_cache_misses(n, params)),
+        ("rm_to_bi_cache_misses", analysis::rm_to_bi_cache_misses(n, s, params)),
+        ("bi_to_rm_cache_misses", analysis::bi_to_rm_cache_misses(n, s, params)),
+        ("runtime_bound", analysis::runtime_bound(n * n, n, s, s, params)),
+        ("mm_depth_n_steals", analysis::mm_depth_n_steals(n, a, params)),
+        ("mm_depth_log2_steals", analysis::mm_depth_log2_steals(n, a, params)),
+        ("bp_steals", analysis::bp_steals(n, a, params)),
+        ("transpose_steals", analysis::transpose_steals(n, a, params)),
+        ("sort_fft_steals", analysis::sort_fft_steals(n, a, params)),
+        ("mergesort_steals", analysis::mergesort_steals(n, a, params)),
+        ("list_ranking_steals", analysis::list_ranking_steals(n, a, params)),
+        ("connected_components_steals", analysis::connected_components_steals(n, a, params)),
+        ("mm_space_words(in-place)", analysis::mm_space_words(n, false, false, params)),
+        ("mm_space_words(limited)", analysis::mm_space_words(n, true, false, params)),
+        ("mm_space_words(log2)", analysis::mm_space_words(n, true, true, params)),
+    ]
+}
+
+#[test]
+fn every_bound_is_nonnegative_and_finite() {
+    let mut rng = SmallRng::seed_from_u64(0xB0_07_2D);
+    for _ in 0..CASES {
+        let params = random_params(&mut rng);
+        let t_inf = rng.gen_range(1.0f64..1e6);
+        let e = rng.gen_range(0.0f64..256.0);
+        let a = rng.gen_range(0.0f64..4.0);
+        let n = rng.gen_range(2.0f64..1e7);
+        let s = rng.gen_range(0.0f64..1e6);
+        for (name, v) in all_bounds(&params, t_inf, e, a, n, s) {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and nonnegative, got {v} for {params:?}, \
+                 t_inf={t_inf}, e={e}, a={a}, n={n}, s={s}"
+            );
+        }
+    }
+}
+
+/// Assert `f(hi) ≥ f(lo) - eps` with a tiny relative tolerance for float noise.
+fn assert_nondecreasing(name: &str, lo: f64, hi: f64, context: &str) {
+    let eps = 1e-9 * lo.abs().max(1.0);
+    assert!(hi >= lo - eps, "{name} must be nondecreasing in {context}: {lo} -> {hi}");
+}
+
+#[test]
+fn steal_bounds_are_monotone_in_depth_processors_and_miss_cost() {
+    let mut rng = SmallRng::seed_from_u64(0x51_EA_15);
+    for _ in 0..CASES {
+        let params = random_params(&mut rng);
+        let t_inf = rng.gen_range(1.0f64..1e5);
+        let e = rng.gen_range(0.0f64..64.0);
+        let a = rng.gen_range(0.0f64..2.0);
+        let grow = 1.0 + rng.gen_range(0.1f64..8.0);
+
+        // Nondecreasing in T∞ (a deeper computation can only allow more steals).
+        assert_nondecreasing(
+            "steal_bound_general",
+            analysis::steal_bound_general(t_inf, e, a, &params),
+            analysis::steal_bound_general(t_inf * grow, e, a, &params),
+            "T_inf",
+        );
+        // Nondecreasing (in fact linear) in p.
+        let more_procs = Params { p: params.p * grow, ..params };
+        assert_nondecreasing(
+            "steal_bound_general",
+            analysis::steal_bound_general(t_inf, e, a, &params),
+            analysis::steal_bound_general(t_inf, e, a, &more_procs),
+            "p",
+        );
+        // Nondecreasing in the miss cost b (steals get charged more cache refill work).
+        // Keep s fixed and >= b on both sides.
+        let costlier = Params { miss_cost: params.miss_cost * grow, steal_cost: params.steal_cost * grow + params.miss_cost * grow, ..params };
+        let base = Params { steal_cost: costlier.steal_cost, ..params };
+        assert_nondecreasing(
+            "steal_bound_general",
+            analysis::steal_bound_general(t_inf, e, a, &base),
+            analysis::steal_bound_general(t_inf, e, a, &costlier),
+            "miss cost",
+        );
+        // And in the burst parameter a.
+        assert_nondecreasing(
+            "steal_bound_general",
+            analysis::steal_bound_general(t_inf, e, a, &params),
+            analysis::steal_bound_general(t_inf, e, a + grow, &params),
+            "a",
+        );
+    }
+}
+
+#[test]
+fn per_algorithm_predictions_are_monotone_in_p_and_n() {
+    let mut rng = SmallRng::seed_from_u64(0xA165);
+    type Pred = fn(f64, f64, &Params) -> f64;
+    let predictions: &[(&str, Pred)] = &[
+        ("bp_steals", analysis::bp_steals),
+        ("transpose_steals", analysis::transpose_steals),
+        ("sort_fft_steals", analysis::sort_fft_steals),
+        ("mergesort_steals", analysis::mergesort_steals),
+        ("list_ranking_steals", analysis::list_ranking_steals),
+        ("connected_components_steals", analysis::connected_components_steals),
+        ("mm_depth_n_steals", analysis::mm_depth_n_steals),
+        ("mm_depth_log2_steals", analysis::mm_depth_log2_steals),
+    ];
+    for _ in 0..CASES {
+        let params = random_params(&mut rng);
+        // n comfortably above the log2 clamp and the B-saturation knees, so monotonicity in
+        // n is the formulas' real asymptotic behavior, not clamp plateaus.
+        let n = rng.gen_range(256.0f64..1e7);
+        let a = rng.gen_range(0.0f64..2.0);
+        let grow = 1.0 + rng.gen_range(0.1f64..8.0);
+        let more_procs = Params { p: params.p * grow, ..params };
+        for (name, f) in predictions {
+            assert_nondecreasing(name, f(n, a, &params), f(n * grow, a, &params), "n");
+            assert_nondecreasing(name, f(n, a, &params), f(n, a, &more_procs), "p");
+        }
+    }
+}
+
+#[test]
+fn miss_and_delay_envelopes_are_monotone_in_steals_and_costs() {
+    let mut rng = SmallRng::seed_from_u64(0xDE1A);
+    for _ in 0..CASES {
+        let params = random_params(&mut rng);
+        let n = rng.gen_range(2.0f64..1e5);
+        let s = rng.gen_range(0.0f64..1e6);
+        let grow = 1.0 + rng.gen_range(0.1f64..8.0);
+
+        // More steals can only mean more cache misses / block delay.
+        for (name, f) in [
+            ("mm_cache_misses", analysis::mm_cache_misses as fn(f64, f64, &Params) -> f64),
+            ("rm_to_bi_cache_misses", analysis::rm_to_bi_cache_misses),
+            ("bi_to_rm_cache_misses", analysis::bi_to_rm_cache_misses),
+        ] {
+            assert_nondecreasing(name, f(n, s, &params), f(n, s * grow + 1.0, &params), "S");
+            assert_nondecreasing(name, f(n, s, &params), f(n * grow, s, &params), "n");
+        }
+        assert_nondecreasing(
+            "block_delay_bound",
+            analysis::block_delay_bound(s, &params),
+            analysis::block_delay_bound(s * grow + 1.0, &params),
+            "S",
+        );
+
+        // The runtime bound: nondecreasing in W, Q, C, S and the miss cost; nonincreasing
+        // in p (fixed totals spread over more processors).
+        let (w, q, c) = (
+            rng.gen_range(1.0f64..1e8),
+            rng.gen_range(0.0f64..1e6),
+            rng.gen_range(0.0f64..1e6),
+        );
+        let base = analysis::runtime_bound(w, q, c, s, &params);
+        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w * grow, q, c, s, &params), "W");
+        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w, q * grow + 1.0, c, s, &params), "Q");
+        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w, q, c * grow + 1.0, s, &params), "C");
+        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w, q, c, s * grow + 1.0, &params), "S");
+        let costlier = Params { miss_cost: params.miss_cost * grow, steal_cost: params.steal_cost * grow + params.miss_cost * grow, ..params };
+        let base_aligned = Params { steal_cost: costlier.steal_cost, ..params };
+        assert_nondecreasing(
+            "runtime_bound",
+            analysis::runtime_bound(w, q, c, s, &base_aligned),
+            analysis::runtime_bound(w, q, c, s, &costlier),
+            "miss cost",
+        );
+        let more_procs = Params { p: params.p * grow, ..params };
+        let spread = analysis::runtime_bound(w, q, c, s, &more_procs);
+        assert!(spread <= base * (1.0 + 1e-9), "runtime_bound must not grow with p: {base} -> {spread}");
+    }
+}
+
+#[test]
+fn bound_checks_gate_on_the_envelope_for_random_inputs() {
+    // The verdict layer itself: for random (measured, bound, slack) triples the verdict is
+    // exactly the envelope comparison, so no formula typo can flip a verdict silently.
+    let mut rng = SmallRng::seed_from_u64(0xC0_FF_EE);
+    for _ in 0..CASES {
+        let measured = rng.gen_range(0.0f64..1e6);
+        let bound = rng.gen_range(0.0f64..1e6);
+        let slack = rng.gen_range(0.1f64..16.0);
+        let check = analysis::BoundCheck::new("prop", measured, bound, slack);
+        assert_eq!(check.passed(), measured <= slack * bound);
+        assert_eq!(check.passed(), check.ratio() <= 1.0);
+    }
+}

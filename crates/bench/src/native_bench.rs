@@ -8,14 +8,15 @@
 //! allocation-counter hook, as the binary's counting global allocator does)
 //! allocations-per-fork. The output is the JSON perf trajectory future PRs must beat.
 //!
-//! The JSON is hand-rolled because the workspace's vendored `serde` is a no-op marker; the
-//! structural [`validate_json`] check runs after every write so a malformed emission fails
-//! loudly (in CI, the bench smoke step).
+//! The JSON renders through the workspace's one writer, [`rws_lab::json`] (the vendored
+//! `serde` is a no-op marker, so emission is hand-rolled — but hand-rolled once, there);
+//! the structural [`validate_json`] check runs after every write so a malformed emission
+//! fails loudly (in CI, the bench smoke step).
 
 use rws_algos::prefix::prefix_sums_native;
 use rws_algos::sort::merge_sort_native;
+use rws_lab::json::{self, obj, Json};
 use rws_runtime::{join, DequeBackend, ThreadPool, ThreadPoolBuilder};
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -301,194 +302,58 @@ pub fn comparisons(records: &[BenchRecord]) -> Vec<(String, usize, u64, u64, f64
     out
 }
 
-fn push_json_f64(out: &mut String, v: f64) {
-    // JSON has no NaN/Infinity; clamp defensively (validate_json re-checks).
-    if v.is_finite() {
-        let _ = write!(out, "{v:.6}");
-    } else {
-        out.push('0');
-    }
-}
-
-/// Serialize the suite results as the `BENCH_native.json` document.
+/// Serialize the suite results as the `BENCH_native.json` document (rendered through the
+/// shared [`rws_lab::json`] writer — one escaping and number-formatting path workspace-wide).
 pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"rws-bench-native/v1\",");
-    let _ = writeln!(s, "  \"size\": \"{}\",", cfg.size.name());
-    let _ = writeln!(s, "  \"repeats\": {},", cfg.repeats);
-    let _ = writeln!(
-        s,
-        "  \"host_parallelism\": {},",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
-    );
-    s.push_str("  \"records\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
-             \"wall_ns_median\": {}, \"wall_ns_min\": {}, \"steals\": {}, \"jobs\": {}, \
-             \"steal_retries\": {}, \"parks\": {}, \"allocs\": {}, \"allocs_per_fork\": ",
-            r.workload,
-            r.backend,
-            r.threads,
-            r.wall_ns_median,
-            r.wall_ns_min,
-            r.steals,
-            r.jobs,
-            r.steal_retries,
-            r.parks,
-            r.allocs,
-        );
-        push_json_f64(&mut s, r.allocs_per_fork);
-        s.push('}');
-        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ],\n");
-    s.push_str("  \"chaselev_vs_simple\": [\n");
-    let cmps = comparisons(records);
-    for (i, (workload, threads, cl, simple, speedup)) in cmps.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"workload\": \"{workload}\", \"threads\": {threads}, \
-             \"chaselev_ns\": {cl}, \"simple_ns\": {simple}, \"speedup\": "
-        );
-        push_json_f64(&mut s, *speedup);
-        s.push('}');
-        s.push_str(if i + 1 < cmps.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ]\n}\n");
-    s
+    let recs: Vec<Json> = records
+        .iter()
+        .map(|r| {
+            obj([
+                ("workload", r.workload.as_str().into()),
+                ("backend", r.backend.as_str().into()),
+                ("threads", r.threads.into()),
+                ("wall_ns_median", r.wall_ns_median.into()),
+                ("wall_ns_min", r.wall_ns_min.into()),
+                ("steals", r.steals.into()),
+                ("jobs", r.jobs.into()),
+                ("steal_retries", r.steal_retries.into()),
+                ("parks", r.parks.into()),
+                ("allocs", r.allocs.into()),
+                ("allocs_per_fork", r.allocs_per_fork.into()),
+            ])
+        })
+        .collect();
+    let cmps: Vec<Json> = comparisons(records)
+        .into_iter()
+        .map(|(workload, threads, cl, simple, speedup)| {
+            obj([
+                ("workload", workload.into()),
+                ("threads", threads.into()),
+                ("chaselev_ns", cl.into()),
+                ("simple_ns", simple.into()),
+                ("speedup", speedup.into()),
+            ])
+        })
+        .collect();
+    obj([
+        ("schema", "rws-bench-native/v1".into()),
+        ("size", cfg.size.name().into()),
+        ("repeats", cfg.repeats.into()),
+        (
+            "host_parallelism",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0).into(),
+        ),
+        ("records", recs.into()),
+        ("chaselev_vs_simple", cmps.into()),
+    ])
+    .render()
 }
 
-/// Structural validation of a `BENCH_native.json` document: well-formed JSON (objects,
-/// arrays, strings, numbers — the subset the emitter produces) plus the required keys.
+/// Structural validation of a `BENCH_native.json` document: well-formed JSON (via the
+/// shared [`rws_lab::json`] validator) plus this emitter's required keys.
 /// Returns a description of the first problem found.
 pub fn validate_json(doc: &str) -> Result<(), String> {
-    // A tiny recursive-descent well-formedness scanner.
-    struct P<'a> {
-        bytes: &'a [u8],
-        i: usize,
-    }
-    impl<'a> P<'a> {
-        fn ws(&mut self) {
-            while self.i < self.bytes.len() && self.bytes[self.i].is_ascii_whitespace() {
-                self.i += 1;
-            }
-        }
-        fn peek(&mut self) -> Option<u8> {
-            self.ws();
-            self.bytes.get(self.i).copied()
-        }
-        fn expect(&mut self, c: u8) -> Result<(), String> {
-            if self.peek() == Some(c) {
-                self.i += 1;
-                Ok(())
-            } else {
-                Err(format!("expected '{}' at byte {}", c as char, self.i))
-            }
-        }
-        fn value(&mut self) -> Result<(), String> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => self.string(),
-                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-                Some(b't') => self.literal("true"),
-                Some(b'f') => self.literal("false"),
-                Some(b'n') => self.literal("null"),
-                other => Err(format!("unexpected {other:?} at byte {}", self.i)),
-            }
-        }
-        fn literal(&mut self, lit: &str) -> Result<(), String> {
-            if self.bytes[self.i..].starts_with(lit.as_bytes()) {
-                self.i += lit.len();
-                Ok(())
-            } else {
-                Err(format!("bad literal at byte {}", self.i))
-            }
-        }
-        fn object(&mut self) -> Result<(), String> {
-            self.expect(b'{')?;
-            if self.peek() == Some(b'}') {
-                self.i += 1;
-                return Ok(());
-            }
-            loop {
-                self.string()?;
-                self.expect(b':')?;
-                self.value()?;
-                match self.peek() {
-                    Some(b',') => self.i += 1,
-                    Some(b'}') => {
-                        self.i += 1;
-                        return Ok(());
-                    }
-                    other => return Err(format!("bad object at byte {}: {other:?}", self.i)),
-                }
-            }
-        }
-        fn array(&mut self) -> Result<(), String> {
-            self.expect(b'[')?;
-            if self.peek() == Some(b']') {
-                self.i += 1;
-                return Ok(());
-            }
-            loop {
-                self.value()?;
-                match self.peek() {
-                    Some(b',') => self.i += 1,
-                    Some(b']') => {
-                        self.i += 1;
-                        return Ok(());
-                    }
-                    other => return Err(format!("bad array at byte {}: {other:?}", self.i)),
-                }
-            }
-        }
-        fn string(&mut self) -> Result<(), String> {
-            self.expect(b'"')?;
-            while let Some(&c) = self.bytes.get(self.i) {
-                self.i += 1;
-                match c {
-                    b'"' => return Ok(()),
-                    b'\\' => self.i += 1,
-                    _ => {}
-                }
-            }
-            Err("unterminated string".into())
-        }
-        fn number(&mut self) -> Result<(), String> {
-            let start = self.i;
-            while let Some(&c) = self.bytes.get(self.i) {
-                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                    self.i += 1;
-                } else {
-                    break;
-                }
-            }
-            if self.i == start {
-                Err(format!("empty number at byte {start}"))
-            } else {
-                Ok(())
-            }
-        }
-    }
-    let mut p = P { bytes: doc.as_bytes(), i: 0 };
-    p.value()?;
-    p.ws();
-    if p.i != doc.len() {
-        return Err(format!("trailing garbage at byte {}", p.i));
-    }
-    for key in ["\"schema\"", "\"records\"", "\"chaselev_vs_simple\"", "\"wall_ns_median\""] {
-        if !doc.contains(key) {
-            return Err(format!("missing required key {key}"));
-        }
-    }
-    if doc.contains("NaN") || doc.contains("inf") {
-        return Err("non-finite number leaked into the document".into());
-    }
-    Ok(())
+    json::validate_with_keys(doc, &["schema", "records", "chaselev_vs_simple", "wall_ns_median"])
 }
 
 #[cfg(test)]

@@ -80,6 +80,10 @@ impl SimExecutor {
             steals: report.successful_steals,
             failed_steals: report.failed_steals,
             work_items: report.work_executed,
+            cache_misses: report.cache_misses(),
+            block_misses: report.block_misses(),
+            false_sharing_misses: report.false_sharing_misses(),
+            sequential_fallback: false,
             time_units: report.makespan,
             wall: start.elapsed(),
             sim: Some(report),
@@ -178,6 +182,10 @@ impl Executor for NativeExecutor {
             steals: self.pool.stats().total_steals() - steals_before,
             failed_steals: self.pool.stats().total_failed_steals() - failed_before,
             work_items: self.pool.stats().total_jobs() - jobs_before,
+            cache_misses: 0,
+            block_misses: 0,
+            false_sharing_misses: 0,
+            sequential_fallback: workload.native_support().is_fallback(),
             time_units: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
             wall,
             sim: None,
@@ -202,6 +210,10 @@ mod tests {
         let sim = outcome.report.sim.as_ref().expect("sim detail preserved");
         assert_eq!(outcome.report.work_items, sim.work_executed);
         assert_eq!(outcome.report.time_units, sim.makespan);
+        assert_eq!(outcome.report.cache_misses, sim.cache_misses());
+        assert_eq!(outcome.report.block_misses, sim.block_misses());
+        assert_eq!(outcome.report.false_sharing_misses, sim.false_sharing_misses());
+        assert!(!outcome.report.sequential_fallback);
         assert_eq!(outcome.output, w.run_reference());
     }
 

@@ -44,4 +44,4 @@ pub mod workloads;
 
 pub use executor::{Executor, NativeExecutor, SimExecutor};
 pub use report::{Backend, ExecReport};
-pub use workload::{AlgoOutput, ExecOutcome, SharedWorkload, Workload};
+pub use workload::{AlgoOutput, ExecOutcome, NativeSupport, SharedWorkload, Workload};

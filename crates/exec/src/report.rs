@@ -50,6 +50,18 @@ pub struct ExecReport {
     pub failed_steals: u64,
     /// Work executed: dag operations for the simulator, jobs run for the native pool.
     pub work_items: u64,
+    /// Sequential-style cache misses (cold + capacity) over all processors. Simulator only;
+    /// the native pool has no cache instrumentation, so native reports record 0.
+    pub cache_misses: u64,
+    /// Coherence-induced block misses over all processors (simulator only, 0 natively).
+    pub block_misses: u64,
+    /// Block misses where the invalidating write touched another word of the block — the
+    /// paper's false-sharing count (simulator only, 0 natively).
+    pub false_sharing_misses: u64,
+    /// True when this run's native leg executed the workload's sequential reference instead
+    /// of a parallel kernel (see [`crate::NativeSupport`]); always false for simulated runs,
+    /// whose dag really is scheduled across `procs` processors.
+    pub sequential_fallback: bool,
     /// Elapsed time in the backend's unit ([`Backend::time_unit`]): the simulated makespan,
     /// or wall-clock nanoseconds.
     pub time_units: u64,
@@ -98,6 +110,10 @@ mod tests {
             steals: 10,
             failed_steals: 3,
             work_items: 100,
+            cache_misses: 7,
+            block_misses: 2,
+            false_sharing_misses: 1,
+            sequential_fallback: false,
             time_units: 1234,
             wall: Duration::from_millis(1),
             sim: None,

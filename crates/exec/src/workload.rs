@@ -49,6 +49,37 @@ impl PartialEq for AlgoOutput {
     }
 }
 
+/// How faithful a workload's native leg is: a true parallel kernel, or (for algorithms
+/// whose fork-join port has not landed yet) the sequential reference run on one worker.
+///
+/// Executors record this in [`ExecReport::sequential_fallback`](crate::ExecReport) so a
+/// "native" measurement of a fallback workload can never silently masquerade as a parallel
+/// result — parity tests and lab reports label such runs explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NativeSupport {
+    /// [`Workload::run_native`] is a real fork-join decomposition over
+    /// `rws_runtime::join` — its steal/job counts and wall time measure parallel execution.
+    Parallel,
+    /// [`Workload::run_native`] currently executes the sequential reference; the run still
+    /// flows through the pool end to end, but its wall time is a sequential measurement.
+    SequentialFallback,
+}
+
+impl NativeSupport {
+    /// Whether this is the sequential fallback.
+    pub fn is_fallback(self) -> bool {
+        matches!(self, NativeSupport::SequentialFallback)
+    }
+
+    /// Short label for reports (`parallel` / `sequential-fallback`).
+    pub fn label(self) -> &'static str {
+        match self {
+            NativeSupport::Parallel => "parallel",
+            NativeSupport::SequentialFallback => "sequential-fallback",
+        }
+    }
+}
+
 /// An algorithm instance that can run on any [`crate::Executor`].
 ///
 /// A workload carries its input data and knows how to express the algorithm three ways:
@@ -72,6 +103,10 @@ pub trait Workload: Send + Sync {
     /// Run the algorithm with native fork-join. Called on a pool worker thread, so
     /// `rws_runtime::join` inside it uses the pool's work-stealing deques.
     fn run_native(&self) -> AlgoOutput;
+
+    /// Whether [`Workload::run_native`] is a real parallel kernel or the sequential
+    /// reference. Required (no default) so every workload must state its honesty explicitly.
+    fn native_support(&self) -> NativeSupport;
 
     /// Run the sequential reference implementation.
     fn run_reference(&self) -> AlgoOutput;

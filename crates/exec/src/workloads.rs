@@ -5,12 +5,14 @@
 //! ([`FftWorkload`], [`TransposeWorkload`], [`ListRankWorkload`]) currently run their
 //! sequential reference natively — they still flow through the [`Executor`](crate::Executor)
 //! trait end to end, and gain parallel kernels by overriding one method when those land.
+//! Each workload declares which case it is via [`Workload::native_support`], and executors
+//! stamp the fallback runs in their reports so they are never mistaken for parallel results.
 //!
 //! `demo` constructors fill inputs from a seeded [`SmallRng`], so runs are deterministic.
 //! Constructors validate instance shapes eagerly (power-of-two sizes where the dag builders
 //! require them), so a workload that constructs is runnable on *every* backend.
 
-use crate::workload::{AlgoOutput, Workload};
+use crate::workload::{AlgoOutput, NativeSupport, Workload};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use rws_algos::fft::{dft_reference, fft_computation, fft_reference, Complex, FftConfig};
 use rws_algos::listrank::{list_ranking_computation, list_ranking_reference, ListRankConfig};
@@ -73,6 +75,10 @@ impl Workload for PrefixWorkload {
         AlgoOutput::I64(prefix_sums_native(&self.input))
     }
 
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::Parallel
+    }
+
     fn run_reference(&self) -> AlgoOutput {
         AlgoOutput::I64(prefix_sums_reference(&self.input))
     }
@@ -122,6 +128,10 @@ impl Workload for MatMulWorkload {
         AlgoOutput::F64(from_bi(&c_bi, n))
     }
 
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::Parallel
+    }
+
     fn run_reference(&self) -> AlgoOutput {
         AlgoOutput::F64(matmul_reference(&self.a, &self.b, self.cfg.n))
     }
@@ -166,6 +176,10 @@ impl Workload for SortWorkload {
 
     fn run_native(&self) -> AlgoOutput {
         AlgoOutput::U64(merge_sort_native(&self.keys, self.cfg.base))
+    }
+
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::Parallel
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -222,6 +236,10 @@ impl Workload for FftWorkload {
         Self::flatten(fft_reference(&self.input))
     }
 
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::SequentialFallback
+    }
+
     fn run_reference(&self) -> AlgoOutput {
         Self::flatten(fft_reference(&self.input))
     }
@@ -262,6 +280,10 @@ impl Workload for TransposeWorkload {
     fn run_native(&self) -> AlgoOutput {
         // Sequential stub until a fork-join transpose kernel lands.
         self.run_reference()
+    }
+
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::SequentialFallback
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -316,6 +338,10 @@ impl Workload for ListRankWorkload {
         self.run_reference()
     }
 
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::SequentialFallback
+    }
+
     fn run_reference(&self) -> AlgoOutput {
         AlgoOutput::I64(
             list_ranking_reference(&self.succ).into_iter().map(|r| r as i64).collect(),
@@ -367,6 +393,30 @@ mod tests {
             let comp = w.computation();
             assert!(comp.check_properties().is_empty(), "{}", w.name());
             assert!(comp.dag.work() > 0);
+        }
+    }
+
+    #[test]
+    fn native_support_flags_are_honest() {
+        // The fallback flag must match what run_native actually does: the three flagship
+        // workloads have real fork-join kernels, the other three stub to the reference.
+        let parallel: Vec<Box<dyn Workload>> = vec![
+            Box::new(PrefixWorkload::demo(256)),
+            Box::new(MatMulWorkload::demo(8, 2)),
+            Box::new(SortWorkload::demo(256)),
+        ];
+        let fallback: Vec<Box<dyn Workload>> = vec![
+            Box::new(FftWorkload::demo(64)),
+            Box::new(TransposeWorkload::demo(8, 2)),
+            Box::new(ListRankWorkload::demo(64)),
+        ];
+        for w in &parallel {
+            assert_eq!(w.native_support(), NativeSupport::Parallel, "{}", w.name());
+            assert!(!w.native_support().is_fallback());
+        }
+        for w in &fallback {
+            assert_eq!(w.native_support(), NativeSupport::SequentialFallback, "{}", w.name());
+            assert_eq!(w.native_support().label(), "sequential-fallback");
         }
     }
 

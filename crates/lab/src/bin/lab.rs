@@ -1,0 +1,104 @@
+//! The `lab` CLI: run a scenario file on its declared backends, print the summary, emit
+//! the validated `rws-lab-report/v1` JSON document, and exit nonzero if anything — a parse
+//! error, a malformed emission, or a bound-check verdict of `Fail` — is wrong.
+//!
+//! ```text
+//! lab <scenario file> [--out PATH]
+//! ```
+//!
+//! Without `--out` the JSON goes to stdout (the summary always goes to stderr); with
+//! `--out` the document is written, re-read from disk, and validated as it landed.
+//!
+//! Exit codes: `0` all checks passed, `1` a check failed or the report was invalid,
+//! `2` usage or scenario-parse error.
+
+use rws_lab::{report, Scenario};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: lab <scenario file> [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut scenario_path: Option<String> = None;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if scenario_path.is_none() && !other.starts_with('-') => {
+                scenario_path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(scenario_path) = scenario_path else { usage() };
+
+    let text = match std::fs::read_to_string(&scenario_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lab: cannot read {scenario_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match Scenario::parse(&text) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("lab: {scenario_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "lab: running scenario `{}` ({} on {:?}, {} seed(s))",
+        scenario.name,
+        scenario.workload.name(),
+        scenario.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+        scenario.seeds.len()
+    );
+    let result = report::run(&scenario);
+    for line in result.summary_lines() {
+        eprintln!("{line}");
+    }
+
+    let doc = result.to_json();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("lab: failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            // Validate what actually landed on disk, not the in-memory string.
+            let written = match std::fs::read_to_string(path) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("lab: failed to re-read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = report::validate_report(&written) {
+                eprintln!("lab: {path} is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("lab: wrote {path}");
+        }
+        None => {
+            if let Err(e) = report::validate_report(&doc) {
+                eprintln!("lab: emitted report is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+            print!("{doc}");
+        }
+    }
+
+    if result.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lab: {} bound check(s) FAILED", result.failed_checks());
+        ExitCode::FAILURE
+    }
+}

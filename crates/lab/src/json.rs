@@ -1,0 +1,381 @@
+//! The workspace's one JSON writer and structural validator.
+//!
+//! The vendored `serde` is a no-op API marker (this build environment is offline), so JSON
+//! emission is hand-rolled — but hand-rolled *once*, here. Every emitter in the workspace
+//! (`rws-lab` reports, `rws-bench`'s `BENCH_native.json`) builds a [`Json`] value tree and
+//! renders it through this module, so there is exactly one escaping and one
+//! number-formatting path, and one [`validate`] routine that CI runs over everything that
+//! lands on disk.
+//!
+//! Rendering rules:
+//!
+//! * objects and arrays pretty-print with two-space indentation (empty ones inline as
+//!   `{}` / `[]`);
+//! * floats render with six decimal places, and non-finite values clamp to `0` — JSON has
+//!   no `NaN`/`Infinity`, and a silent `null` would hide the bug ([`validate`] additionally
+//!   rejects any document in which such a token appears);
+//! * strings escape `"`', `\` and control characters.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float, rendered with six decimals (non-finite clamps to `0`).
+    F64(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered key → value pairs (keys render in insertion order).
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+/// Build an object from `(key, value)` pairs — the idiom emitters use:
+/// `obj([("schema", "v1".into()), ("runs", runs.into())])`.
+pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Json {
+    /// Render the value as a pretty-printed document (two-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                // JSON has no NaN/Infinity; clamp (validate rejects leaked tokens).
+                let v = if v.is_finite() { *v } else { 0.0 };
+                let _ = write!(out, "{v:.6}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    item.write(out, indent + 2);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    for _ in 0..indent + 2 {
+                        out.push(' ');
+                    }
+                    out.push('"');
+                    escape_into(out, k);
+                    out.push_str("\": ");
+                    v.write(out, indent + 2);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Structural validation: the document must be one well-formed JSON value (objects, arrays,
+/// strings, numbers, literals) with nothing trailing, and must not contain a leaked
+/// non-finite number token. Returns a description of the first problem found.
+pub fn validate(doc: &str) -> Result<(), String> {
+    // A tiny recursive-descent well-formedness scanner.
+    struct P<'a> {
+        bytes: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.bytes.len() && self.bytes[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.bytes.get(self.i).copied()
+        }
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.i))
+            }
+        }
+        fn value(&mut self) -> Result<(), String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                Some(b't') => self.literal("true"),
+                Some(b'f') => self.literal("false"),
+                Some(b'n') => self.literal("null"),
+                other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+            }
+        }
+        fn literal(&mut self, lit: &str) -> Result<(), String> {
+            if self.bytes[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn object(&mut self) -> Result<(), String> {
+            self.expect(b'{')?;
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.string()?;
+                self.expect(b':')?;
+                self.value()?;
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad object at byte {}: {other:?}", self.i)),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<(), String> {
+            self.expect(b'[')?;
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value()?;
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    other => return Err(format!("bad array at byte {}: {other:?}", self.i)),
+                }
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.expect(b'"')?;
+            while let Some(&c) = self.bytes.get(self.i) {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => self.i += 1,
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            while let Some(&c) = self.bytes.get(self.i) {
+                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.i == start {
+                Err(format!("empty number at byte {start}"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+    let mut p = P { bytes: doc.as_bytes(), i: 0 };
+    p.value()?;
+    p.ws();
+    if p.i != doc.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    if doc.contains("NaN") || doc.contains("Infinity") {
+        return Err("non-finite number leaked into the document".into());
+    }
+    Ok(())
+}
+
+/// [`validate`], plus a check that every named key appears somewhere in the document — the
+/// emitter-specific schema floor (e.g. `schema`, `records`) CI gates on.
+pub fn validate_with_keys(doc: &str, required: &[&str]) -> Result<(), String> {
+    validate(doc)?;
+    for key in required {
+        if !doc.contains(&format!("\"{key}\"")) {
+            return Err(format!("missing required key \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_validates_round_trip() {
+        let doc = obj([
+            ("schema", "test/v1".into()),
+            ("count", 3u64.into()),
+            ("ratio", 1.5f64.into()),
+            ("delta", Json::I64(-2)),
+            ("ok", true.into()),
+            ("missing", Json::Null),
+            ("items", Json::Arr(vec![1u64.into(), 2u64.into()])),
+            ("empty_obj", Json::Obj(Vec::new())),
+            ("empty_arr", Json::Arr(Vec::new())),
+        ])
+        .render();
+        validate(&doc).expect("rendered document must validate");
+        assert!(doc.contains("\"ratio\": 1.500000"), "{doc}");
+        assert!(doc.contains("\"delta\": -2"));
+        assert!(doc.contains("\"empty_obj\": {}"));
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn strings_escape_and_still_validate() {
+        let doc = Json::Str("a \"quoted\" \\ back\nslash \u{1}".into()).render();
+        validate(&doc).expect("escaped string must validate");
+        assert!(doc.contains("\\\"quoted\\\""));
+        assert!(doc.contains("\\n"));
+        assert!(doc.contains("\\u0001"));
+    }
+
+    #[test]
+    fn non_finite_floats_clamp_to_zero() {
+        let doc = Json::Arr(vec![Json::F64(f64::NAN), Json::F64(f64::INFINITY)]).render();
+        validate(&doc).expect("clamped values must validate");
+        assert!(!doc.contains("NaN") && !doc.contains("inf"), "{doc}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate("{").is_err());
+        assert!(validate("{\"a\": }").is_err());
+        assert!(validate("[1, 2,]").is_err());
+        assert!(validate("{} trailing").is_err());
+        assert!(validate("\"unterminated").is_err());
+        assert!(validate("{\"x\": NaN}").is_err());
+        assert!(validate("[]").is_ok());
+        assert!(validate("{\"a\": [1, -2.5e3, \"s\", null, true]}").is_ok());
+    }
+
+    #[test]
+    fn required_keys_are_enforced() {
+        let doc = obj([("schema", "x".into())]).render();
+        assert!(validate_with_keys(&doc, &["schema"]).is_ok());
+        let err = validate_with_keys(&doc, &["schema", "records"]).unwrap_err();
+        assert!(err.contains("records"), "{err}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # rws-lab
+//!
+//! The scenario subsystem: every experiment as a **declarative spec** instead of bespoke
+//! code. A [`Scenario`] (parsed from a plain `key = value` file, see [`scenario`])
+//! describes a workload, a machine or pool shape, a seed list and a sweep axis; the sweep
+//! engine ([`sweep`]) expands it into runs and executes them through the
+//! [`rws_exec::Executor`] trait on the simulated and/or native backend; the [`checks`]
+//! module turns the `rws-analysis` bound formulas into structured pass/fail
+//! [`rws_analysis::BoundCheck`] verdicts — the paper's theory as an executable regression
+//! suite; and [`report`] emits everything as one validated `rws-lab-report/v1` JSON
+//! document.
+//!
+//! The [`json`] module is the workspace's single hand-rolled JSON writer/validator
+//! (`rws-bench`'s `BENCH_native.json` emitter renders through it too).
+//!
+//! The `lab` binary runs a scenario file end to end and exits nonzero on any `Fail`
+//! verdict, which is what the CI smoke step gates on:
+//!
+//! ```text
+//! cargo run --release -p rws-lab --bin lab -- scenarios/quick.scn --out LAB_quick.json
+//! ```
+//!
+//! ```
+//! use rws_lab::{report, Scenario};
+//!
+//! let sc = Scenario::parse(
+//!     "name = demo\nworkload = prefix-sums\nn = 512\nbackends = sim\nseeds = 11\n\
+//!      sweep = procs: 1, 2",
+//! )
+//! .unwrap();
+//! let result = report::run(&sc);
+//! assert!(result.all_passed());
+//! report::validate_report(&result.to_json()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod json;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use checks::CheckRecord;
+pub use report::{LabReport, SCHEMA};
+pub use scenario::{BackendChoice, CheckKind, Scenario, ScenarioError, SweepAxis, WorkloadKind};
+pub use sweep::{LabRun, RunRecord, RunSpec};

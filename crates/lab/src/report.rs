@@ -1,0 +1,219 @@
+//! The lab report: one scenario's runs and verdicts, as a summary table and as the
+//! validated `rws-lab-report/v1` JSON document.
+//!
+//! JSON schema (all keys always present):
+//!
+//! ```text
+//! {
+//!   "schema": "rws-lab-report/v1",
+//!   "scenario": <name>, "workload": <full workload name>,
+//!   "work": W, "t_inf": T∞, "native_fallback": bool,
+//!   "runs": [ { "backend", "executor", "procs", "seed", "axis", "axis_value",
+//!               "steals", "failed_steals", "work_items", "time_units", "time_unit",
+//!               "wall_ns", "cache_misses", "block_misses", "false_sharing_misses",
+//!               "sequential_fallback" } ],
+//!   "checks": [ { "run", "name", "measured", "bound", "slack", "ratio", "verdict" } ],
+//!   "summary": { "runs", "checks", "failed" }
+//! }
+//! ```
+//!
+//! `axis`/`axis_value` are `null` for unswept runs; `run` indexes into `runs`.
+
+use crate::checks::{evaluate, CheckRecord};
+use crate::json::{self, obj, Json};
+use crate::scenario::Scenario;
+use crate::sweep::{run_scenario, LabRun};
+
+/// The schema tag of the emitted JSON document.
+pub const SCHEMA: &str = "rws-lab-report/v1";
+
+/// All results of one scenario: the executed runs plus the evaluated verdicts.
+#[derive(Clone, Debug)]
+pub struct LabReport {
+    /// The executed runs.
+    pub lab: LabRun,
+    /// The evaluated checks (simulated runs only; see [`crate::checks`]).
+    pub checks: Vec<CheckRecord>,
+}
+
+/// Run a scenario end to end: sweep, execute on every backend, evaluate the checks.
+pub fn run(sc: &Scenario) -> LabReport {
+    let lab = run_scenario(sc);
+    let checks = evaluate(sc, &lab);
+    LabReport { lab, checks }
+}
+
+impl LabReport {
+    /// Number of checks whose verdict is `Fail`.
+    pub fn failed_checks(&self) -> usize {
+        self.checks.iter().filter(|c| !c.check.passed()).count()
+    }
+
+    /// Whether every evaluated check passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed_checks() == 0
+    }
+
+    /// Human-readable summary: one line per run, one line per check, one closing line.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "scenario {}: {} (W = {}, T_inf = {}){}",
+            self.lab.scenario,
+            self.lab.workload,
+            self.lab.work,
+            self.lab.t_inf,
+            if self.lab.native_fallback { " [native = sequential fallback]" } else { "" }
+        ));
+        for (i, r) in self.lab.records.iter().enumerate() {
+            let axis = match r.spec.axis {
+                Some((name, v)) => format!(" {name}={v}"),
+                None => String::new(),
+            };
+            lines.push(format!(
+                "  run {i}: {}{axis} seed={} -> {} steals, {} work items, {} {}{}",
+                r.report.executor,
+                r.spec.seed,
+                r.report.steals,
+                r.report.work_items,
+                r.report.time_units,
+                r.report.backend.time_unit(),
+                if r.report.sequential_fallback { " (sequential fallback)" } else { "" }
+            ));
+        }
+        for c in &self.checks {
+            lines.push(format!("  run {}: {}", c.run, c.check.summary()));
+        }
+        lines.push(format!(
+            "{}: {} runs, {} checks, {} failed",
+            if self.all_passed() { "PASS" } else { "FAIL" },
+            self.lab.records.len(),
+            self.checks.len(),
+            self.failed_checks()
+        ));
+        lines
+    }
+
+    /// Render the `rws-lab-report/v1` JSON document (always passes [`validate_report`]).
+    pub fn to_json(&self) -> String {
+        let runs: Vec<Json> = self
+            .lab
+            .records
+            .iter()
+            .map(|r| {
+                let (axis, axis_value) = match r.spec.axis {
+                    Some((name, v)) => (Json::from(name), Json::from(v)),
+                    None => (Json::Null, Json::Null),
+                };
+                obj([
+                    ("backend", r.spec.backend.name().into()),
+                    ("executor", r.report.executor.as_str().into()),
+                    ("procs", r.spec.procs.into()),
+                    ("seed", r.spec.seed.into()),
+                    ("axis", axis),
+                    ("axis_value", axis_value),
+                    ("steals", r.report.steals.into()),
+                    ("failed_steals", r.report.failed_steals.into()),
+                    ("work_items", r.report.work_items.into()),
+                    ("time_units", r.report.time_units.into()),
+                    ("time_unit", r.report.backend.time_unit().into()),
+                    ("wall_ns", u64::try_from(r.report.wall.as_nanos()).unwrap_or(u64::MAX).into()),
+                    ("cache_misses", r.report.cache_misses.into()),
+                    ("block_misses", r.report.block_misses.into()),
+                    ("false_sharing_misses", r.report.false_sharing_misses.into()),
+                    ("sequential_fallback", r.report.sequential_fallback.into()),
+                ])
+            })
+            .collect();
+        let checks: Vec<Json> = self
+            .checks
+            .iter()
+            .map(|c| {
+                obj([
+                    ("run", c.run.into()),
+                    ("name", c.check.name.as_str().into()),
+                    ("measured", c.check.measured.into()),
+                    ("bound", c.check.bound.into()),
+                    ("slack", c.check.slack.into()),
+                    ("ratio", c.check.ratio().into()),
+                    ("verdict", c.check.verdict.label().into()),
+                ])
+            })
+            .collect();
+        obj([
+            ("schema", SCHEMA.into()),
+            ("scenario", self.lab.scenario.as_str().into()),
+            ("workload", self.lab.workload.as_str().into()),
+            ("work", self.lab.work.into()),
+            ("t_inf", self.lab.t_inf.into()),
+            ("native_fallback", self.lab.native_fallback.into()),
+            ("runs", runs.into()),
+            ("checks", checks.into()),
+            (
+                "summary",
+                obj([
+                    ("runs", self.lab.records.len().into()),
+                    ("checks", self.checks.len().into()),
+                    ("failed", self.failed_checks().into()),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// Validate an emitted lab-report document: structurally well-formed JSON carrying the
+/// schema tag and the required top-level keys.
+pub fn validate_report(doc: &str) -> Result<(), String> {
+    json::validate_with_keys(doc, &["schema", "scenario", "runs", "checks", "summary"])?;
+    if !doc.contains(SCHEMA) {
+        return Err(format!("document does not carry the `{SCHEMA}` schema tag"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> LabReport {
+        let sc = Scenario::parse(
+            "name = tiny\nworkload = prefix-sums\nn = 256\nbackends = sim, native\n\
+             seeds = 11\nsweep = procs: 1, 2",
+        )
+        .unwrap();
+        run(&sc)
+    }
+
+    #[test]
+    fn end_to_end_report_validates_and_passes() {
+        let report = tiny_report();
+        assert_eq!(report.lab.records.len(), 4);
+        assert_eq!(report.checks.len(), 2 * 3, "two sim runs x three default checks");
+        assert!(report.all_passed(), "{:?}", report.summary_lines());
+        let doc = report.to_json();
+        validate_report(&doc).expect("emitted lab report must validate");
+        for key in
+            ["\"axis\"", "\"verdict\"", "\"sequential_fallback\"", "\"block_misses\"", "\"ratio\""]
+        {
+            assert!(doc.contains(key), "missing {key} in\n{doc}");
+        }
+    }
+
+    #[test]
+    fn summary_lines_name_every_run_and_check() {
+        let report = tiny_report();
+        let lines = report.summary_lines();
+        assert_eq!(lines.len(), 1 + 4 + 6 + 1);
+        assert!(lines.last().unwrap().starts_with("PASS"));
+        assert!(lines[1].contains("seed=11"));
+    }
+
+    #[test]
+    fn validate_report_rejects_foreign_documents() {
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report("not json").is_err());
+        let wrong_schema = tiny_report().to_json().replace(SCHEMA, "other/v9");
+        assert!(validate_report(&wrong_schema).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The sweep engine: expand a [`Scenario`] into concrete runs and execute them through the
+//! [`rws_exec::Executor`] trait on each requested backend.
+
+use crate::scenario::{BackendChoice, Scenario, SweepAxis};
+use rws_core::SimConfig;
+use rws_exec::{ExecReport, Executor, NativeExecutor, SimExecutor};
+use rws_machine::MachineConfig;
+
+/// One expanded run: the backend, the concrete machine/pool shape, and the seed.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Which backend executes this run.
+    pub backend: BackendChoice,
+    /// Processors (simulated) or worker threads (native).
+    pub procs: usize,
+    /// The simulated machine for this run (also carries the analysis parameters the checks
+    /// use; for native runs it is the scenario machine at this run's thread count).
+    pub machine: MachineConfig,
+    /// Scheduler seed (repetition index on the native backend).
+    pub seed: u64,
+    /// The sweep-axis value this run belongs to, if the scenario sweeps
+    /// (`(axis name, value)`); `None` for native runs under a sim-only axis.
+    pub axis: Option<(&'static str, u64)>,
+}
+
+/// One executed run: its spec and the normalized report.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The expanded spec that produced this run.
+    pub spec: RunSpec,
+    /// The backend's normalized report.
+    pub report: ExecReport,
+}
+
+/// All results of one scenario execution.
+#[derive(Clone, Debug)]
+pub struct LabRun {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The instantiated workload's full name (algorithm + size).
+    pub workload: String,
+    /// Whether the workload's native leg is the sequential fallback.
+    pub native_fallback: bool,
+    /// The dag's work `W` (total operations).
+    pub work: u64,
+    /// The dag's span `T∞` in nodes (critical-path length the steal bounds use).
+    pub t_inf: u64,
+    /// One record per executed run, in expansion order.
+    pub records: Vec<RunRecord>,
+}
+
+/// Expand a scenario into the concrete list of runs the engine will execute:
+/// `backends × sweep values × seeds`, in that nesting order.
+///
+/// The native backend has no simulated-machine parameters, so under a
+/// [`SweepAxis::BlockWords`] sweep native runs are *not* multiplied by the axis — they
+/// execute once per seed at the scenario's `procs` (with `axis = None`), serving as the
+/// wall-clock companion measurement.
+pub fn expand(sc: &Scenario) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for &backend in &sc.backends {
+        let axis_values: Vec<Option<(&'static str, u64)>> = match (&sc.sweep, backend) {
+            (None, _) => vec![None],
+            (Some(SweepAxis::Procs(vs)), _) => {
+                vs.iter().map(|&p| Some(("procs", p as u64))).collect()
+            }
+            (Some(SweepAxis::BlockWords(vs)), BackendChoice::Sim) => {
+                vs.iter().map(|&b| Some(("block_words", b))).collect()
+            }
+            (Some(SweepAxis::BlockWords(_)), BackendChoice::Native) => vec![None],
+        };
+        for axis in axis_values {
+            let mut machine = sc.machine.clone();
+            let mut procs = sc.procs;
+            match axis {
+                Some(("procs", p)) => procs = p as usize,
+                Some(("block_words", b)) => machine.block_words = b,
+                _ => {}
+            }
+            machine.procs = procs;
+            for &seed in &sc.seeds {
+                specs.push(RunSpec { backend, procs, machine: machine.clone(), seed, axis });
+            }
+        }
+    }
+    specs
+}
+
+/// Execute every expanded run of the scenario and collect the records.
+///
+/// Native pools are built once per distinct thread count and reused across seeds (pool
+/// construction is thread spawning; the runs are what is being measured). Simulated runs
+/// construct one seeded scheduler each — that is what makes them reproducible.
+pub fn run_scenario(sc: &Scenario) -> LabRun {
+    let workload = sc.instantiate();
+    let comp = workload.computation();
+    let (work, t_inf) = (comp.dag.work(), comp.dag.span_nodes());
+
+    let mut records = Vec::new();
+    let mut native_pool: Option<NativeExecutor> = None;
+    for spec in expand(sc) {
+        let report = match spec.backend {
+            BackendChoice::Sim => {
+                let exec = SimExecutor::new(spec.machine.clone(), SimConfig::with_seed(spec.seed));
+                exec.execute(workload.clone()).report
+            }
+            BackendChoice::Native => {
+                let reusable = native_pool.as_ref().is_some_and(|p| p.procs() == spec.procs);
+                if !reusable {
+                    native_pool = Some(NativeExecutor::new(spec.procs));
+                }
+                native_pool.as_ref().expect("just built").execute(workload.clone()).report
+            }
+        };
+        records.push(RunRecord { spec, report });
+    }
+
+    LabRun {
+        scenario: sc.name.clone(),
+        workload: workload.name(),
+        native_fallback: workload.native_support().is_fallback(),
+        work,
+        t_inf,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn parse(text: &str) -> Scenario {
+        Scenario::parse(text).expect("test scenario must parse")
+    }
+
+    #[test]
+    fn expansion_is_backends_times_axis_times_seeds() {
+        let sc = parse(
+            "name = x\nworkload = prefix-sums\nn = 256\nbackends = sim, native\n\
+             seeds = 1, 2\nsweep = procs: 1, 2, 4",
+        );
+        let specs = expand(&sc);
+        assert_eq!(specs.len(), 2 * 3 * 2);
+        assert!(specs.iter().all(|s| s.axis.is_some()));
+        // The axis drives both the sim machine and the native thread count.
+        for s in &specs {
+            assert_eq!(s.axis.unwrap().1 as usize, s.procs);
+            assert_eq!(s.machine.procs, s.procs);
+        }
+    }
+
+    #[test]
+    fn block_word_sweeps_do_not_multiply_native_runs() {
+        let sc = parse(
+            "name = x\nworkload = prefix-sums\nn = 256\nbackends = sim, native\n\
+             seeds = 7\nprocs = 2\nsweep = block_words: 4, 8, 16",
+        );
+        let specs = expand(&sc);
+        let sim: Vec<_> = specs.iter().filter(|s| s.backend == BackendChoice::Sim).collect();
+        let native: Vec<_> = specs.iter().filter(|s| s.backend == BackendChoice::Native).collect();
+        assert_eq!(sim.len(), 3, "one sim run per block size");
+        assert_eq!(native.len(), 1, "block size does not exist natively");
+        assert!(native[0].axis.is_none());
+        assert_eq!(sim.iter().map(|s| s.machine.block_words).collect::<Vec<_>>(), vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn run_scenario_executes_every_spec() {
+        let sc = parse(
+            "name = tiny\nworkload = prefix-sums\nn = 256\nbackends = sim, native\n\
+             seeds = 11\nsweep = procs: 1, 2",
+        );
+        let lab = run_scenario(&sc);
+        assert_eq!(lab.records.len(), 4);
+        assert!(lab.work > 0 && lab.t_inf > 0);
+        assert!(!lab.native_fallback, "prefix sums has a real parallel kernel");
+        for r in &lab.records {
+            assert_eq!(r.report.procs, r.spec.procs);
+            assert!(r.report.work_items > 0);
+        }
+        // Simulated runs are seeded: the same scenario reruns identically.
+        let again = run_scenario(&sc);
+        for (a, b) in lab.records.iter().zip(&again.records) {
+            if a.spec.backend == BackendChoice::Sim {
+                assert_eq!(a.report.steals, b.report.steals);
+                assert_eq!(a.report.time_units, b.report.time_units);
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_workloads_are_flagged() {
+        let sc = parse("name = f\nworkload = fft\nn = 64\nbackends = native\nseeds = 1");
+        let lab = run_scenario(&sc);
+        assert!(lab.native_fallback);
+        assert!(lab.records.iter().all(|r| r.report.sequential_fallback));
+    }
+}

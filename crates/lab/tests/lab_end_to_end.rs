@@ -1,0 +1,90 @@
+//! End-to-end: the committed scenario files under `scenarios/` must parse, run on their
+//! declared backends, pass every bound check on the simulator, and emit validated JSON —
+//! the same invariant the CI `lab smoke` step gates on through the `lab` binary.
+
+use rws_lab::{report, BackendChoice, Scenario};
+
+fn scenarios_dir() -> std::path::PathBuf {
+    // crates/lab/tests -> repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn load(name: &str) -> Scenario {
+    let path = scenarios_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Scenario::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn committed_scenarios_all_parse() {
+    let dir = scenarios_dir();
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "scn") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            Scenario::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            count += 1;
+        }
+    }
+    assert!(count >= 4, "expected the committed scenario set, found {count}");
+}
+
+#[test]
+fn quick_scenario_runs_both_backends_and_passes() {
+    // The CI smoke scenario: both backends, at least three passing verdicts.
+    let sc = load("quick.scn");
+    assert!(sc.backends.contains(&BackendChoice::Sim));
+    assert!(sc.backends.contains(&BackendChoice::Native));
+    let result = report::run(&sc);
+    let sim_runs =
+        result.lab.records.iter().filter(|r| r.spec.backend == BackendChoice::Sim).count();
+    let native_runs = result.lab.records.len() - sim_runs;
+    assert!(sim_runs > 0 && native_runs > 0, "the same workload must run on both backends");
+    assert!(result.checks.len() >= 3, "need at least three bound-check verdicts");
+    for kind in ["steals", "block-misses", "runtime"] {
+        assert!(
+            result.checks.iter().any(|c| c.check.name == kind),
+            "missing a `{kind}` verdict"
+        );
+    }
+    assert!(result.all_passed(), "{:#?}", result.summary_lines());
+    assert!(!result.lab.native_fallback, "the smoke workload must have a real parallel kernel");
+    let doc = result.to_json();
+    report::validate_report(&doc).expect("quick scenario JSON must validate");
+}
+
+#[test]
+fn ported_experiment_scenarios_pass_their_checks() {
+    // E1/E2 (MM cache misses vs steals) and E8/E9 (BP steal bounds under a block-size
+    // sweep) as scenario files: the declarative subsystem subsumes the hand-written
+    // experiment functions, now with machine-checked verdicts instead of printed tables.
+    for name in ["e1_mm_cache_misses.scn", "e8_steal_bounds.scn"] {
+        let sc = load(name);
+        let result = report::run(&sc);
+        assert!(!result.checks.is_empty(), "{name} must evaluate checks");
+        assert!(
+            result.all_passed(),
+            "{name} failed:\n{}",
+            result.summary_lines().join("\n")
+        );
+        report::validate_report(&result.to_json()).unwrap();
+    }
+}
+
+#[test]
+fn native_sweep_scenario_mirrors_the_bench_thread_sweep() {
+    // The native_bench-style thread sweep as a scenario: native-only, no sim checks, but
+    // every run recorded with the honesty flag and the shared JSON schema.
+    let sc = load("native_threads.scn");
+    assert_eq!(sc.backends, vec![BackendChoice::Native]);
+    let result = report::run(&sc);
+    assert!(result.checks.is_empty(), "no simulated runs, so no bound verdicts");
+    assert!(result.lab.records.len() >= 2);
+    assert!(result.lab.records.iter().all(|r| !r.report.sequential_fallback));
+    let doc = result.to_json();
+    report::validate_report(&doc).unwrap();
+    assert!(doc.contains("\"backend\": \"native\""));
+}

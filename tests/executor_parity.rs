@@ -36,6 +36,19 @@ fn assert_parity(workload: SharedWorkload) {
         );
         assert_eq!(outcome.report.workload, workload.name());
         assert_eq!(outcome.report.backend, exec.backend());
+        // Backend honesty: a native run of a workload whose parallel kernel has not landed
+        // must be labeled as the sequential fallback it is, and a real parallel kernel (or
+        // any simulated run, whose dag genuinely schedules across procs) must not be.
+        let expect_fallback =
+            exec.backend() == Backend::Native && workload.native_support().is_fallback();
+        assert_eq!(
+            outcome.report.sequential_fallback,
+            expect_fallback,
+            "{} must label {} runs correctly (native_support = {})",
+            exec.name(),
+            workload.name(),
+            workload.native_support().label()
+        );
         // The substantive sim-leg check: the scheduler really executed the workload's dag,
         // conserving its work.
         if let Some(sim) = &outcome.report.sim {
@@ -69,10 +82,16 @@ fn sort_agrees_across_all_executors() {
 fn stub_native_workloads_run_end_to_end_on_every_executor() {
     // These workloads' run_native() is currently the sequential reference, so output parity
     // is trivially true; what this exercises is that they flow through both backends end to
-    // end (dag scheduling with work conservation on sim, pool installation on native).
-    assert_parity(Arc::new(FftWorkload::demo(128)));
-    assert_parity(Arc::new(TransposeWorkload::demo(8, 2)));
-    assert_parity(Arc::new(ListRankWorkload::demo(64)));
+    // end (dag scheduling with work conservation on sim, pool installation on native), and
+    // that every native leg is stamped as a sequential fallback (asserted in assert_parity).
+    for w in [
+        Arc::new(FftWorkload::demo(128)) as rws_exec::SharedWorkload,
+        Arc::new(TransposeWorkload::demo(8, 2)),
+        Arc::new(ListRankWorkload::demo(64)),
+    ] {
+        assert!(w.native_support().is_fallback(), "{} must declare its stub", w.name());
+        assert_parity(w);
+    }
 }
 
 #[test]
@@ -114,6 +133,15 @@ fn sim_and_native_reports_share_one_schema() {
     assert!(native.report.time_units > 0);
     assert_eq!(sim.report.procs, 8);
     assert_eq!(native.report.procs, 2);
+    // …including the flat memory-system counters, populated where the backend measures them
+    // (the simulator) and zero where it cannot (no native cache instrumentation)…
+    assert!(sim.report.cache_misses > 0);
+    let sim_detail = sim.report.sim.as_ref().expect("sim detail preserved");
+    assert_eq!(sim.report.cache_misses, sim_detail.cache_misses());
+    assert_eq!(sim.report.block_misses, sim_detail.block_misses());
+    assert_eq!(sim.report.false_sharing_misses, sim_detail.false_sharing_misses());
+    assert_eq!(native.report.cache_misses, 0);
+    assert_eq!(native.report.block_misses, 0);
     // …and backend-specific detail only where it exists.
     assert!(sim.report.sim.is_some());
     assert!(native.report.sim.is_none());
