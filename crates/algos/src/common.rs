@@ -1,6 +1,7 @@
-//! Shared building blocks for the algorithm dag builders: the global-array arena and the
+//! Shared building blocks for the algorithm dag builders — the global-array arena and the
 //! destination abstraction (global array vs local array on an enclosing execution-stack
-//! segment).
+//! segment) — plus the fork-join recursion helpers the native kernels share
+//! ([`par_chunks_mut`], [`join4`]).
 
 use rws_dag::{Addr, WorkUnit};
 
@@ -144,6 +145,68 @@ pub fn balanced_levels(k: usize) -> u32 {
     k.trailing_zeros()
 }
 
+// ------------------------------------------------------------------------------------------
+// Native fork-join recursion helpers
+// ------------------------------------------------------------------------------------------
+
+/// Apply `f` to every `chunk`-sized piece of `data` (the last piece may be shorter),
+/// fork-joining over a balanced binary tree of [`rws_runtime::join`] splits — the native
+/// mirror of the balanced BP trees the dag builders emit over leaf ranges.
+///
+/// `f` receives the chunk index and the chunk as a disjoint `&mut` borrow, so parallel
+/// branches never alias; shared inputs are read through whatever `&` captures `f` holds.
+/// Outside a pool worker the joins degrade to sequential calls, exactly like every other
+/// native kernel.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "par_chunks_mut needs a positive chunk size");
+    fn rec<T, F>(data: &mut [T], first: usize, chunk: usize, f: &F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunks = data.len().div_ceil(chunk);
+        if chunks <= 1 {
+            if !data.is_empty() {
+                f(first, data);
+            }
+            return;
+        }
+        let mid = (chunks / 2) * chunk;
+        let (lo, hi) = data.split_at_mut(mid);
+        rws_runtime::join(
+            || rec(lo, first, chunk, f),
+            || rec(hi, first + chunks / 2, chunk, f),
+        );
+    }
+    rec(data, 0, chunk, f)
+}
+
+/// Run four closures as one parallel collection (two nested [`rws_runtime::join`] levels)
+/// and return their results — the native mirror of a four-child balanced fork, used by the
+/// quadrant-recursive kernels.
+pub fn join4<R1, R2, R3, R4>(
+    f1: impl FnOnce() -> R1 + Send,
+    f2: impl FnOnce() -> R2 + Send,
+    f3: impl FnOnce() -> R3 + Send,
+    f4: impl FnOnce() -> R4 + Send,
+) -> (R1, R2, R3, R4)
+where
+    R1: Send,
+    R2: Send,
+    R3: Send,
+    R4: Send,
+{
+    let ((r1, r2), (r3, r4)) = rws_runtime::join(
+        || rws_runtime::join(f1, f2),
+        || rws_runtime::join(f3, f4),
+    );
+    (r1, r2, r3, r4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +268,25 @@ mod tests {
         assert_eq!(balanced_levels(2), 1);
         assert_eq!(balanced_levels(4), 2);
         assert_eq!(balanced_levels(8), 3);
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_exactly_once() {
+        for (len, chunk) in [(0usize, 4usize), (1, 4), (7, 3), (16, 4), (17, 4), (5, 100)] {
+            let mut data = vec![0usize; len];
+            par_chunks_mut(&mut data, chunk, &|idx, part: &mut [usize]| {
+                for (off, v) in part.iter_mut().enumerate() {
+                    *v = idx * chunk + off + 1;
+                }
+            });
+            let expected: Vec<usize> = (1..=len).collect();
+            assert_eq!(data, expected, "len {len}, chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn join4_returns_all_four_results() {
+        let (a, b, c, d) = join4(|| 1, || "two", || 3.0, || vec![4]);
+        assert_eq!((a, b, c, d), (1, "two", 3.0, vec![4]));
     }
 }

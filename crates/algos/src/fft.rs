@@ -5,8 +5,13 @@
 //! factors, then performs `r` row FFTs of size `c` — two collections of recursive calls whose
 //! sizes shrink as `s(n) = √n`, which is exactly case (ii) of Theorem 6.3. Intermediate
 //! results live in a local array so every variable is written O(1) times.
+//!
+//! [`fft_native`] is the same decomposition run for real on the `rws-runtime` work-stealing
+//! pool: each recursion level fork-joins its column-FFT, twiddle, and row-FFT collections
+//! over disjoint borrowed chunks of a per-call scratch array, with the dag's base-case
+//! cutoff ending the recursion in an iterative radix-2 leaf.
 
-use crate::common::{balanced_levels, Dest};
+use crate::common::{balanced_levels, par_chunks_mut, Dest};
 use rws_dag::builders::BalancedTreeBuilder;
 use rws_dag::{Addr, AlgoMeta, Computation, NodeId, Shrink, SpDagBuilder, WorkUnit};
 use serde::{Deserialize, Serialize};
@@ -162,11 +167,11 @@ fn c_mul(a: Complex, b: Complex) -> Complex {
     (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
 }
 
-/// Iterative radix-2 Cooley–Tukey FFT (the correctness oracle).
-pub fn fft_reference(input: &[Complex]) -> Vec<Complex> {
-    let n = input.len();
-    assert!(n.is_power_of_two());
-    let mut a = input.to_vec();
+/// Iterative radix-2 Cooley–Tukey FFT of a power-of-two-length buffer, in place (shared by
+/// the reference and the native kernel's base case).
+fn fft_in_place(a: &mut [Complex]) {
+    let n = a.len();
+    debug_assert!(n.is_power_of_two());
     // Bit-reversal permutation (nothing to do for n = 1).
     let bits = n.trailing_zeros();
     if bits > 0 {
@@ -193,7 +198,122 @@ pub fn fft_reference(input: &[Complex]) -> Vec<Complex> {
         }
         len *= 2;
     }
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT (the correctness oracle).
+pub fn fft_reference(input: &[Complex]) -> Vec<Complex> {
+    assert!(input.len().is_power_of_two());
+    let mut a = input.to_vec();
+    fft_in_place(&mut a);
     a
+}
+
+// ------------------------------------------------------------------------------------------
+// Native fork-join kernel
+// ------------------------------------------------------------------------------------------
+
+/// A read-only strided view of a shared complex buffer: element `t` is
+/// `data[offset + t * stride]`. Sub-FFT inputs at every level (residue classes of the
+/// source, rows of the column-FFT scratch) are exactly such views, so the recursion can
+/// borrow instead of gathering eagerly.
+#[derive(Clone, Copy)]
+struct Strided<'a> {
+    data: &'a [Complex],
+    offset: usize,
+    stride: usize,
+}
+
+impl Strided<'_> {
+    fn get(&self, t: usize) -> Complex {
+        self.data[self.offset + t * self.stride]
+    }
+
+    /// The sub-view selecting every `c`-th element starting at element `j` of this view.
+    fn class(self, j: usize, c: usize) -> Self {
+        Strided { data: self.data, offset: self.offset + j * self.stride, stride: self.stride * c }
+    }
+}
+
+/// Native fork-join FFT on the `rws-runtime` work-stealing pool — the same √n decomposition
+/// as [`fft_computation`]'s dag, executed for real.
+///
+/// With `m = r·c` (`r ≥ c`, both powers of two, as in the dag builder), one recursion level
+/// runs three sequenced parallel collections over a per-call scratch array:
+///
+/// 1. **`c` column FFTs of size `r`** — residue class `j₁` of the input (elements
+///    `x[j₁ + c·j₂]`) transforms into scratch row `j₁`;
+/// 2. **the twiddle pass** — scratch entry `(j₁, k₂)` is scaled by `ω_m^{j₁·k₂}`;
+/// 3. **`r` row FFTs of size `c`** — strided row `k₂` of the scratch transforms into a
+///    second scratch, and a final parallel pass writes `X[k₂ + r·k₁]` into the destination
+///    in natural order.
+///
+/// Every parallel branch borrows a disjoint `&mut` chunk of the scratch (via
+/// [`par_chunks_mut`]); the recursion bottoms out at `base` with an iterative radix-2 leaf,
+/// mirroring the dag's base case. Call from inside [`rws_runtime::ThreadPool::install`] for
+/// parallel execution; outside a pool worker the joins degrade to sequential calls.
+pub fn fft_native(input: &[Complex], base: usize) -> Vec<Complex> {
+    assert!(input.len().is_power_of_two(), "fft length must be a power of two");
+    assert!(base.is_power_of_two() && base >= 1, "fft base case must be a power of two");
+    let mut out = vec![(0.0, 0.0); input.len()];
+    fft_rec(
+        Strided { data: input, offset: 0, stride: 1 },
+        input.len(),
+        &mut out,
+        base,
+    );
+    out
+}
+
+/// Transform the `m`-element sequence viewed by `src` into `dst` (natural DFT order).
+fn fft_rec(src: Strided<'_>, m: usize, dst: &mut [Complex], base: usize) {
+    debug_assert_eq!(dst.len(), m);
+    // m = 2 must be a leaf regardless of `base`: its split is r = 2, c = 1, whose "column
+    // FFT" would be this very problem again.
+    if m <= base.max(2) {
+        for (t, d) in dst.iter_mut().enumerate() {
+            *d = src.get(t);
+        }
+        fft_in_place(dst);
+        return;
+    }
+    // Split m = r * c with r >= c, both powers of two (the dag builder's split).
+    let log_m = m.trailing_zeros();
+    let r = 1usize << log_m.div_ceil(2);
+    let c = m / r;
+
+    // Collection 1: c column FFTs of size r, one per residue class mod c, each writing a
+    // contiguous scratch row.
+    let mut scratch = vec![(0.0, 0.0); m];
+    par_chunks_mut(&mut scratch, r, &|j1, row: &mut [Complex]| {
+        fft_rec(src.class(j1, c), r, row, base);
+    });
+
+    // Twiddle pass: scratch[j1 * r + k2] *= ω_m^{j1·k2} (one trig evaluation per element
+    // keeps the error independent of the recursion shape).
+    par_chunks_mut(&mut scratch, r, &|j1, row: &mut [Complex]| {
+        for (k2, v) in row.iter_mut().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * (j1 * k2) as f64 / m as f64;
+            *v = c_mul(*v, (angle.cos(), angle.sin()));
+        }
+    });
+
+    // Collection 2: r row FFTs of size c reading strided scratch rows; row k2 produces
+    // X[k2 + r·k1] for k1 in 0..c, written contiguously into a second scratch.
+    let scratch = scratch; // froze: stage 3 only reads it
+    let mut rows = vec![(0.0, 0.0); m];
+    par_chunks_mut(&mut rows, c, &|k2, row: &mut [Complex]| {
+        fft_rec(Strided { data: &scratch, offset: k2, stride: r }, c, row, base);
+    });
+
+    // Final pass: transpose the (r × c) result back into natural order, parallel over
+    // disjoint destination chunks.
+    let rows = rows;
+    par_chunks_mut(dst, r, &|chunk_idx, part: &mut [Complex]| {
+        for (off, d) in part.iter_mut().enumerate() {
+            let k = chunk_idx * r + off;
+            *d = rows[(k % r) * c + k / r];
+        }
+    });
 }
 
 /// Naive O(n²) DFT used to validate the FFT reference.
@@ -227,6 +347,35 @@ mod tests {
             for (a, b) in fast.iter().zip(&slow) {
                 assert!((a.0 - b.0).abs() < 1e-6 && (a.1 - b.1).abs() < 1e-6);
             }
+        }
+    }
+
+    #[test]
+    fn native_kernel_matches_the_references_outside_a_pool() {
+        // Outside a pool worker the joins run sequentially; correctness is identical.
+        let mut rng = SmallRng::seed_from_u64(17);
+        for n in [1usize, 2, 4, 8, 16, 64, 256, 1024] {
+            let input: Vec<Complex> =
+                (0..n).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            for base in [1usize, 4, 16] {
+                let fast = fft_native(&input, base);
+                let oracle = fft_reference(&input);
+                for (a, b) in fast.iter().zip(&oracle) {
+                    assert!(
+                        (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9,
+                        "n = {n}, base = {base}: {a:?} != {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_kernel_of_impulse_is_constant() {
+        let mut input = vec![(0.0, 0.0); 64];
+        input[0] = (1.0, 0.0);
+        for v in fft_native(&input, 4) {
+            assert!((v.0 - 1.0).abs() < 1e-9 && v.1.abs() < 1e-9);
         }
     }
 

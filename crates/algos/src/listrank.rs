@@ -6,7 +6,13 @@
 //! BP computation over the whole instance (pointer jumping for list ranking, label
 //! propagation for connected components). Each round writes a fresh output array so the
 //! computation stays limited-access.
+//!
+//! [`list_ranking_native`] runs the same round structure for real on the `rws-runtime`
+//! pool: each pointer-jumping round fork-joins over disjoint chunks of a double-buffered
+//! successor/rank state, so parallel branches only borrow (the fresh buffer mutably and
+//! disjointly, the previous round's buffer shared).
 
+use crate::common::par_chunks_mut;
 use rws_dag::builders::BalancedTreeBuilder;
 use rws_dag::{Addr, AlgoMeta, Computation, NodeId, SpDagBuilder, WorkUnit};
 use serde::{Deserialize, Serialize};
@@ -173,6 +179,44 @@ pub fn list_ranking_reference(succ: &[usize]) -> Vec<u64> {
     rank
 }
 
+/// Elements per fork-join leaf of the native pointer-jumping rounds (the native analogue
+/// of [`ListRankConfig::chunk`], sized so leaf work dominates fork overhead).
+const NATIVE_CHUNK: usize = 256;
+
+/// Native fork-join list ranking on the `rws-runtime` work-stealing pool — the same
+/// round-synchronized pointer jumping as [`list_ranking_computation`]'s dag, executed for
+/// real.
+///
+/// Rounds are sequenced; within a round, [`par_chunks_mut`] fork-joins over disjoint
+/// chunks of the fresh `(successor, rank)` buffer while every branch reads the previous
+/// round's buffer through a shared borrow — double buffering, exactly like the dag's
+/// fresh per-round output arrays. The round count and update rule are identical to
+/// [`list_ranking_reference`], so the two agree element-for-element even on inputs with no
+/// fixed point (cycles), where the final ranks depend on the number of rounds performed.
+/// Outside a pool worker the joins run sequentially.
+pub fn list_ranking_native(succ: &[usize]) -> Vec<u64> {
+    let n = succ.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut cur: Vec<(usize, u64)> =
+        succ.iter().enumerate().map(|(i, &s)| (s, u64::from(s != i))).collect();
+    let rounds = (n as f64).log2().ceil() as usize + 1;
+    for _ in 0..rounds {
+        let mut next = vec![(0usize, 0u64); n];
+        par_chunks_mut(&mut next, NATIVE_CHUNK, &|chunk_idx, part: &mut [(usize, u64)]| {
+            let lo = chunk_idx * NATIVE_CHUNK;
+            for (off, out) in part.iter_mut().enumerate() {
+                let (s, r) = cur[lo + off];
+                let (s2, r2) = cur[s];
+                *out = (s2, r + r2);
+            }
+        });
+        cur = next;
+    }
+    cur.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Sequential connected components by label propagation; returns the smallest vertex id in
 /// each vertex's component.
 pub fn connected_components_reference(vertices: usize, edges: &[(usize, usize)]) -> Vec<usize> {
@@ -220,6 +264,19 @@ mod tests {
     fn list_ranking_reference_on_a_reversed_chain() {
         let succ = vec![0, 0, 1, 2];
         assert_eq!(list_ranking_reference(&succ), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn native_runner_matches_reference_outside_a_pool() {
+        // Outside a pool worker the joins run sequentially; correctness is identical.
+        // Chains (with a self-loop tail) have a fixed point; the shuffled ring has none,
+        // which is exactly where matching the reference's round count matters.
+        let chain: Vec<usize> = (0..1000).map(|i| (i + 1).min(999)).collect();
+        assert_eq!(list_ranking_native(&chain), list_ranking_reference(&chain));
+        let ring: Vec<usize> = (0..512).map(|i| (i + 3) % 512).collect();
+        assert_eq!(list_ranking_native(&ring), list_ranking_reference(&ring));
+        assert_eq!(list_ranking_native(&[]), Vec::<u64>::new());
+        assert_eq!(list_ranking_native(&[0]), vec![0]);
     }
 
     #[test]

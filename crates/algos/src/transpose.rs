@@ -9,8 +9,14 @@
 //!   (Lemma 4.7): recursively convert each quadrant into a local array, then merge the four
 //!   quadrant-RM arrays into the destination with a tree computation.
 //!   `W = O(n² log n)`, `T∞ = O(log² n)`.
+//!
+//! Each of the three computations also ships as a real fork-join kernel on the
+//! `rws-runtime` pool ([`transpose_native_bi`], [`rm_to_bi_native`], [`bi_to_rm_native`]):
+//! aligned BI quadrants are contiguous, so the quadrant recursion splits the buffer into
+//! disjoint borrowed `&mut` slices and forks with `rws_runtime::join` — the same
+//! decomposition the dag builders emit, executed for real.
 
-use crate::common::{balanced_levels, Dest};
+use crate::common::{balanced_levels, join4, par_chunks_mut, Dest};
 use crate::layout::{bi_quadrant_offset, bit_interleave};
 use rws_dag::builders::BalancedTreeBuilder;
 use rws_dag::{Addr, AlgoMeta, Computation, NodeId, Shrink, SpDagBuilder, WorkUnit};
@@ -93,6 +99,144 @@ pub fn transpose_reference(a: &[f64], n: usize) -> Vec<f64> {
         }
     }
     t
+}
+
+// ------------------------------------------------------------------------------------------
+// Native fork-join kernels
+// ------------------------------------------------------------------------------------------
+
+/// Split a BI-ordered `m × m` buffer into its four contiguous quadrant slices
+/// (TL, TR, BL, BR — each `(m/2)²` words).
+fn quads_mut(s: &mut [f64]) -> [&mut [f64]; 4] {
+    let quarter = s.len() / 4;
+    let (a, rest) = s.split_at_mut(quarter);
+    let (b, rest) = rest.split_at_mut(quarter);
+    let (c, d) = rest.split_at_mut(quarter);
+    [a, b, c, d]
+}
+
+/// In-place native fork-join transpose of an `n × n` matrix in BI layout — the same
+/// decomposition as [`transpose_bi_computation`]'s dag: diagonal quadrants transpose
+/// themselves, the off-diagonal pair swap-transposes, all three in one parallel collection
+/// over disjoint borrowed quadrant slices. Outside a pool worker the joins run
+/// sequentially.
+pub fn transpose_native_bi(a: &mut [f64], n: usize, base: usize) {
+    assert!(n.is_power_of_two() && base.is_power_of_two() && base >= 1 && base <= n);
+    assert_eq!(a.len(), n * n);
+    transpose_rec(a, n, base);
+}
+
+fn transpose_rec(a: &mut [f64], m: usize, base: usize) {
+    if m <= base {
+        // A diagonal tile: swap each (i, j) / (j, i) pair within the tile.
+        for i in 0..m as u64 {
+            for j in (i + 1)..m as u64 {
+                a.swap(bit_interleave(i, j) as usize, bit_interleave(j, i) as usize);
+            }
+        }
+        return;
+    }
+    let [tl, tr, bl, br] = quads_mut(a);
+    rws_runtime::join(
+        || rws_runtime::join(|| transpose_rec(tl, m / 2, base), || transpose_rec(br, m / 2, base)),
+        || swap_transpose_rec(tr, bl, m / 2, base),
+    );
+}
+
+/// Set `X ← Yᵀ` and `Y ← Xᵀ` for two disjoint BI-ordered `m × m` tiles; quadrant-wise,
+/// `X_q` pairs with `Y_{qᵀ}` (the dag's `build_swap`).
+fn swap_transpose_rec(x: &mut [f64], y: &mut [f64], m: usize, base: usize) {
+    if m <= base {
+        for i in 0..m as u64 {
+            for j in 0..m as u64 {
+                let xi = bit_interleave(i, j) as usize;
+                let yi = bit_interleave(j, i) as usize;
+                std::mem::swap(&mut x[xi], &mut y[yi]);
+            }
+        }
+        return;
+    }
+    let [x0, x1, x2, x3] = quads_mut(x);
+    let [y0, y1, y2, y3] = quads_mut(y);
+    join4(
+        || swap_transpose_rec(x0, y0, m / 2, base),
+        || swap_transpose_rec(x1, y2, m / 2, base),
+        || swap_transpose_rec(x2, y1, m / 2, base),
+        || swap_transpose_rec(x3, y3, m / 2, base),
+    );
+}
+
+/// Native fork-join conversion of a row-major `n × n` matrix into a fresh BI-ordered
+/// buffer — the fast tree computation of [`rm_to_bi_computation`] (Lemma 4.6): each
+/// quadrant of the (contiguous) BI destination is filled by an independent branch reading
+/// the corresponding aligned submatrix of the shared row-major source.
+pub fn rm_to_bi_native(rm: &[f64], n: usize, base: usize) -> Vec<f64> {
+    assert!(n.is_power_of_two() && base.is_power_of_two() && base >= 1 && base <= n);
+    assert_eq!(rm.len(), n * n);
+    let mut out = vec![0.0; n * n];
+    rm_to_bi_rec(rm, n, 0, 0, n, &mut out, base);
+    out
+}
+
+fn rm_to_bi_rec(rm: &[f64], n: usize, i0: usize, j0: usize, m: usize, out: &mut [f64], base: usize) {
+    if m <= base {
+        for di in 0..m {
+            for dj in 0..m {
+                out[bit_interleave(di as u64, dj as u64) as usize] = rm[(i0 + di) * n + (j0 + dj)];
+            }
+        }
+        return;
+    }
+    let h = m / 2;
+    let [q0, q1, q2, q3] = quads_mut(out);
+    join4(
+        || rm_to_bi_rec(rm, n, i0, j0, h, q0, base),
+        || rm_to_bi_rec(rm, n, i0, j0 + h, h, q1, base),
+        || rm_to_bi_rec(rm, n, i0 + h, j0, h, q2, base),
+        || rm_to_bi_rec(rm, n, i0 + h, j0 + h, h, q3, base),
+    );
+}
+
+/// Native fork-join conversion of a BI-ordered `n × n` matrix into a fresh row-major
+/// buffer — the paper's log²-depth algorithm of [`bi_to_rm_computation`] (Lemma 4.7): each
+/// quadrant converts into its own local array in one parallel collection, then a parallel
+/// row-merge pass interleaves quadrant rows into the destination.
+pub fn bi_to_rm_native(bi: &[f64], n: usize, base: usize) -> Vec<f64> {
+    assert!(n.is_power_of_two() && base.is_power_of_two() && base >= 1 && base <= n);
+    assert_eq!(bi.len(), n * n);
+    bi_to_rm_rec(bi, n, base)
+}
+
+/// Convert the contiguous BI `m × m` submatrix `bi` into an owned row-major array — the
+/// native analogue of the dag's per-call local result array.
+fn bi_to_rm_rec(bi: &[f64], m: usize, base: usize) -> Vec<f64> {
+    if m <= base {
+        let mut out = vec![0.0; m * m];
+        for di in 0..m {
+            for dj in 0..m {
+                out[di * m + dj] = bi[bit_interleave(di as u64, dj as u64) as usize];
+            }
+        }
+        return out;
+    }
+    let h = m / 2;
+    let s = h * h;
+    let (q0, q1, q2, q3) = (&bi[..s], &bi[s..2 * s], &bi[2 * s..3 * s], &bi[3 * s..]);
+    let (t0, t1, t2, t3) = join4(
+        || bi_to_rm_rec(q0, h, base),
+        || bi_to_rm_rec(q1, h, base),
+        || bi_to_rm_rec(q2, h, base),
+        || bi_to_rm_rec(q3, h, base),
+    );
+    // Merge pass: one branch per output row; row i (< h) interleaves TL row i and TR row
+    // i, row i (>= h) interleaves BL and BR rows (the dag's row-merge tree).
+    let mut out = vec![0.0; m * m];
+    par_chunks_mut(&mut out, m, &|i, row: &mut [f64]| {
+        let (left, right, r) = if i < h { (&t0, &t1, i) } else { (&t2, &t3, i - h) };
+        row[..h].copy_from_slice(&left[r * h..(r + 1) * h]);
+        row[h..].copy_from_slice(&right[r * h..(r + 1) * h]);
+    });
+    out
 }
 
 // ------------------------------------------------------------------------------------------
@@ -271,6 +415,37 @@ mod tests {
         let n = 8;
         let a: Vec<f64> = (0..n * n).map(|x| x as f64 * 0.5).collect();
         let bi = rm_to_bi_reference(&a, n);
+        assert_eq!(bi_to_rm_reference(&bi, n), a);
+    }
+
+    #[test]
+    fn native_conversions_match_the_references_outside_a_pool() {
+        // Outside a pool worker the joins run sequentially; correctness is identical.
+        for (n, base) in [(1usize, 1usize), (2, 1), (8, 2), (16, 4), (16, 16)] {
+            let a: Vec<f64> = (0..n * n).map(|x| x as f64 * 0.25 - 3.0).collect();
+            assert_eq!(rm_to_bi_native(&a, n, base), rm_to_bi_reference(&a, n), "rm->bi n={n}");
+            let bi = rm_to_bi_reference(&a, n);
+            assert_eq!(bi_to_rm_native(&bi, n, base), a, "bi->rm n={n}");
+        }
+    }
+
+    #[test]
+    fn native_transpose_matches_the_reference_through_the_layout() {
+        for (n, base) in [(1usize, 1usize), (4, 2), (8, 2), (16, 4), (8, 8)] {
+            let a: Vec<f64> = (0..n * n).map(|x| (x * 7 % 13) as f64).collect();
+            let mut bi = rm_to_bi_reference(&a, n);
+            transpose_native_bi(&mut bi, n, base);
+            assert_eq!(bi_to_rm_reference(&bi, n), transpose_reference(&a, n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn native_transpose_is_involutive() {
+        let (n, base) = (16usize, 4usize);
+        let a: Vec<f64> = (0..n * n).map(|x| x as f64).collect();
+        let mut bi = rm_to_bi_reference(&a, n);
+        transpose_native_bi(&mut bi, n, base);
+        transpose_native_bi(&mut bi, n, base);
         assert_eq!(bi_to_rm_reference(&bi, n), a);
     }
 }

@@ -99,6 +99,23 @@ pub fn block_delay_bound(s_steals: f64, params: &Params) -> f64 {
     s_steals * params.b_words
 }
 
+/// Round-boundary block handoff of the Section 7 iterated-round algorithms (list ranking,
+/// connected components): each of the `rounds` sequenced passes reads the `state_words` its
+/// predecessor wrote wherever that round's leaves happened to execute, so every round
+/// boundary can transfer up to `state_words / B` blocks between processors *regardless of
+/// the computation's own steal count*. The paper accounts for this by costing each
+/// iteration as a fresh primitive (`O(log n)` times the primitive's cost); the
+/// per-computation `O(S·B)` block-delay envelope of Lemma 4.5 does not include it, so
+/// checks over iterated-round workloads add this term explicitly. Zero on one processor
+/// (nothing to hand off).
+pub fn iterated_round_handoff(rounds: f64, state_words: f64, params: &Params) -> f64 {
+    if params.p <= 1.0 {
+        0.0
+    } else {
+        rounds * state_words / params.b_words
+    }
+}
+
 /// Lemma 3.1 / Corollaries 3.1, 3.2: cache misses of the matrix-multiply algorithms with `S`
 /// steals: `O(n³/(B·√M) + S^{1/3}·n²/B + S)`.
 pub fn mm_cache_misses(n: f64, s_steals: f64, params: &Params) -> f64 {

@@ -38,6 +38,7 @@ fn all_bounds(params: &Params, t_inf: f64, e: f64, a: f64, n: f64, s: f64) -> Ve
         ("h_root_hbp_c2_quarter", analysis::h_root_hbp_c2_quarter(t_inf, n, params)),
         ("y_block_delay", analysis::y_block_delay(n, 2.0, params)),
         ("block_delay_bound", analysis::block_delay_bound(s, params)),
+        ("iterated_round_handoff", analysis::iterated_round_handoff(n.log2().ceil(), 2.0 * n, params)),
         ("mm_cache_misses", analysis::mm_cache_misses(n, s, params)),
         ("mm_sequential_cache_misses", analysis::mm_sequential_cache_misses(n, params)),
         ("rm_to_bi_cache_misses", analysis::rm_to_bi_cache_misses(n, s, params)),

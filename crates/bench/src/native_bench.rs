@@ -13,8 +13,11 @@
 //! the structural [`validate_json`] check runs after every write so a malformed emission
 //! fails loudly (in CI, the bench smoke step).
 
+use rws_algos::fft::fft_native;
+use rws_algos::listrank::list_ranking_native;
 use rws_algos::prefix::prefix_sums_native;
 use rws_algos::sort::merge_sort_native;
+use rws_algos::transpose::{bi_to_rm_native, rm_to_bi_native, transpose_native_bi};
 use rws_lab::json::{self, obj, Json};
 use rws_runtime::{join, DequeBackend, ThreadPool, ThreadPoolBuilder};
 use std::sync::Arc;
@@ -171,12 +174,33 @@ fn suite(size: SizeClass) -> Vec<WorkloadSpec> {
         SizeClass::Smoke => (1u64 << 18, 32usize, 2usize, 1usize << 14, 1usize << 14),
         SizeClass::Full => (1u64 << 23, 128usize, 10usize, 1usize << 20, 1usize << 20),
     };
+    let (fft_n, tr_n, lr_n) = match size {
+        SizeClass::Smoke => (1usize << 12, 64usize, 1usize << 14),
+        SizeClass::Full => (1usize << 16, 512usize, 1usize << 19),
+    };
     let mm_a: Arc<Vec<f64>> = Arc::new((0..mm_n * mm_n).map(|i| (i % 7) as f64).collect());
     // Stored transposed (see `mm_cols`); as bench input it is simply an arbitrary matrix.
     let mm_bt: Arc<Vec<f64>> = Arc::new((0..mm_n * mm_n).map(|i| (i % 5) as f64).collect());
     let prefix_x: Arc<Vec<i64>> = Arc::new((0..prefix_n as i64).collect());
     let sort_keys: Arc<Vec<u64>> =
         Arc::new((0..sort_n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect());
+    let fft_input: Arc<Vec<(f64, f64)>> = Arc::new(
+        (0..fft_n)
+            .map(|i| (((i % 17) as f64 - 8.0) / 8.0, ((i % 23) as f64 - 11.0) / 11.0))
+            .collect(),
+    );
+    let tr_rm: Arc<Vec<f64>> = Arc::new((0..tr_n * tr_n).map(|i| (i % 11) as f64).collect());
+    // A deterministic permutation chain: visit nodes in a bit-mixed order, self-loop tail.
+    let lr_succ: Arc<Vec<usize>> = Arc::new({
+        let mut order: Vec<usize> = (0..lr_n).collect();
+        order.sort_by_key(|&i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut succ = vec![0usize; lr_n];
+        for w in order.windows(2) {
+            succ[w[0]] = w[1];
+        }
+        succ[order[lr_n - 1]] = order[lr_n - 1];
+        succ
+    });
     vec![
         WorkloadSpec {
             name: "recursive-sum",
@@ -210,6 +234,36 @@ fn suite(size: SizeClass) -> Vec<WorkloadSpec> {
                 let keys = Arc::clone(&sort_keys);
                 let sorted = pool.install(move || merge_sort_native(&keys, 512));
                 sorted[sorted.len() / 2]
+            }),
+        },
+        WorkloadSpec {
+            name: "fft",
+            run: Box::new(move |pool| {
+                let input = Arc::clone(&fft_input);
+                let out = pool.install(move || fft_native(&input, 16));
+                // Fold the exact bit patterns: the kernel's evaluation order is fixed
+                // regardless of which worker runs each branch, so the checksum is stable.
+                out.iter().map(|c| c.0.to_bits() ^ c.1.to_bits()).fold(0u64, u64::wrapping_add)
+            }),
+        },
+        WorkloadSpec {
+            name: "transpose-bi",
+            run: Box::new(move |pool| {
+                let a = Arc::clone(&tr_rm);
+                let out = pool.install(move || {
+                    let mut bi = rm_to_bi_native(&a, tr_n, 16);
+                    transpose_native_bi(&mut bi, tr_n, 16);
+                    bi_to_rm_native(&bi, tr_n, 16)
+                });
+                out.iter().map(|v| v.to_bits()).fold(0u64, u64::wrapping_add)
+            }),
+        },
+        WorkloadSpec {
+            name: "list-ranking",
+            run: Box::new(move |pool| {
+                let succ = Arc::clone(&lr_succ);
+                let ranks = pool.install(move || list_ranking_native(&succ));
+                ranks.iter().fold(0u64, |acc, &r| acc.wrapping_add(r))
             }),
         },
     ]
@@ -335,14 +389,22 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
             ])
         })
         .collect();
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    let caveat = if host == 0 {
+        "host parallelism unknown (available_parallelism failed): interpret multi-thread \
+         rows against the actual core count of the measuring host"
+    } else if host == 1 {
+        "1-CPU host: rows with threads > 1 measure oversubscription (OS time-slicing), \
+         not parallel speedup; steal/park counters reflect starved scheduling"
+    } else {
+        "thread counts above host_parallelism measure oversubscription"
+    };
     obj([
         ("schema", "rws-bench-native/v1".into()),
         ("size", cfg.size.name().into()),
         ("repeats", cfg.repeats.into()),
-        (
-            "host_parallelism",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0).into(),
-        ),
+        ("host_parallelism", host.into()),
+        ("caveat", caveat.into()),
         ("records", recs.into()),
         ("chaselev_vs_simple", cmps.into()),
     ])
@@ -353,7 +415,10 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
 /// shared [`rws_lab::json`] validator) plus this emitter's required keys.
 /// Returns a description of the first problem found.
 pub fn validate_json(doc: &str) -> Result<(), String> {
-    json::validate_with_keys(doc, &["schema", "records", "chaselev_vs_simple", "wall_ns_median"])
+    json::validate_with_keys(
+        doc,
+        &["schema", "records", "chaselev_vs_simple", "wall_ns_median", "caveat"],
+    )
 }
 
 #[cfg(test)]
@@ -424,7 +489,7 @@ mod tests {
         // The CI smoke path in miniature: tiny sizes, one thread count, validated output.
         let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![2], repeats: 1 };
         let records = run_suite(&cfg, || 0);
-        assert_eq!(records.len(), 4 * 2, "4 workloads x 2 backends");
+        assert_eq!(records.len(), 7 * 2, "7 workloads x 2 backends");
         assert!(records.iter().all(|r| r.jobs > 0), "every run must execute forks");
         let doc = to_json(&cfg, &records);
         validate_json(&doc).expect("smoke suite JSON must validate");

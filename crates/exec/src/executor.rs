@@ -227,6 +227,44 @@ mod tests {
         assert_eq!(direct.time_units, via_trait.report.time_units);
     }
 
+    /// A deliberately stubbed workload: the honesty mechanism's positive path. No committed
+    /// workload declares the fallback anymore, so this mock is what keeps the stamping line
+    /// below covered until (unless) a future stub ships.
+    struct StubbedWorkload;
+
+    impl Workload for StubbedWorkload {
+        fn name(&self) -> String {
+            "stubbed".into()
+        }
+
+        fn computation(&self) -> rws_dag::Computation {
+            PrefixWorkload::demo(64).computation()
+        }
+
+        fn run_native(&self) -> crate::AlgoOutput {
+            self.run_reference()
+        }
+
+        fn native_support(&self) -> crate::NativeSupport {
+            crate::NativeSupport::SequentialFallback
+        }
+
+        fn run_reference(&self) -> crate::AlgoOutput {
+            crate::AlgoOutput::I64(vec![1, 2, 3])
+        }
+    }
+
+    #[test]
+    fn a_fallback_workload_is_stamped_on_native_and_not_on_sim() {
+        let native = NativeExecutor::new(2).execute(Arc::new(StubbedWorkload));
+        assert!(
+            native.report.sequential_fallback,
+            "a native run of a stubbed workload must wear the fallback stamp"
+        );
+        let sim = SimExecutor::with_procs(2).execute(Arc::new(StubbedWorkload));
+        assert!(!sim.report.sequential_fallback, "the simulator genuinely schedules the dag");
+    }
+
     #[test]
     fn native_executor_runs_and_counts_jobs() {
         let w = Arc::new(PrefixWorkload::demo(32_768));

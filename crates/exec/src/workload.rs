@@ -49,19 +49,23 @@ impl PartialEq for AlgoOutput {
     }
 }
 
-/// How faithful a workload's native leg is: a true parallel kernel, or (for algorithms
-/// whose fork-join port has not landed yet) the sequential reference run on one worker.
+/// How faithful a workload's native leg is. Every committed workload answers
+/// [`NativeSupport::Full`]: its [`Workload::run_native`] is a real fork-join decomposition
+/// whose steal/job counts and wall time measure parallel execution.
 ///
-/// Executors record this in [`ExecReport::sequential_fallback`](crate::ExecReport) so a
-/// "native" measurement of a fallback workload can never silently masquerade as a parallel
-/// result — parity tests and lab reports label such runs explicitly.
+/// [`NativeSupport::SequentialFallback`] is the honesty mechanism kept for *future*
+/// workloads whose fork-join port has not landed yet: executors record it in
+/// [`ExecReport::sequential_fallback`](crate::ExecReport) so a "native" measurement of such
+/// a workload can never silently masquerade as a parallel result. The seeded parity matrix
+/// (`tests/executor_parity.rs`) asserts the committed suite never sets it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NativeSupport {
     /// [`Workload::run_native`] is a real fork-join decomposition over
-    /// `rws_runtime::join` — its steal/job counts and wall time measure parallel execution.
-    Parallel,
-    /// [`Workload::run_native`] currently executes the sequential reference; the run still
-    /// flows through the pool end to end, but its wall time is a sequential measurement.
+    /// `rws_runtime::join` mirroring the dag's work/span structure.
+    Full,
+    /// [`Workload::run_native`] executes the sequential reference; the run still flows
+    /// through the pool end to end, but its wall time is a sequential measurement. No
+    /// committed workload declares this — it exists so a future stub must label itself.
     SequentialFallback,
 }
 
@@ -71,10 +75,10 @@ impl NativeSupport {
         matches!(self, NativeSupport::SequentialFallback)
     }
 
-    /// Short label for reports (`parallel` / `sequential-fallback`).
+    /// Short label for reports (`full` / `sequential-fallback`).
     pub fn label(self) -> &'static str {
         match self {
-            NativeSupport::Parallel => "parallel",
+            NativeSupport::Full => "full",
             NativeSupport::SequentialFallback => "sequential-fallback",
         }
     }
@@ -127,6 +131,14 @@ pub struct ExecOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fallback_variant_keeps_its_honesty_labels() {
+        assert_eq!(NativeSupport::SequentialFallback.label(), "sequential-fallback");
+        assert!(NativeSupport::SequentialFallback.is_fallback());
+        assert_eq!(NativeSupport::Full.label(), "full");
+        assert!(!NativeSupport::Full.is_fallback());
+    }
 
     #[test]
     fn float_outputs_compare_with_tolerance() {

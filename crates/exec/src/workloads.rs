@@ -1,12 +1,13 @@
 //! Ready-made [`Workload`]s for the algorithm suite of `rws-algos`.
 //!
-//! The flagship workloads ([`MatMulWorkload`], [`PrefixWorkload`], [`SortWorkload`]) run a
-//! true fork-join decomposition on the native backend; the remaining algorithms
-//! ([`FftWorkload`], [`TransposeWorkload`], [`ListRankWorkload`]) currently run their
-//! sequential reference natively — they still flow through the [`Executor`](crate::Executor)
-//! trait end to end, and gain parallel kernels by overriding one method when those land.
-//! Each workload declares which case it is via [`Workload::native_support`], and executors
-//! stamp the fallback runs in their reports so they are never mistaken for parallel results.
+//! All six workloads run a true fork-join decomposition on the native backend
+//! ([`Workload::native_support`] answers [`NativeSupport::Full`] across the suite): the
+//! native kernels in `rws-algos` mirror the work/span structure of the dags the simulator
+//! schedules, so a sim-vs-native comparison of any committed workload compares two
+//! executions of the *same* algorithm, not a parallel model against a sequential stub.
+//! `native_support` remains a required method — a future workload whose kernel has not
+//! landed must declare the fallback variant of [`NativeSupport`] so executors stamp its
+//! runs (see the [`NativeSupport`] docs for the honesty contract).
 //!
 //! `demo` constructors fill inputs from a seeded [`SmallRng`], so runs are deterministic.
 //! Constructors validate instance shapes eagerly (power-of-two sizes where the dag builders
@@ -14,8 +15,10 @@
 
 use crate::workload::{AlgoOutput, NativeSupport, Workload};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use rws_algos::fft::{dft_reference, fft_computation, fft_reference, Complex, FftConfig};
-use rws_algos::listrank::{list_ranking_computation, list_ranking_reference, ListRankConfig};
+use rws_algos::fft::{dft_reference, fft_computation, fft_native, fft_reference, Complex, FftConfig};
+use rws_algos::listrank::{
+    list_ranking_computation, list_ranking_native, list_ranking_reference, ListRankConfig,
+};
 use rws_algos::matmul::{
     from_bi, matmul_computation, matmul_native_bi, matmul_reference, to_bi, MatMulConfig,
     MmVariant,
@@ -24,7 +27,10 @@ use rws_algos::prefix::{
     prefix_sums_computation, prefix_sums_native, prefix_sums_reference, PrefixConfig,
 };
 use rws_algos::sort::{merge_sort_native, sort_computation, sort_reference, SortConfig};
-use rws_algos::transpose::{transpose_bi_computation, transpose_reference};
+use rws_algos::transpose::{
+    bi_to_rm_native, rm_to_bi_native, transpose_bi_computation, transpose_native_bi,
+    transpose_reference,
+};
 use rws_dag::Computation;
 
 fn demo_f64(n: usize, seed: u64) -> Vec<f64> {
@@ -76,7 +82,7 @@ impl Workload for PrefixWorkload {
     }
 
     fn native_support(&self) -> NativeSupport {
-        NativeSupport::Parallel
+        NativeSupport::Full
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -129,7 +135,7 @@ impl Workload for MatMulWorkload {
     }
 
     fn native_support(&self) -> NativeSupport {
-        NativeSupport::Parallel
+        NativeSupport::Full
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -179,7 +185,7 @@ impl Workload for SortWorkload {
     }
 
     fn native_support(&self) -> NativeSupport {
-        NativeSupport::Parallel
+        NativeSupport::Full
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -189,7 +195,7 @@ impl Workload for SortWorkload {
 
 // ------------------------------------------------------------------------------------------
 
-/// FFT over a complex input (native side currently runs the sequential reference).
+/// FFT over a complex input (native side runs the fork-join √n-decomposition kernel).
 #[derive(Clone, Debug)]
 pub struct FftWorkload {
     input: Vec<Complex>,
@@ -232,12 +238,11 @@ impl Workload for FftWorkload {
     }
 
     fn run_native(&self) -> AlgoOutput {
-        // Sequential stub until a fork-join FFT kernel lands.
-        Self::flatten(fft_reference(&self.input))
+        Self::flatten(fft_native(&self.input, self.cfg.base))
     }
 
     fn native_support(&self) -> NativeSupport {
-        NativeSupport::SequentialFallback
+        NativeSupport::Full
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -247,7 +252,8 @@ impl Workload for FftWorkload {
 
 // ------------------------------------------------------------------------------------------
 
-/// Matrix transpose in the bit-interleaved layout (native side runs the reference).
+/// Matrix transpose in the bit-interleaved layout (native side runs the quadrant-recursive
+/// fork-join kernels: RM→BI conversion, in-place BI transpose, BI→RM conversion).
 #[derive(Clone, Debug)]
 pub struct TransposeWorkload {
     a: Vec<f64>,
@@ -256,8 +262,13 @@ pub struct TransposeWorkload {
 }
 
 impl TransposeWorkload {
-    /// A workload transposing the row-major `n × n` matrix `a`.
+    /// A workload transposing the row-major `n × n` matrix `a` (`n` and `base` powers of
+    /// two, validated here so a constructed workload runs on every backend).
     pub fn new(a: Vec<f64>, n: usize, base: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && base.is_power_of_two() && base >= 1 && base <= n,
+            "transpose workload needs power-of-two n and base <= n, got n = {n}, base = {base}"
+        );
         assert_eq!(a.len(), n * n);
         TransposeWorkload { a, n, base }
     }
@@ -278,12 +289,15 @@ impl Workload for TransposeWorkload {
     }
 
     fn run_native(&self) -> AlgoOutput {
-        // Sequential stub until a fork-join transpose kernel lands.
-        self.run_reference()
+        // The full native pipeline over the BI layout: convert in, transpose in place,
+        // convert back out — three fork-join kernels, all exercised by one run.
+        let mut bi = rm_to_bi_native(&self.a, self.n, self.base);
+        transpose_native_bi(&mut bi, self.n, self.base);
+        AlgoOutput::F64(bi_to_rm_native(&bi, self.n, self.base))
     }
 
     fn native_support(&self) -> NativeSupport {
-        NativeSupport::SequentialFallback
+        NativeSupport::Full
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -293,7 +307,7 @@ impl Workload for TransposeWorkload {
 
 // ------------------------------------------------------------------------------------------
 
-/// List ranking (Type-3/4 workload; native side runs the reference).
+/// List ranking (Type-3/4 workload; native side runs round-synchronized pointer jumping).
 #[derive(Clone, Debug)]
 pub struct ListRankWorkload {
     succ: Vec<usize>,
@@ -334,12 +348,11 @@ impl Workload for ListRankWorkload {
     }
 
     fn run_native(&self) -> AlgoOutput {
-        // Sequential stub until a fork-join pointer-jumping kernel lands.
-        self.run_reference()
+        AlgoOutput::I64(list_ranking_native(&self.succ).into_iter().map(|r| r as i64).collect())
     }
 
     fn native_support(&self) -> NativeSupport {
-        NativeSupport::SequentialFallback
+        NativeSupport::Full
     }
 
     fn run_reference(&self) -> AlgoOutput {
@@ -397,26 +410,23 @@ mod tests {
     }
 
     #[test]
-    fn native_support_flags_are_honest() {
-        // The fallback flag must match what run_native actually does: the three flagship
-        // workloads have real fork-join kernels, the other three stub to the reference.
-        let parallel: Vec<Box<dyn Workload>> = vec![
+    fn every_workload_declares_full_native_support() {
+        // The suite has no sequential stubs left: all six workloads run a real fork-join
+        // kernel natively and must say so. (The fallback variant still exists in
+        // `workload.rs` as the honesty label a future stub would be forced to wear; its
+        // own tests live there.)
+        let all: Vec<Box<dyn Workload>> = vec![
             Box::new(PrefixWorkload::demo(256)),
             Box::new(MatMulWorkload::demo(8, 2)),
             Box::new(SortWorkload::demo(256)),
-        ];
-        let fallback: Vec<Box<dyn Workload>> = vec![
             Box::new(FftWorkload::demo(64)),
             Box::new(TransposeWorkload::demo(8, 2)),
             Box::new(ListRankWorkload::demo(64)),
         ];
-        for w in &parallel {
-            assert_eq!(w.native_support(), NativeSupport::Parallel, "{}", w.name());
+        for w in &all {
+            assert_eq!(w.native_support(), NativeSupport::Full, "{}", w.name());
             assert!(!w.native_support().is_fallback());
-        }
-        for w in &fallback {
-            assert_eq!(w.native_support(), NativeSupport::SequentialFallback, "{}", w.name());
-            assert_eq!(w.native_support().label(), "sequential-fallback");
+            assert_eq!(w.native_support().label(), "full");
         }
     }
 

@@ -40,11 +40,11 @@ pub enum WorkloadKind {
     MatMul,
     /// HBP merge sort.
     MergeSort,
-    /// FFT (native leg is currently the sequential fallback).
+    /// FFT via the √n decomposition.
     Fft,
-    /// Bit-interleaved matrix transpose (native leg is currently the sequential fallback).
+    /// Bit-interleaved matrix transpose (quadrant-recursive).
     Transpose,
-    /// List ranking (native leg is currently the sequential fallback).
+    /// List ranking by round-synchronized pointer jumping.
     ListRank,
 }
 

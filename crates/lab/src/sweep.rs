@@ -190,10 +190,17 @@ mod tests {
     }
 
     #[test]
-    fn fallback_workloads_are_flagged() {
-        let sc = parse("name = f\nworkload = fft\nn = 64\nbackends = native\nseeds = 1");
-        let lab = run_scenario(&sc);
-        assert!(lab.native_fallback);
-        assert!(lab.records.iter().all(|r| r.report.sequential_fallback));
+    fn no_scenario_workload_is_a_native_fallback() {
+        // Every workload a scenario can name has a real fork-join kernel, so the report's
+        // honesty flags must stay clear across the whole suite.
+        for workload in ["prefix-sums", "matmul", "merge-sort", "fft", "transpose", "list-ranking"]
+        {
+            let sc = parse(&format!(
+                "name = f\nworkload = {workload}\nn = 16\nbackends = native\nseeds = 1"
+            ));
+            let lab = run_scenario(&sc);
+            assert!(!lab.native_fallback, "{workload}");
+            assert!(lab.records.iter().all(|r| !r.report.sequential_fallback), "{workload}");
+        }
     }
 }

@@ -3,7 +3,15 @@
 //! outputs, on both native deque backends. This is the acceptance check for the executor
 //! unification — the native fork-join decompositions implement exactly the function the
 //! simulated dags model.
+//!
+//! Since every workload now ships a real fork-join kernel (no `SequentialFallback`
+//! remains in the committed suite), the centerpiece is a **seeded matrix**: every
+//! workload × both deque backends × {1, 2, 4} worker threads × three input seeds × two
+//! instance sizes, with every native report required to have its `sequential_fallback`
+//! honesty flag clear.
 
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rws_algos::matmul::{MatMulConfig, MmVariant};
 use rws_exec::workloads::{
     FftWorkload, ListRankWorkload, MatMulWorkload, PrefixWorkload, SortWorkload,
     TransposeWorkload,
@@ -11,6 +19,9 @@ use rws_exec::workloads::{
 use rws_exec::{Backend, Executor, NativeExecutor, SharedWorkload, SimExecutor};
 use rws_runtime::DequeBackend;
 use std::sync::Arc;
+
+mod support;
+use support::random_permutation_list;
 
 fn executors() -> Vec<Box<dyn Executor>> {
     vec![
@@ -36,15 +47,11 @@ fn assert_parity(workload: SharedWorkload) {
         );
         assert_eq!(outcome.report.workload, workload.name());
         assert_eq!(outcome.report.backend, exec.backend());
-        // Backend honesty: a native run of a workload whose parallel kernel has not landed
-        // must be labeled as the sequential fallback it is, and a real parallel kernel (or
-        // any simulated run, whose dag genuinely schedules across procs) must not be.
-        let expect_fallback =
-            exec.backend() == Backend::Native && workload.native_support().is_fallback();
-        assert_eq!(
-            outcome.report.sequential_fallback,
-            expect_fallback,
-            "{} must label {} runs correctly (native_support = {})",
+        // Backend honesty: no committed workload is a sequential stub, so no run — on any
+        // backend — may carry the fallback stamp.
+        assert!(
+            !outcome.report.sequential_fallback,
+            "{} stamped {} as a sequential fallback (native_support = {})",
             exec.name(),
             workload.name(),
             workload.native_support().label()
@@ -63,6 +70,88 @@ fn assert_parity(workload: SharedWorkload) {
     }
 }
 
+// ------------------------------------------------------------------------------------------
+// The seeded matrix
+// ------------------------------------------------------------------------------------------
+
+/// One seeded instance of all six workloads at one of two sizes (`large = false / true`).
+fn seeded_workloads(seed: u64, large: bool) -> Vec<SharedWorkload> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (prefix_n, mm_n, sort_n, fft_n, tr_n, lr_n) = if large {
+        (2048usize, 16usize, 1024usize, 256usize, 16usize, 512usize)
+    } else {
+        (256, 8, 128, 64, 8, 64)
+    };
+    let prefix: Vec<i64> = (0..prefix_n).map(|_| rng.gen_range(-1000i64..1001)).collect();
+    let mm_a: Vec<f64> = (0..mm_n * mm_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mm_b: Vec<f64> = (0..mm_n * mm_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let keys: Vec<u64> = (0..sort_n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
+    let fft_in: Vec<(f64, f64)> =
+        (0..fft_n).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+    let tr: Vec<f64> = (0..tr_n * tr_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let succ = random_permutation_list(lr_n, &mut rng);
+    vec![
+        Arc::new(PrefixWorkload::new(prefix, 8)),
+        Arc::new(MatMulWorkload::new(
+            mm_a,
+            mm_b,
+            MatMulConfig::new(mm_n, MmVariant::DepthLog2N).with_base(mm_n / 4),
+        )),
+        Arc::new(SortWorkload::new(keys, 16)),
+        Arc::new(FftWorkload::new(fft_in)),
+        Arc::new(TransposeWorkload::new(tr, tr_n, tr_n / 4)),
+        Arc::new(ListRankWorkload::new(succ)),
+    ]
+}
+
+/// Every workload × both deque backends × {1, 2, 4} threads × 3 input seeds × 2 sizes:
+/// output parity against the sequential reference on every native run, and no
+/// `sequential_fallback` stamp anywhere in the live suite.
+#[test]
+fn seeded_matrix_every_workload_on_every_pool_shape() {
+    let pools: Vec<NativeExecutor> = [DequeBackend::Crossbeam, DequeBackend::Simple]
+        .into_iter()
+        .flat_map(|backend| {
+            [1usize, 2, 4].map(move |threads| NativeExecutor::with_backend(threads, backend))
+        })
+        .collect();
+    assert_eq!(pools.len(), 6);
+    for seed in [101u64, 202, 303] {
+        for large in [false, true] {
+            for workload in seeded_workloads(seed, large) {
+                assert!(
+                    !workload.native_support().is_fallback(),
+                    "{} must not be a sequential stub",
+                    workload.name()
+                );
+                let reference = workload.run_reference();
+                for exec in &pools {
+                    let outcome = exec.execute(Arc::clone(&workload));
+                    assert_eq!(
+                        outcome.output,
+                        reference,
+                        "{} / seed {seed} / large {large}: {} diverged from the reference",
+                        exec.name(),
+                        workload.name()
+                    );
+                    assert!(
+                        !outcome.report.sequential_fallback,
+                        "{} stamped {} as a sequential fallback",
+                        exec.name(),
+                        workload.name()
+                    );
+                    assert_eq!(outcome.report.backend, Backend::Native);
+                    assert!(outcome.report.work_items > 0, "the run executed on the pool");
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+// Targeted per-workload parity (sim + native, with sim work conservation)
+// ------------------------------------------------------------------------------------------
+
 #[test]
 fn prefix_sums_agree_across_all_executors() {
     assert_parity(Arc::new(PrefixWorkload::demo(8192)));
@@ -79,19 +168,18 @@ fn sort_agrees_across_all_executors() {
 }
 
 #[test]
-fn stub_native_workloads_run_end_to_end_on_every_executor() {
-    // These workloads' run_native() is currently the sequential reference, so output parity
-    // is trivially true; what this exercises is that they flow through both backends end to
-    // end (dag scheduling with work conservation on sim, pool installation on native), and
-    // that every native leg is stamped as a sequential fallback (asserted in assert_parity).
-    for w in [
-        Arc::new(FftWorkload::demo(128)) as rws_exec::SharedWorkload,
-        Arc::new(TransposeWorkload::demo(8, 2)),
-        Arc::new(ListRankWorkload::demo(64)),
-    ] {
-        assert!(w.native_support().is_fallback(), "{} must declare its stub", w.name());
-        assert_parity(w);
-    }
+fn fft_agrees_across_all_executors() {
+    assert_parity(Arc::new(FftWorkload::demo(256)));
+}
+
+#[test]
+fn transpose_agrees_across_all_executors() {
+    assert_parity(Arc::new(TransposeWorkload::demo(16, 4)));
+}
+
+#[test]
+fn list_ranking_agrees_across_all_executors() {
+    assert_parity(Arc::new(ListRankWorkload::demo(256)));
 }
 
 #[test]
@@ -118,6 +206,29 @@ fn native_execution_actually_parallelizes_and_steals() {
     }
     let outcome = last.expect("at least one run");
     assert!(outcome.report.steals > 0, "expected steals on a 4-worker pool within 5 runs");
+}
+
+#[test]
+fn retired_stub_workloads_fork_real_jobs_natively() {
+    // The three workloads that used to run their sequential reference natively now push
+    // real fork-join work through the pool: many executed branches per run, no fallback
+    // stamp. (Steal counts are probabilistic on a starved 1-CPU host; job counts are not.)
+    let exec = NativeExecutor::new(4);
+    for (workload, min_jobs) in [
+        (Arc::new(FftWorkload::demo(1024)) as SharedWorkload, 30u64),
+        (Arc::new(TransposeWorkload::demo(32, 4)), 30),
+        (Arc::new(ListRankWorkload::demo(4096)), 30),
+    ] {
+        let outcome = exec.execute(Arc::clone(&workload));
+        assert!(
+            outcome.report.work_items > min_jobs,
+            "{} executed only {} pool jobs",
+            workload.name(),
+            outcome.report.work_items
+        );
+        assert!(!outcome.report.sequential_fallback, "{}", workload.name());
+        assert_eq!(outcome.output, workload.run_reference(), "{}", workload.name());
+    }
 }
 
 #[test]

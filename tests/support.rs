@@ -1,0 +1,22 @@
+//! Shared fixtures for the repo-level integration tests (each `[[test]]` target of
+//! `rws-bench` is its own crate, so this file is pulled in with `mod support;` — it is not
+//! itself a test target).
+
+use rand::{rngs::SmallRng, Rng};
+
+/// A random permutation list over `n` nodes: a chain visiting the nodes in a seeded
+/// shuffled order, with the final node as the self-loop tail.
+pub fn random_permutation_list(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    assert!(n > 0, "a permutation list needs at least the tail node");
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..i + 1));
+    }
+    let mut succ = vec![0usize; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1];
+    }
+    let tail = *order.last().expect("n > 0");
+    succ[tail] = tail;
+    succ
+}
