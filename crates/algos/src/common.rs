@@ -149,45 +149,32 @@ pub fn balanced_levels(k: usize) -> u32 {
 // Native fork-join recursion helpers
 // ------------------------------------------------------------------------------------------
 
-/// Apply `f` to every `chunk`-sized piece of `data` (the last piece may be shorter),
-/// fork-joining over a balanced binary tree of [`rws_runtime::join`] splits — the native
-/// mirror of the balanced BP trees the dag builders emit over leaf ranges.
+/// Apply `f` to every `chunk`-sized piece of `data` (the last piece may be shorter) —
+/// the native mirror of the balanced BP trees the dag builders emit over leaf ranges,
+/// now a thin front over [`rws_runtime::ParSliceExt::par_chunks_mut`]. Splitting is
+/// adaptive: the fork tree bottoms out at roughly `SPLIT_FACTOR` pieces per worker of
+/// the current pool instead of one fork per chunk, so fine-grained kernels (fft columns,
+/// list-ranking rounds) stop paying a deque push per chunk on narrow pools.
 ///
 /// `f` receives the chunk index and the chunk as a disjoint `&mut` borrow, so parallel
 /// branches never alias; shared inputs are read through whatever `&` captures `f` holds.
-/// Outside a pool worker the joins degrade to sequential calls, exactly like every other
-/// native kernel.
+/// Outside a pool worker the splits all degrade to sequential `join`s on the caller,
+/// exactly like every other native kernel.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: &F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk > 0, "par_chunks_mut needs a positive chunk size");
-    fn rec<T, F>(data: &mut [T], first: usize, chunk: usize, f: &F)
-    where
-        T: Send,
-        F: Fn(usize, &mut [T]) + Sync,
-    {
-        let chunks = data.len().div_ceil(chunk);
-        if chunks <= 1 {
-            if !data.is_empty() {
-                f(first, data);
-            }
-            return;
-        }
-        let mid = (chunks / 2) * chunk;
-        let (lo, hi) = data.split_at_mut(mid);
-        rws_runtime::join(
-            || rec(lo, first, chunk, f),
-            || rec(hi, first + chunks / 2, chunk, f),
-        );
-    }
-    rec(data, 0, chunk, f)
+    use rws_runtime::ParSliceExt;
+    data.par_chunks_mut(chunk).for_each_indexed(f);
 }
 
-/// Run four closures as one parallel collection (two nested [`rws_runtime::join`] levels)
-/// and return their results — the native mirror of a four-child balanced fork, used by the
-/// quadrant-recursive kernels.
+/// Run four closures as one parallel collection and return their results — the native
+/// mirror of a four-child balanced fork, used by the quadrant-recursive kernels. Ported
+/// onto [`rws_runtime::scope`]: three branches are scoped spawns (all of which fit the
+/// scope's inline job slots, so the fan-out stays allocation-free when unstolen) and the
+/// fourth runs in the scope body.
 pub fn join4<R1, R2, R3, R4>(
     f1: impl FnOnce() -> R1 + Send,
     f2: impl FnOnce() -> R2 + Send,
@@ -200,11 +187,19 @@ where
     R3: Send,
     R4: Send,
 {
-    let ((r1, r2), (r3, r4)) = rws_runtime::join(
-        || rws_runtime::join(f1, f2),
-        || rws_runtime::join(f3, f4),
-    );
-    (r1, r2, r3, r4)
+    let (mut r1, mut r2, mut r3) = (None, None, None);
+    let r4 = rws_runtime::scope(|s| {
+        s.spawn(|_| r1 = Some(f1()));
+        s.spawn(|_| r2 = Some(f2()));
+        s.spawn(|_| r3 = Some(f3()));
+        f4()
+    });
+    (
+        r1.expect("scope ran branch 1"),
+        r2.expect("scope ran branch 2"),
+        r3.expect("scope ran branch 3"),
+        r4,
+    )
 }
 
 #[cfg(test)]

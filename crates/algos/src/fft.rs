@@ -38,11 +38,17 @@ pub fn fft_computation(cfg: &FftConfig) -> Computation {
     assert!(cfg.n.is_power_of_two() && cfg.base.is_power_of_two() && cfg.base <= cfg.n);
     let mut b = SpDagBuilder::new();
     let src = SourceRange::Global { base: 0 };
-    let root =
-        build_fft(&mut b, src, Dest::Global { base: cfg.n as u64 }, cfg.n as u64, cfg.base as u64, 0);
+    let root = build_fft(
+        &mut b,
+        src,
+        Dest::Global { base: cfg.n as u64 },
+        cfg.n as u64,
+        cfg.base as u64,
+        0,
+    );
     let dag = b.build(root).expect("fft dag must validate");
-    let meta =
-        AlgoMeta::hbp2("fft-sqrt-decomposition", cfg.n as u64, 2, Shrink::Sqrt).with_base_case(cfg.base as u64);
+    let meta = AlgoMeta::hbp2("fft-sqrt-decomposition", cfg.n as u64, 2, Shrink::Sqrt)
+        .with_base_case(cfg.base as u64);
     Computation::new(dag, meta)
 }
 
@@ -64,7 +70,12 @@ impl SourceRange {
         }
     }
 
-    fn read_range(self, mut unit: WorkUnit, range: std::ops::Range<u64>, at_depth: u32) -> WorkUnit {
+    fn read_range(
+        self,
+        mut unit: WorkUnit,
+        range: std::ops::Range<u64>,
+        at_depth: u32,
+    ) -> WorkUnit {
         match self {
             SourceRange::Global { base } => {
                 unit = unit.reads((base + range.start..base + range.end).map(Addr));
@@ -255,12 +266,7 @@ pub fn fft_native(input: &[Complex], base: usize) -> Vec<Complex> {
     assert!(input.len().is_power_of_two(), "fft length must be a power of two");
     assert!(base.is_power_of_two() && base >= 1, "fft base case must be a power of two");
     let mut out = vec![(0.0, 0.0); input.len()];
-    fft_rec(
-        Strided { data: input, offset: 0, stride: 1 },
-        input.len(),
-        &mut out,
-        base,
-    );
+    fft_rec(Strided { data: input, offset: 0, stride: 1 }, input.len(), &mut out, base);
     out
 }
 

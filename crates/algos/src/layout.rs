@@ -94,9 +94,8 @@ mod tests {
         let n = 16u64;
         let (i0, j0, m) = (8u64, 0u64, 8u64);
         let start = bit_interleave(i0, j0);
-        let mut indices: Vec<u64> = (0..m)
-            .flat_map(|di| (0..m).map(move |dj| bit_interleave(i0 + di, j0 + dj)))
-            .collect();
+        let mut indices: Vec<u64> =
+            (0..m).flat_map(|di| (0..m).map(move |dj| bit_interleave(i0 + di, j0 + dj))).collect();
         indices.sort_unstable();
         let expected: Vec<u64> = (start..start + m * m).collect();
         assert_eq!(indices, expected);

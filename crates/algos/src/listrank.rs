@@ -163,7 +163,8 @@ pub fn list_ranking_reference(succ: &[usize]) -> Vec<u64> {
     let n = succ.len();
     let mut rank = vec![0u64; n];
     let mut s: Vec<usize> = succ.to_vec();
-    let mut r: Vec<u64> = succ.iter().enumerate().map(|(i, &x)| if x == i { 0 } else { 1 }).collect();
+    let mut r: Vec<u64> =
+        succ.iter().enumerate().map(|(i, &x)| if x == i { 0 } else { 1 }).collect();
     let rounds = (n as f64).log2().ceil() as usize + 1;
     for _ in 0..rounds {
         let mut new_s = s.clone();

@@ -411,12 +411,8 @@ fn mm_native(a: Vec<f64>, b: Vec<f64>, m: usize, base: usize) -> Vec<f64> {
     // C_2 = A2·B0 + A3·B2, C_3 = A2·B1 + A3·B3. Each product writes its own fresh vector
     // (limited access); the addition pass pairs them up afterwards.
     let mk = |ai: usize, bi: usize| (quad(&a, ai), quad(&b, bi));
-    let [q0, q1, q2, q3]: [QuadPair; 4] = [
-        (mk(0, 0), mk(1, 2)),
-        (mk(0, 1), mk(1, 3)),
-        (mk(2, 0), mk(3, 2)),
-        (mk(2, 1), mk(3, 3)),
-    ];
+    let [q0, q1, q2, q3]: [QuadPair; 4] =
+        [(mk(0, 0), mk(1, 2)), (mk(0, 1), mk(1, 3)), (mk(2, 0), mk(3, 2)), (mk(2, 1), mk(3, 3))];
 
     // One output quadrant: its two half-size products in parallel, then the element sum.
     fn quadrant(pair: QuadPair, h: usize, base: usize) -> Vec<f64> {
@@ -523,7 +519,8 @@ mod tests {
 
     #[test]
     fn in_place_variant_is_not_limited_access() {
-        let comp = matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthNInPlace });
+        let comp =
+            matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthNInPlace });
         assert!(comp.dag.max_writes_per_global_word() > 1);
         assert!(!comp.meta.limited_access);
     }

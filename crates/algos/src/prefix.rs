@@ -33,7 +33,10 @@ impl PrefixConfig {
     }
 
     fn leaves(&self) -> usize {
-        assert!(self.chunk >= 1 && self.n.is_multiple_of(self.chunk), "n must be a multiple of chunk");
+        assert!(
+            self.chunk >= 1 && self.n.is_multiple_of(self.chunk),
+            "n must be a multiple of chunk"
+        );
         let leaves = self.n / self.chunk;
         assert!(leaves.is_power_of_two(), "n / chunk must be a power of two");
         leaves
@@ -136,36 +139,30 @@ pub const NATIVE_CHUNK: usize = 1024;
 
 /// Native fork-join prefix sums on the `rws-runtime` work-stealing pool.
 ///
-/// The same two-pass BP structure as [`prefix_sums_computation`]: pass 1 reduces each chunk
-/// to its sum with a recursive fork-join tree, a cheap sequential scan turns the chunk sums
-/// into chunk offsets, and pass 2 writes each output chunk in parallel given its offset.
+/// The same two-pass BP structure as [`prefix_sums_computation`], written on the
+/// parallel-iterator layer: pass 1 reduces each chunk to its sum (a parallel indexed sweep
+/// writing into the chunk-sums array), a cheap sequential scan turns the chunk sums into
+/// chunk offsets, and pass 2 fills each output chunk in place given its offset
+/// (`par_chunks_mut` over the output — disjoint borrows, no cloning, no concatenation).
 /// Call from inside [`rws_runtime::ThreadPool::install`] for parallel execution; outside a
-/// pool worker the `join`s degrade gracefully to sequential calls.
+/// pool worker the sweeps degrade gracefully to sequential leaves.
 pub fn prefix_sums_native(x: &[i64]) -> Vec<i64> {
-    use std::sync::Arc;
+    use rws_runtime::ParSliceExt;
 
     let n = x.len();
     if n == 0 {
         return Vec::new();
     }
     let chunks = n.div_ceil(NATIVE_CHUNK);
-    let input: Arc<Vec<i64>> = Arc::new(x.to_vec());
 
-    // Pass 1: per-chunk sums via a fork-join tree over the chunk index range.
-    fn chunk_sums(input: Arc<Vec<i64>>, lo: usize, hi: usize) -> Vec<i64> {
-        if hi - lo == 1 {
-            let start = lo * NATIVE_CHUNK;
-            let end = ((lo + 1) * NATIVE_CHUNK).min(input.len());
-            return vec![input[start..end].iter().sum()];
-        }
-        let mid = lo + (hi - lo) / 2;
-        let (i1, i2) = (Arc::clone(&input), input);
-        let (mut left, right) =
-            rws_runtime::join(move || chunk_sums(i1, lo, mid), move || chunk_sums(i2, mid, hi));
-        left.extend(right);
-        left
-    }
-    let sums = chunk_sums(Arc::clone(&input), 0, chunks);
+    // Pass 1: per-chunk sums. Sum cell `i` pairs with input chunk `i`; the single-element
+    // chunking of `sums` gives each parallel leaf a disjoint run of cells to fill.
+    let mut sums = vec![0i64; chunks];
+    sums.par_chunks_mut(1).for_each_indexed(|i, cell| {
+        let start = i * NATIVE_CHUNK;
+        let end = ((i + 1) * NATIVE_CHUNK).min(n);
+        cell[0] = x[start..end].iter().sum();
+    });
 
     // Exclusive scan of the chunk sums: offset of each chunk (O(n / chunk), sequential).
     let mut offsets = Vec::with_capacity(chunks);
@@ -174,38 +171,19 @@ pub fn prefix_sums_native(x: &[i64]) -> Vec<i64> {
         offsets.push(acc);
         acc += s;
     }
-    let offsets = Arc::new(offsets);
 
-    // Pass 2: each chunk produces its slice of the output given its offset; chunks are
-    // disjoint, so the tree returns owned chunk vectors and concatenates — no shared
-    // mutation needed.
-    fn distribute(
-        input: Arc<Vec<i64>>,
-        offsets: Arc<Vec<i64>>,
-        lo: usize,
-        hi: usize,
-    ) -> Vec<i64> {
-        if hi - lo == 1 {
-            let start = lo * NATIVE_CHUNK;
-            let end = ((lo + 1) * NATIVE_CHUNK).min(input.len());
-            let mut acc = offsets[lo];
-            let mut out = Vec::with_capacity(end - start);
-            for i in start..end {
-                acc += input[i];
-                out.push(acc);
-            }
-            return out;
+    // Pass 2: each output chunk is written in place from its offset, reading the matching
+    // input chunk in order — the same accumulation order as the sequential reference.
+    let mut out = vec![0i64; n];
+    out.par_chunks_mut(NATIVE_CHUNK).for_each_indexed(|i, part| {
+        let start = i * NATIVE_CHUNK;
+        let mut acc = offsets[i];
+        for (o, &v) in part.iter_mut().zip(&x[start..]) {
+            acc += v;
+            *o = acc;
         }
-        let mid = lo + (hi - lo) / 2;
-        let (i1, o1) = (Arc::clone(&input), Arc::clone(&offsets));
-        let (mut left, right) = rws_runtime::join(
-            move || distribute(i1, o1, lo, mid),
-            move || distribute(input, offsets, mid, hi),
-        );
-        left.extend(right);
-        left
-    }
-    distribute(input, offsets, 0, chunks)
+    });
+    out
 }
 
 /// Sequential reference: inclusive prefix sums.

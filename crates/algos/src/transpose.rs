@@ -16,7 +16,7 @@
 //! disjoint borrowed `&mut` slices and forks with `rws_runtime::join` — the same
 //! decomposition the dag builders emit, executed for real.
 
-use crate::common::{balanced_levels, join4, par_chunks_mut, Dest};
+use crate::common::{balanced_levels, par_chunks_mut, Dest};
 use crate::layout::{bi_quadrant_offset, bit_interleave};
 use rws_dag::builders::BalancedTreeBuilder;
 use rws_dag::{Addr, AlgoMeta, Computation, NodeId, Shrink, SpDagBuilder, WorkUnit};
@@ -40,7 +40,10 @@ pub fn transpose_bi_computation(n: usize, base: usize) -> Computation {
     let mut b = SpDagBuilder::new();
     let root = build_transpose(&mut b, 0, n as u64, base as u64);
     let dag = b.build(root).expect("transpose dag must validate");
-    Computation::new(dag, AlgoMeta::bp("transpose-bi", (n * n) as u64).with_base_case((base * base) as u64))
+    Computation::new(
+        dag,
+        AlgoMeta::bp("transpose-bi", (n * n) as u64).with_base_case((base * base) as u64),
+    )
 }
 
 fn build_transpose(b: &mut SpDagBuilder, start: u64, m: u64, base: u64) -> NodeId {
@@ -78,13 +81,7 @@ fn build_swap(b: &mut SpDagBuilder, x: u64, y: u64, m: u64, base: u64) -> NodeId
     let children: Vec<NodeId> = [(0u64, 0u64), (1, 2), (2, 1), (3, 3)]
         .iter()
         .map(|&(qx, qy)| {
-            build_swap(
-                b,
-                x + bi_quadrant_offset(qx, m),
-                y + bi_quadrant_offset(qy, m),
-                m / 2,
-                base,
-            )
+            build_swap(b, x + bi_quadrant_offset(qx, m), y + bi_quadrant_offset(qy, m), m / 2, base)
         })
         .collect();
     combine(b, &children)
@@ -137,10 +134,13 @@ fn transpose_rec(a: &mut [f64], m: usize, base: usize) {
         return;
     }
     let [tl, tr, bl, br] = quads_mut(a);
-    rws_runtime::join(
-        || rws_runtime::join(|| transpose_rec(tl, m / 2, base), || transpose_rec(br, m / 2, base)),
-        || swap_transpose_rec(tr, bl, m / 2, base),
-    );
+    // One scope per node: the two diagonal recursions are spawns (inline slots — no
+    // allocation when unstolen), the swap pair runs in the scope body.
+    rws_runtime::scope(|s| {
+        s.spawn(|_| transpose_rec(tl, m / 2, base));
+        s.spawn(|_| transpose_rec(br, m / 2, base));
+        swap_transpose_rec(tr, bl, m / 2, base);
+    });
 }
 
 /// Set `X ← Yᵀ` and `Y ← Xᵀ` for two disjoint BI-ordered `m × m` tiles; quadrant-wise,
@@ -158,12 +158,14 @@ fn swap_transpose_rec(x: &mut [f64], y: &mut [f64], m: usize, base: usize) {
     }
     let [x0, x1, x2, x3] = quads_mut(x);
     let [y0, y1, y2, y3] = quads_mut(y);
-    join4(
-        || swap_transpose_rec(x0, y0, m / 2, base),
-        || swap_transpose_rec(x1, y2, m / 2, base),
-        || swap_transpose_rec(x2, y1, m / 2, base),
-        || swap_transpose_rec(x3, y3, m / 2, base),
-    );
+    // The four-child collection as a 4-way scope over disjoint quadrant borrows; three
+    // spawned branches fit the inline slots, the fourth is the scope body.
+    rws_runtime::scope(|s| {
+        s.spawn(|_| swap_transpose_rec(x0, y0, m / 2, base));
+        s.spawn(|_| swap_transpose_rec(x1, y2, m / 2, base));
+        s.spawn(|_| swap_transpose_rec(x2, y1, m / 2, base));
+        swap_transpose_rec(x3, y3, m / 2, base);
+    });
 }
 
 /// Native fork-join conversion of a row-major `n × n` matrix into a fresh BI-ordered
@@ -178,7 +180,15 @@ pub fn rm_to_bi_native(rm: &[f64], n: usize, base: usize) -> Vec<f64> {
     out
 }
 
-fn rm_to_bi_rec(rm: &[f64], n: usize, i0: usize, j0: usize, m: usize, out: &mut [f64], base: usize) {
+fn rm_to_bi_rec(
+    rm: &[f64],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    m: usize,
+    out: &mut [f64],
+    base: usize,
+) {
     if m <= base {
         for di in 0..m {
             for dj in 0..m {
@@ -189,12 +199,12 @@ fn rm_to_bi_rec(rm: &[f64], n: usize, i0: usize, j0: usize, m: usize, out: &mut 
     }
     let h = m / 2;
     let [q0, q1, q2, q3] = quads_mut(out);
-    join4(
-        || rm_to_bi_rec(rm, n, i0, j0, h, q0, base),
-        || rm_to_bi_rec(rm, n, i0, j0 + h, h, q1, base),
-        || rm_to_bi_rec(rm, n, i0 + h, j0, h, q2, base),
-        || rm_to_bi_rec(rm, n, i0 + h, j0 + h, h, q3, base),
-    );
+    rws_runtime::scope(|s| {
+        s.spawn(|_| rm_to_bi_rec(rm, n, i0, j0, h, q0, base));
+        s.spawn(|_| rm_to_bi_rec(rm, n, i0, j0 + h, h, q1, base));
+        s.spawn(|_| rm_to_bi_rec(rm, n, i0 + h, j0, h, q2, base));
+        rm_to_bi_rec(rm, n, i0 + h, j0 + h, h, q3, base);
+    });
 }
 
 /// Native fork-join conversion of a BI-ordered `n × n` matrix into a fresh row-major
@@ -220,14 +230,24 @@ fn bi_to_rm_rec(bi: &[f64], m: usize, base: usize) -> Vec<f64> {
         return out;
     }
     let h = m / 2;
-    let s = h * h;
-    let (q0, q1, q2, q3) = (&bi[..s], &bi[s..2 * s], &bi[2 * s..3 * s], &bi[3 * s..]);
-    let (t0, t1, t2, t3) = join4(
-        || bi_to_rm_rec(q0, h, base),
-        || bi_to_rm_rec(q1, h, base),
-        || bi_to_rm_rec(q2, h, base),
-        || bi_to_rm_rec(q3, h, base),
+    let quarter = h * h;
+    let (q0, q1, q2, q3) = (
+        &bi[..quarter],
+        &bi[quarter..2 * quarter],
+        &bi[2 * quarter..3 * quarter],
+        &bi[3 * quarter..],
     );
+    // 4-way scope with value-returning branches: three write their local result arrays
+    // into slots the scope body's frame owns, the fourth is the body itself.
+    let (mut t0, mut t1, mut t2) = (None, None, None);
+    let t3 = rws_runtime::scope(|s| {
+        s.spawn(|_| t0 = Some(bi_to_rm_rec(q0, h, base)));
+        s.spawn(|_| t1 = Some(bi_to_rm_rec(q1, h, base)));
+        s.spawn(|_| t2 = Some(bi_to_rm_rec(q2, h, base)));
+        bi_to_rm_rec(q3, h, base)
+    });
+    let (t0, t1, t2) =
+        (t0.expect("scope ran TL"), t1.expect("scope ran TR"), t2.expect("scope ran BL"));
     // Merge pass: one branch per output row; row i (< h) interleaves TL row i and TR row
     // i, row i (>= h) interleaves BL and BR rows (the dag's row-merge tree).
     let mut out = vec![0.0; m * m];
@@ -281,11 +301,10 @@ pub fn bi_to_rm_computation(n: usize, base: usize) -> Computation {
     assert!(n.is_power_of_two() && base.is_power_of_two() && base <= n);
     let n2 = (n * n) as u64;
     let mut b = SpDagBuilder::new();
-    let root =
-        build_bi_to_rm(&mut b, 0, Dest::Global { base: n2 }, n as u64, base as u64, 0);
+    let root = build_bi_to_rm(&mut b, 0, Dest::Global { base: n2 }, n as u64, base as u64, 0);
     let dag = b.build(root).expect("bi->rm dag must validate");
-    let mut meta = AlgoMeta::hbp2("bi-to-rm", n2, 1, Shrink::Quarter)
-        .with_base_case((base * base) as u64);
+    let mut meta =
+        AlgoMeta::hbp2("bi-to-rm", n2, 1, Shrink::Quarter).with_base_case((base * base) as u64);
     meta.local_space = rws_dag::SpaceBound::Linear;
     Computation::new(dag, meta)
 }
@@ -317,9 +336,7 @@ fn build_bi_to_rm(
     };
     let child_depth = seq_depth + balanced_levels(4);
     let quads: Vec<NodeId> = (0..4u64)
-        .map(|q| {
-            build_bi_to_rm(b, src + bi_quadrant_offset(q, m), local(q), h, base, child_depth)
-        })
+        .map(|q| build_bi_to_rm(b, src + bi_quadrant_offset(q, m), local(q), h, base, child_depth))
         .collect();
     let converted = combine(b, &quads);
 

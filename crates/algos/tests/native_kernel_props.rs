@@ -15,8 +15,8 @@ use rand::{rngs::SmallRng, Rng, SeedableRng};
 use rws_algos::fft::{dft_reference, fft_native, Complex};
 use rws_algos::listrank::{list_ranking_native, list_ranking_reference};
 use rws_algos::transpose::{
-    bi_to_rm_native, bi_to_rm_reference, rm_to_bi_native, rm_to_bi_reference,
-    transpose_native_bi, transpose_reference,
+    bi_to_rm_native, bi_to_rm_reference, rm_to_bi_native, rm_to_bi_reference, transpose_native_bi,
+    transpose_reference,
 };
 
 const CASES: u64 = 32;

@@ -58,11 +58,8 @@ impl BoundCheck {
     /// cannot be evaluated must not silently pass.
     pub fn new(name: impl Into<String>, measured: f64, bound: f64, slack: f64) -> Self {
         let finite = measured.is_finite() && bound.is_finite() && slack.is_finite();
-        let verdict = if finite && measured <= slack * bound {
-            Verdict::Pass
-        } else {
-            Verdict::Fail
-        };
+        let verdict =
+            if finite && measured <= slack * bound { Verdict::Pass } else { Verdict::Fail };
         BoundCheck { name: name.into(), measured, bound, slack, verdict }
     }
 

@@ -25,7 +25,14 @@ fn random_params(rng: &mut SmallRng) -> Params {
 }
 
 /// All the closed-form bounds evaluated on one (params, instance) draw, by name.
-fn all_bounds(params: &Params, t_inf: f64, e: f64, a: f64, n: f64, s: f64) -> Vec<(&'static str, f64)> {
+fn all_bounds(
+    params: &Params,
+    t_inf: f64,
+    e: f64,
+    a: f64,
+    n: f64,
+    s: f64,
+) -> Vec<(&'static str, f64)> {
     let s_star = (n.log2() - params.b_words.log2()).max(1.0);
     vec![
         ("h_root_general", analysis::h_root_general(t_inf, e, params)),
@@ -38,7 +45,10 @@ fn all_bounds(params: &Params, t_inf: f64, e: f64, a: f64, n: f64, s: f64) -> Ve
         ("h_root_hbp_c2_quarter", analysis::h_root_hbp_c2_quarter(t_inf, n, params)),
         ("y_block_delay", analysis::y_block_delay(n, 2.0, params)),
         ("block_delay_bound", analysis::block_delay_bound(s, params)),
-        ("iterated_round_handoff", analysis::iterated_round_handoff(n.log2().ceil(), 2.0 * n, params)),
+        (
+            "iterated_round_handoff",
+            analysis::iterated_round_handoff(n.log2().ceil(), 2.0 * n, params),
+        ),
         ("mm_cache_misses", analysis::mm_cache_misses(n, s, params)),
         ("mm_sequential_cache_misses", analysis::mm_sequential_cache_misses(n, params)),
         ("rm_to_bi_cache_misses", analysis::rm_to_bi_cache_misses(n, s, params)),
@@ -111,7 +121,11 @@ fn steal_bounds_are_monotone_in_depth_processors_and_miss_cost() {
         );
         // Nondecreasing in the miss cost b (steals get charged more cache refill work).
         // Keep s fixed and >= b on both sides.
-        let costlier = Params { miss_cost: params.miss_cost * grow, steal_cost: params.steal_cost * grow + params.miss_cost * grow, ..params };
+        let costlier = Params {
+            miss_cost: params.miss_cost * grow,
+            steal_cost: params.steal_cost * grow + params.miss_cost * grow,
+            ..params
+        };
         let base = Params { steal_cost: costlier.steal_cost, ..params };
         assert_nondecreasing(
             "steal_bound_general",
@@ -185,17 +199,38 @@ fn miss_and_delay_envelopes_are_monotone_in_steals_and_costs() {
 
         // The runtime bound: nondecreasing in W, Q, C, S and the miss cost; nonincreasing
         // in p (fixed totals spread over more processors).
-        let (w, q, c) = (
-            rng.gen_range(1.0f64..1e8),
-            rng.gen_range(0.0f64..1e6),
-            rng.gen_range(0.0f64..1e6),
-        );
+        let (w, q, c) =
+            (rng.gen_range(1.0f64..1e8), rng.gen_range(0.0f64..1e6), rng.gen_range(0.0f64..1e6));
         let base = analysis::runtime_bound(w, q, c, s, &params);
-        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w * grow, q, c, s, &params), "W");
-        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w, q * grow + 1.0, c, s, &params), "Q");
-        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w, q, c * grow + 1.0, s, &params), "C");
-        assert_nondecreasing("runtime_bound", base, analysis::runtime_bound(w, q, c, s * grow + 1.0, &params), "S");
-        let costlier = Params { miss_cost: params.miss_cost * grow, steal_cost: params.steal_cost * grow + params.miss_cost * grow, ..params };
+        assert_nondecreasing(
+            "runtime_bound",
+            base,
+            analysis::runtime_bound(w * grow, q, c, s, &params),
+            "W",
+        );
+        assert_nondecreasing(
+            "runtime_bound",
+            base,
+            analysis::runtime_bound(w, q * grow + 1.0, c, s, &params),
+            "Q",
+        );
+        assert_nondecreasing(
+            "runtime_bound",
+            base,
+            analysis::runtime_bound(w, q, c * grow + 1.0, s, &params),
+            "C",
+        );
+        assert_nondecreasing(
+            "runtime_bound",
+            base,
+            analysis::runtime_bound(w, q, c, s * grow + 1.0, &params),
+            "S",
+        );
+        let costlier = Params {
+            miss_cost: params.miss_cost * grow,
+            steal_cost: params.steal_cost * grow + params.miss_cost * grow,
+            ..params
+        };
         let base_aligned = Params { steal_cost: costlier.steal_cost, ..params };
         assert_nondecreasing(
             "runtime_bound",
@@ -205,7 +240,10 @@ fn miss_and_delay_envelopes_are_monotone_in_steals_and_costs() {
         );
         let more_procs = Params { p: params.p * grow, ..params };
         let spread = analysis::runtime_bound(w, q, c, s, &more_procs);
-        assert!(spread <= base * (1.0 + 1e-9), "runtime_bound must not grow with p: {base} -> {spread}");
+        assert!(
+            spread <= base * (1.0 + 1e-9),
+            "runtime_bound must not grow with p: {base} -> {spread}"
+        );
     }
 }
 

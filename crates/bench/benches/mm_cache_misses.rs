@@ -9,9 +9,10 @@ use rws_bench::{default_machine, run_on};
 fn bench_mm(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul_rws");
     group.sample_size(10);
-    for (name, variant) in
-        [("depth_n_limited", MmVariant::DepthNLimitedAccess), ("depth_log2n", MmVariant::DepthLog2N)]
-    {
+    for (name, variant) in [
+        ("depth_n_limited", MmVariant::DepthNLimitedAccess),
+        ("depth_log2n", MmVariant::DepthLog2N),
+    ] {
         let comp = matmul_computation(&MatMulConfig { n: 16, base: 4, variant });
         let machine = default_machine(4);
         group.bench_with_input(BenchmarkId::new(name, 16), &machine, |b, machine| {

@@ -4,14 +4,22 @@
 //!
 //! ```text
 //! native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N]
+//!              [--check-against BASELINE.json]
 //! ```
 //!
 //! The process installs a counting global allocator so the suite can report
 //! allocations-per-fork (the "is `join` really allocation-free" trajectory number). After
 //! writing, the document is re-read and structurally validated; any problem — malformed
 //! JSON, a panicking backend — exits nonzero, which is what the CI smoke step checks.
+//!
+//! `--check-against BASELINE.json` additionally diffs the freshly written document's
+//! *structure* against a committed baseline (same record field set, every
+//! workload/backend combination present, uniform per-combination row counts), so a
+//! silently dropped workload row fails the build instead of shrinking the file unnoticed.
 
-use rws_bench::native_bench::{run_suite, to_json, validate_json, BenchConfig, SizeClass};
+use rws_bench::native_bench::{
+    check_against, run_suite, to_json, validate_json, BenchConfig, SizeClass,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,7 +57,8 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N]"
+        "usage: native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N] \
+         [--check-against BASELINE.json]"
     );
     std::process::exit(2);
 }
@@ -59,6 +68,7 @@ fn main() -> ExitCode {
     let mut out = String::from("BENCH_native.json");
     let mut threads: Option<Vec<usize>> = None;
     let mut repeats: Option<usize> = None;
+    let mut baseline: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -76,11 +86,13 @@ fn main() -> ExitCode {
             }
             "--repeats" => {
                 repeats = Some(
-                    it.next().and_then(|r| r.parse().ok()).filter(|&r| r > 0).unwrap_or_else(
-                        || usage(),
-                    ),
+                    it.next()
+                        .and_then(|r| r.parse().ok())
+                        .filter(|&r| r > 0)
+                        .unwrap_or_else(|| usage()),
                 )
             }
+            "--check-against" => baseline = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -132,6 +144,20 @@ fn main() -> ExitCode {
     if let Err(e) = validate_json(&written) {
         eprintln!("native_bench: {out} is malformed: {e}");
         return ExitCode::FAILURE;
+    }
+    if let Some(baseline_path) = &baseline {
+        let baseline_doc = match std::fs::read_to_string(baseline_path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("native_bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = check_against(&written, &baseline_doc) {
+            eprintln!("native_bench: {out} does not match the {baseline_path} schema: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("native_bench: {out} structurally matches {baseline_path}");
     }
     eprintln!("native_bench: wrote {out} ({} records)", records.len());
     ExitCode::SUCCESS

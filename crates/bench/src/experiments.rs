@@ -11,9 +11,7 @@ use rws_algos::listrank::{
 use rws_algos::matmul::{matmul_computation, MatMulConfig, MmVariant};
 use rws_algos::prefix::{prefix_sums_computation, PrefixConfig};
 use rws_algos::sort::{sort_computation, SortConfig};
-use rws_algos::transpose::{
-    bi_to_rm_computation, rm_to_bi_computation, transpose_bi_computation,
-};
+use rws_algos::transpose::{bi_to_rm_computation, rm_to_bi_computation, transpose_bi_computation};
 use rws_analysis as analysis;
 use rws_core::{PotentialTracker, RwsScheduler, SimConfig};
 use rws_dag::Computation;
@@ -40,7 +38,8 @@ pub fn e1_e2_mm_cache_misses(quick: bool) {
             let machine = default_machine(p);
             let report = run_on(&comp, &machine, SEEDS[0]);
             let params = params_of(&machine);
-            let bound = analysis::mm_cache_misses(n as f64, report.successful_steals as f64, &params);
+            let bound =
+                analysis::mm_cache_misses(n as f64, report.successful_steals as f64, &params);
             table.row(vec![
                 format!("{variant:?}"),
                 p.to_string(),
@@ -127,8 +126,9 @@ pub fn e7_potential(quick: bool) {
     let n = if quick { 1024 } else { 4096 };
     let comp = prefix_sums_computation(&PrefixConfig::new(n));
     let machine = default_machine(8);
-    let report = RwsScheduler::new(machine, SimConfig::with_seed(SEEDS[2]).with_potential_tracking())
-        .run(&comp);
+    let report =
+        RwsScheduler::new(machine, SimConfig::with_seed(SEEDS[2]).with_potential_tracking())
+            .run(&comp);
     let mut tracker = PotentialTracker::new();
     for s in &report.potential_trace {
         tracker.record(*s);
@@ -162,11 +162,11 @@ pub fn e8_e9_steal_bounds(quick: bool) {
         for p in [4usize, 8] {
             let machine = default_machine(p).with_block_words(b_words).with_cache_words(4096);
             let params = params_of(&machine);
-            let s =
-                average_over_seeds(&comp, &machine, &SEEDS, |r| r.successful_steals as f64);
+            let s = average_over_seeds(&comp, &machine, &SEEDS, |r| r.successful_steals as f64);
             let t_inf = comp.dag.span_nodes() as f64;
             let general = analysis::steal_bound_general(t_inf, b_words as f64, 1.0, &params);
-            let bp = analysis::steal_bound_hbp(analysis::h_root_bp(n as f64, &params), 1.0, &params);
+            let bp =
+                analysis::steal_bound_hbp(analysis::h_root_bp(n as f64, &params), 1.0, &params);
             table.row(vec![
                 b_words.to_string(),
                 p.to_string(),
@@ -224,7 +224,9 @@ pub fn e11_e12_mm_steals_speedup(quick: bool) {
             let params = params_of(&machine);
             let report = run_on(&comp, &machine, SEEDS[0]);
             let predicted = match variant {
-                MmVariant::DepthNLimitedAccess => analysis::mm_depth_n_steals(n as f64, 1.0, &params),
+                MmVariant::DepthNLimitedAccess => {
+                    analysis::mm_depth_n_steals(n as f64, 1.0, &params)
+                }
                 _ => analysis::mm_depth_log2_steals(n as f64, 1.0, &params),
             };
             table.row(vec![
@@ -312,8 +314,8 @@ pub fn e18_steal_structure(quick: bool) {
     let n = if quick { 1024 } else { 4096 };
     let comp = prefix_sums_computation(&PrefixConfig::new(n));
     let machine = default_machine(8);
-    let report = RwsScheduler::new(machine, SimConfig::with_seed(SEEDS[0]).with_steal_events())
-        .run(&comp);
+    let report =
+        RwsScheduler::new(machine, SimConfig::with_seed(SEEDS[0]).with_steal_events()).run(&comp);
     // Group steal events by victim task: within one victim, steal times must be increasing
     // and the stolen fork nodes must have strictly increasing dag depth (top-down order).
     let depth = node_depths(&comp);
@@ -400,7 +402,11 @@ pub fn e19_native_false_sharing(quick: bool) {
         &["layout", "seconds", "slowdown vs padded"],
     );
     table.row(vec!["padded (no false sharing)".into(), fnum(padded), fnum(1.0)]);
-    table.row(vec!["unpadded (false sharing)".into(), fnum(unpadded), fnum(unpadded / padded.max(1e-9))]);
+    table.row(vec![
+        "unpadded (false sharing)".into(),
+        fnum(unpadded),
+        fnum(unpadded / padded.max(1e-9)),
+    ]);
     table.print();
     println!("Shape check: the unpadded layout is slower (typically several times) — the real-hardware cost the paper's block-miss model accounts for.");
 }
@@ -412,7 +418,8 @@ pub fn e20_space(quick: bool) {
         format!("E20 — MM space usage (Section 3), n = {n}"),
         &["variant", "p", "peak stack words", "predicted shape"],
     );
-    for variant in [MmVariant::DepthNInPlace, MmVariant::DepthNLimitedAccess, MmVariant::DepthLog2N] {
+    for variant in [MmVariant::DepthNInPlace, MmVariant::DepthNLimitedAccess, MmVariant::DepthLog2N]
+    {
         let comp = mm(n, 4, variant);
         for p in [1usize, 8] {
             let machine = default_machine(p);

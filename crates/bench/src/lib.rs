@@ -44,10 +44,7 @@ pub fn run_exec(comp: &Computation, machine: &MachineConfig, seed: u64) -> ExecR
 }
 
 /// Run `comp` sequentially (one processor) and return its sequential costs (`W`, `Q`).
-pub fn sequential_costs(
-    comp: &Computation,
-    machine: &MachineConfig,
-) -> rws_dag::SequentialCosts {
+pub fn sequential_costs(comp: &Computation, machine: &MachineConfig) -> rws_dag::SequentialCosts {
     SequentialTracer::new(machine).run(&comp.dag)
 }
 
@@ -95,8 +92,7 @@ mod tests {
         assert_eq!(norm.procs, 4);
         let seq = sequential_costs(&comp, &machine);
         assert!(seq.cache_misses > 0);
-        let avg =
-            average_over_seeds(&comp, &machine, &[1, 2, 3], |r| r.successful_steals as f64);
+        let avg = average_over_seeds(&comp, &machine, &[1, 2, 3], |r| r.successful_steals as f64);
         assert!(avg >= 0.0);
         let p = params_of(&machine);
         assert_eq!(p.p, 4.0);

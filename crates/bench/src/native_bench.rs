@@ -131,10 +131,7 @@ fn mm_rows(a: &[f64], bt: &[f64], c: &mut [f64], n: usize, row0: usize, grain: u
     }
     let mid = rows / 2;
     let (lo, hi) = c.split_at_mut(mid * n);
-    join(
-        || mm_rows(a, bt, lo, n, row0, grain),
-        || mm_rows(a, bt, hi, n, row0 + mid, grain),
-    );
+    join(|| mm_rows(a, bt, lo, n, row0, grain), || mm_rows(a, bt, hi, n, row0 + mid, grain));
 }
 
 /// `bt` is B transposed, so a leaf reads contiguous rows of both operands: the leaf stays
@@ -156,10 +153,7 @@ fn mm_cols(a: &[f64], bt: &[f64], row: &mut [f64], n: usize, i: usize, col0: usi
     }
     let mid = row.len() / 2;
     let (l, r) = row.split_at_mut(mid);
-    join(
-        || mm_cols(a, bt, l, n, i, col0, grain),
-        || mm_cols(a, bt, r, n, i, col0 + mid, grain),
-    );
+    join(|| mm_cols(a, bt, l, n, i, col0, grain), || mm_cols(a, bt, r, n, i, col0 + mid, grain));
 }
 
 struct WorkloadSpec {
@@ -421,6 +415,101 @@ pub fn validate_json(doc: &str) -> Result<(), String> {
     )
 }
 
+/// Structurally diff a (smoke) run's document against the committed baseline — the CI gate
+/// that catches a silently dropped row or a drifted record schema, which plain
+/// [`validate_json`] cannot see. Checks:
+///
+/// 1. both documents carry the same top-level key set and the same `schema` tag;
+/// 2. every record in both documents carries exactly the baseline's per-record field set;
+/// 3. every `(workload, backend)` combination in the baseline appears in the run;
+/// 4. the run's per-combination record count is uniform (each combination measured at
+///    every swept thread count — a single dropped row breaks the uniformity).
+///
+/// Returns a description of the first mismatch.
+pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
+    let run = json::parse(run_doc).map_err(|e| format!("run document: {e}"))?;
+    let base = json::parse(baseline_doc).map_err(|e| format!("baseline document: {e}"))?;
+
+    if run.keys() != base.keys() {
+        return Err(format!(
+            "top-level key sets differ: run has {:?}, baseline has {:?}",
+            run.keys(),
+            base.keys()
+        ));
+    }
+    if run.get("schema") != base.get("schema") {
+        return Err(format!(
+            "schema tags differ: run {:?}, baseline {:?}",
+            run.get("schema"),
+            base.get("schema")
+        ));
+    }
+
+    let records = |doc: &Json, which: &str| -> Result<Vec<Json>, String> {
+        doc.get("records")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .ok_or(format!("{which} document has no `records` array"))
+    };
+    let run_records = records(&run, "run")?;
+    let base_records = records(&base, "baseline")?;
+    let reference_fields = base_records
+        .first()
+        .ok_or("baseline has no records to diff against")?
+        .keys()
+        .iter()
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>();
+    for (which, recs) in [("run", &run_records), ("baseline", &base_records)] {
+        for (i, rec) in recs.iter().enumerate() {
+            if rec.keys() != reference_fields.iter().map(String::as_str).collect::<Vec<_>>() {
+                return Err(format!(
+                    "{which} record {i} field set {:?} differs from the baseline schema {:?}",
+                    rec.keys(),
+                    reference_fields
+                ));
+            }
+        }
+    }
+
+    let combo = |rec: &Json| -> Result<(String, String), String> {
+        let field = |key: &str| {
+            rec.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("record lacks a string `{key}`"))
+        };
+        Ok((field("workload")?, field("backend")?))
+    };
+    let mut run_counts: Vec<((String, String), usize)> = Vec::new();
+    for rec in &run_records {
+        let key = combo(rec)?;
+        match run_counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => run_counts.push((key, 1)),
+        }
+    }
+    for rec in &base_records {
+        let key = combo(rec)?;
+        if !run_counts.iter().any(|(k, _)| *k == key) {
+            return Err(format!(
+                "workload/backend combination {key:?} present in the baseline is missing \
+                 from the run — a row was silently dropped"
+            ));
+        }
+    }
+    let expected = run_counts.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    for (key, n) in &run_counts {
+        if *n != expected {
+            return Err(format!(
+                "combination {key:?} has {n} record(s) but others have {expected} — \
+                 a thread-count row was silently dropped"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +571,45 @@ mod tests {
         let (w, t, cl, simple, speedup) = &cmps[0];
         assert_eq!((w.as_str(), *t, *cl, *simple), ("recursive-sum", 4, 100, 150));
         assert!((speedup - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_against_accepts_matching_structure_and_catches_drops() {
+        let cfg = BenchConfig::for_size(SizeClass::Smoke);
+        let full_cfg = BenchConfig::for_size(SizeClass::Full);
+        let records = tiny_records();
+        let baseline = to_json(&full_cfg, &records);
+
+        // A structurally identical run (different values are fine) passes.
+        let mut faster = records.clone();
+        for r in &mut faster {
+            r.wall_ns_median /= 2;
+        }
+        check_against(&to_json(&cfg, &faster), &baseline).expect("matching structure");
+
+        // Dropping a whole (workload, backend) combination fails.
+        let dropped: Vec<BenchRecord> =
+            records.iter().filter(|r| r.backend != "simple").cloned().collect();
+        let err = check_against(&to_json(&cfg, &dropped), &baseline).unwrap_err();
+        assert!(err.contains("silently dropped"), "{err}");
+
+        // Dropping one thread-count row of one combination breaks count uniformity.
+        let mut uneven = records.clone();
+        uneven.extend(records.iter().map(|r| BenchRecord { threads: 8, ..r.clone() }));
+        uneven.remove(1); // "simple" now has 1 row where "chaselev" has 2
+        let err = check_against(&to_json(&cfg, &uneven), &baseline).unwrap_err();
+        assert!(err.contains("thread-count row"), "{err}");
+
+        // A drifted record schema (missing field) fails even though the JSON validates.
+        let mut missing_field = to_json(&cfg, &records);
+        missing_field = missing_field.replacen("      \"parks\": 2,\n", "", 1);
+        rws_lab::json::validate(&missing_field).expect("still well-formed JSON");
+        let err = check_against(&missing_field, &baseline).unwrap_err();
+        assert!(err.contains("field set"), "{err}");
+
+        // A different schema tag fails.
+        let other_tag = baseline.replacen("rws-bench-native/v1", "rws-bench-native/v2", 1);
+        assert!(check_against(&other_tag, &baseline).unwrap_err().contains("schema"));
     }
 
     #[test]

@@ -222,10 +222,7 @@ mod tests {
         for (id, node) in dag.iter() {
             if let SpStructure::Par { left, right, .. } = &node.structure {
                 let child_max = h.height(*left).max(h.height(*right));
-                assert!(
-                    h.height(id) >= child_max + 2.0,
-                    "fork must add at least 2 to the height"
-                );
+                assert!(h.height(id) >= child_max + 2.0, "fork must add at least 2 to the height");
             }
         }
     }

@@ -118,7 +118,12 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut r = RunReport { makespan: 100, successful_steals: 4, failed_steals: 6, ..Default::default() };
+        let mut r = RunReport {
+            makespan: 100,
+            successful_steals: 4,
+            failed_steals: 6,
+            ..Default::default()
+        };
         r.mem = MemStats::new(2);
         r.mem.proc_mut(ProcId(0)).cold_misses = 3;
         r.mem.proc_mut(ProcId(1)).block_misses = 5;

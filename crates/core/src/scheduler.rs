@@ -724,8 +724,8 @@ mod tests {
     #[test]
     fn steal_events_are_recorded_when_requested() {
         let dag = tree_dag(32, 32);
-        let report = RwsScheduler::new(machine(4), SimConfig::default().with_steal_events())
-            .run_dag(&dag);
+        let report =
+            RwsScheduler::new(machine(4), SimConfig::default().with_steal_events()).run_dag(&dag);
         assert_eq!(report.steal_events.len() as u64, report.successful_steals);
         for w in report.steal_events.windows(2) {
             assert!(w[0].time <= w[1].time, "steal events are recorded in time order");

@@ -247,19 +247,23 @@ impl SpDag {
 
     fn validate_local_accesses(&self) -> Result<(), DagError> {
         // Walk the tree keeping the stack of segment-declaring ancestors (their sizes).
-        fn check_unit(
-            id: NodeId,
-            unit: &WorkUnit,
-            seg_sizes: &[u32],
-        ) -> Result<(), DagError> {
+        fn check_unit(id: NodeId, unit: &WorkUnit, seg_sizes: &[u32]) -> Result<(), DagError> {
             for la in &unit.locals {
                 let hops = la.hops as usize;
                 if hops >= seg_sizes.len() {
-                    return Err(DagError::BadLocalAccess { node: id, hops: la.hops, offset: la.offset });
+                    return Err(DagError::BadLocalAccess {
+                        node: id,
+                        hops: la.hops,
+                        offset: la.offset,
+                    });
                 }
                 let size = seg_sizes[seg_sizes.len() - 1 - hops];
                 if la.offset >= size {
-                    return Err(DagError::BadLocalAccess { node: id, hops: la.hops, offset: la.offset });
+                    return Err(DagError::BadLocalAccess {
+                        node: id,
+                        hops: la.hops,
+                        offset: la.offset,
+                    });
                 }
             }
             Ok(())

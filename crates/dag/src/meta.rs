@@ -261,7 +261,12 @@ mod tests {
         assert!(AlgoClass::Type0.is_hbp());
         assert!(AlgoClass::Tree { bp: true }.is_hbp());
         assert!(!AlgoClass::Tree { bp: false }.is_hbp());
-        let h = AlgoClass::Hierarchical { level: 2, hbp: true, collections: 2, shrink: Shrink::Quarter };
+        let h = AlgoClass::Hierarchical {
+            level: 2,
+            hbp: true,
+            collections: 2,
+            shrink: Shrink::Quarter,
+        };
         assert!(h.is_hbp());
         assert_eq!(h.collections(), 2);
         assert_eq!(AlgoClass::Type0.collections(), 1);

@@ -188,8 +188,13 @@ mod tests {
         let mut b = SpDagBuilder::new();
         let l = b.leaf_with_segment(WorkUnit::compute(1).local_write(0, 0), 4);
         let r = b.leaf_with_segment(WorkUnit::compute(1).local_write(0, 3), 4);
-        let root =
-            b.par_with_segment(WorkUnit::compute(1), WorkUnit::compute(1).local_read(0, 1), l, r, 2);
+        let root = b.par_with_segment(
+            WorkUnit::compute(1),
+            WorkUnit::compute(1).local_read(0, 1),
+            l,
+            r,
+            2,
+        );
         let dag = b.build(root).unwrap();
         let costs = SequentialTracer::new(&config()).run(&dag);
         assert_eq!(costs.stack_peak_words, 6);

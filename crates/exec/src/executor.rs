@@ -125,7 +125,8 @@ impl Executor for SimExecutor {
 /// Steal and job counts in the report are **pool-global counter deltas** over the run: they
 /// attribute correctly as long as nothing else executes on the pool concurrently. Run one
 /// workload at a time per executor (and keep [`NativeExecutor::pool`] side traffic outside
-/// measured runs) when the counters matter.
+/// measured runs) when the counters matter — this is why `rws-lab`'s parallel sweep
+/// (`lab --jobs N`) serializes its native runs while fanning simulated runs out.
 pub struct NativeExecutor {
     pool: Arc<ThreadPool>,
     backend_kind: DequeBackend,

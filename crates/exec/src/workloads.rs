@@ -15,13 +15,14 @@
 
 use crate::workload::{AlgoOutput, NativeSupport, Workload};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use rws_algos::fft::{dft_reference, fft_computation, fft_native, fft_reference, Complex, FftConfig};
+use rws_algos::fft::{
+    dft_reference, fft_computation, fft_native, fft_reference, Complex, FftConfig,
+};
 use rws_algos::listrank::{
     list_ranking_computation, list_ranking_native, list_ranking_reference, ListRankConfig,
 };
 use rws_algos::matmul::{
-    from_bi, matmul_computation, matmul_native_bi, matmul_reference, to_bi, MatMulConfig,
-    MmVariant,
+    from_bi, matmul_computation, matmul_native_bi, matmul_reference, to_bi, MatMulConfig, MmVariant,
 };
 use rws_algos::prefix::{
     prefix_sums_computation, prefix_sums_native, prefix_sums_reference, PrefixConfig,
@@ -356,9 +357,7 @@ impl Workload for ListRankWorkload {
     }
 
     fn run_reference(&self) -> AlgoOutput {
-        AlgoOutput::I64(
-            list_ranking_reference(&self.succ).into_iter().map(|r| r as i64).collect(),
-        )
+        AlgoOutput::I64(list_ranking_reference(&self.succ).into_iter().map(|r| r as i64).collect())
     }
 }
 

@@ -3,8 +3,17 @@
 //! error, a malformed emission, or a bound-check verdict of `Fail` — is wrong.
 //!
 //! ```text
-//! lab <scenario file> [--out PATH]
+//! lab <scenario file> [--out PATH] [--jobs N] [--timing]
 //! ```
+//!
+//! `--jobs N` fans independent **simulated** runs out across an `N`-worker driver pool
+//! (native runs stay serialized so their pool-counter deltas attribute correctly); the
+//! emitted document is byte-identical whatever `N` is. On a 1-CPU host, jobs above 1
+//! merely time-slice — correctness and output are unaffected, wall time is not improved.
+//!
+//! `--timing` additionally populates the volatile `timing` sidecar (wall clocks, native
+//! steal counters). Without it the document is fully deterministic: rerunning the same
+//! scenario emits the same bytes.
 //!
 //! Without `--out` the JSON goes to stdout (the summary always goes to stderr); with
 //! `--out` the document is written, re-read from disk, and validated as it landed.
@@ -16,19 +25,29 @@ use rws_lab::{report, Scenario};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: lab <scenario file> [--out PATH]");
+    eprintln!("usage: lab <scenario file> [--out PATH] [--jobs N] [--timing]");
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut scenario_path: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut jobs: usize = 1;
+    let mut timing = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|j| j.parse().ok())
+                    .filter(|&j| j > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--timing" => timing = true,
             "--help" | "-h" => usage(),
             other if scenario_path.is_none() && !other.starts_with('-') => {
                 scenario_path = Some(other.to_string())
@@ -54,18 +73,18 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "lab: running scenario `{}` ({} on {:?}, {} seed(s))",
+        "lab: running scenario `{}` ({} on {:?}, {} seed(s), jobs={jobs})",
         scenario.name,
         scenario.workload.name(),
         scenario.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
         scenario.seeds.len()
     );
-    let result = report::run(&scenario);
+    let result = report::run_with_jobs(&scenario, jobs);
     for line in result.summary_lines() {
         eprintln!("{line}");
     }
 
-    let doc = result.to_json();
+    let doc = if timing { result.to_json_timed() } else { result.to_json() };
     match &out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &doc) {

@@ -81,9 +81,8 @@ fn evaluate_one(
                 }
                 _ => 0.0,
             };
-            let bound = analysis::block_delay_bound(steals, params)
-                + params.p * params.b_words
-                + handoff;
+            let bound =
+                analysis::block_delay_bound(steals, params) + params.p * params.b_words + handoff;
             BoundCheck::new("block-misses", report.block_misses as f64, bound, slack)
         }
         CheckKind::Runtime => {
@@ -106,8 +105,7 @@ fn evaluate_one(
             // once `n ≥ √M`; lab instances are deliberately small, so it is added
             // explicitly rather than hidden in a larger slack.
             let n = sc.n as f64;
-            let bound = analysis::mm_cache_misses(n, steals, params)
-                + 3.0 * n * n / params.b_words;
+            let bound = analysis::mm_cache_misses(n, steals, params) + 3.0 * n * n / params.b_words;
             BoundCheck::new("cache-misses", report.cache_misses as f64, bound, slack)
         }
     }
@@ -173,12 +171,7 @@ mod tests {
             .unwrap();
             let lab = run_scenario(&sc);
             for c in evaluate(&sc, &lab) {
-                assert!(
-                    c.check.passed(),
-                    "{workload} run {}: {}",
-                    c.run,
-                    c.check.summary()
-                );
+                assert!(c.check.passed(), "{workload} run {}: {}", c.run, c.check.summary());
             }
         }
     }

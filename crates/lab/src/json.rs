@@ -318,6 +318,234 @@ pub fn validate_with_keys(doc: &str, required: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a document into a [`Json`] value tree — the read half of this module, used by
+/// structural *diffs* (e.g. `native_bench --check-against`, which compares a smoke run's
+/// shape against the committed baseline). Numbers parse as `U64`/`I64` when they are
+/// integral and in range, `F64` otherwise; object key order is preserved.
+pub fn parse(doc: &str) -> Result<Json, String> {
+    struct P<'a> {
+        bytes: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.bytes.len() && self.bytes[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.bytes.get(self.i).copied()
+        }
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.i))
+            }
+        }
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string().map(Json::Str),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
+                Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
+                Some(b'n') => self.literal("null").map(|_| Json::Null),
+                other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+            }
+        }
+        fn literal(&mut self, lit: &str) -> Result<(), String> {
+            if self.bytes[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                pairs.push((key, self.value()?));
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    other => return Err(format!("bad object at byte {}: {other:?}", self.i)),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("bad array at byte {}: {other:?}", self.i)),
+                }
+            }
+        }
+        /// Read the four hex digits of a `\u` escape.
+        fn hex4(&mut self) -> Result<u32, String> {
+            let hex = self.bytes.get(self.i..self.i + 4).ok_or("truncated \\u escape")?;
+            self.i += 4;
+            u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+                .map_err(|e| e.to_string())
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            while let Some(&c) = self.bytes.get(self.i) {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let esc = self.bytes.get(self.i).copied();
+                        self.i += 1;
+                        match esc {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{0008}'),
+                            Some(b'f') => out.push('\u{000C}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let code = self.hex4()?;
+                                // A high surrogate must pair with a following \uXXXX low
+                                // surrogate; together they encode one non-BMP character.
+                                let scalar = if (0xD800..0xDC00).contains(&code) {
+                                    if self.bytes.get(self.i..self.i + 2) != Some(b"\\u") {
+                                        return Err(format!("unpaired high surrogate {code:#x}"));
+                                    }
+                                    self.i += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(format!(
+                                            "high surrogate {code:#x} followed by {low:#x}"
+                                        ));
+                                    }
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    code
+                                };
+                                out.push(
+                                    char::from_u32(scalar)
+                                        .ok_or(format!("bad \\u escape {scalar:#x}"))?,
+                                );
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                    }
+                    c => {
+                        // Re-assemble multi-byte UTF-8 sequences byte by byte.
+                        let start = self.i - 1;
+                        let width = utf8_width(c);
+                        let end = start + width;
+                        let chunk = self.bytes.get(start..end).ok_or("truncated UTF-8 sequence")?;
+                        out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        self.i = end;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            while let Some(&c) = self.bytes.get(self.i) {
+                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.i]).map_err(|e| e.to_string())?;
+            if !text.contains(['.', 'e', 'E']) {
+                if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Json::U64(u));
+                }
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::I64(i));
+                }
+            }
+            text.parse::<f64>()
+                .map(Json::F64)
+                .map_err(|_| format!("bad number `{text}` at byte {start}"))
+        }
+    }
+    fn utf8_width(first: u8) -> usize {
+        match first {
+            b if b < 0x80 => 1,
+            b if b >= 0xF0 => 4,
+            b if b >= 0xE0 => 3,
+            _ => 2,
+        }
+    }
+    let mut p = P { bytes: doc.as_bytes(), i: 0 };
+    let value = p.value()?;
+    p.ws();
+    if p.i != doc.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(value)
+}
+
+impl Json {
+    /// Look up a key in an object; `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// An object's keys in document order.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +605,51 @@ mod tests {
         assert!(validate_with_keys(&doc, &["schema"]).is_ok());
         let err = validate_with_keys(&doc, &["schema", "records"]).unwrap_err();
         assert!(err.contains("records"), "{err}");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let original = obj([
+            ("schema", "test/v1".into()),
+            ("count", 3u64.into()),
+            ("delta", Json::I64(-2)),
+            ("ratio", 1.5f64.into()),
+            ("ok", true.into()),
+            ("missing", Json::Null),
+            ("name", "a \"quoted\" \\ back\nslash é".into()),
+            ("items", Json::Arr(vec![1u64.into(), Json::Obj(Vec::new()), Json::Arr(Vec::new())])),
+        ]);
+        let parsed = parse(&original.render()).expect("rendered documents must parse");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["{", "{\"a\": }", "[1, 2,]", "{} trailing", "\"unterminated", ""] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_handles_every_legal_string_escape() {
+        // \b, \f, and UTF-16 surrogate pairs are legal JSON our renderer never emits but
+        // externally produced documents (e.g. an edited baseline) may contain.
+        let parsed = parse("\"a\\bb\\ff\\u0041\\uD83D\\uDE00!\"").unwrap();
+        assert_eq!(parsed, Json::Str("a\u{0008}b\u{000C}fA😀!".into()));
+        for bad in ["\"\\uD83D\"", "\"\\uD83D\\u0041\"", "\"\\uD83\"", "\"\\x\""] {
+            assert!(parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn value_accessors_navigate_the_tree() {
+        let doc = parse("{\"records\": [{\"workload\": \"fft\", \"threads\": 4}]}").unwrap();
+        let records = doc.get("records").and_then(Json::as_array).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].get("workload").and_then(Json::as_str), Some("fft"));
+        assert_eq!(records[0].keys(), vec!["workload", "threads"]);
+        assert_eq!(records[0].get("threads"), Some(&Json::U64(4)));
+        assert!(doc.get("absent").is_none());
+        assert!(Json::Null.get("x").is_none() && Json::Null.as_array().is_none());
     }
 }

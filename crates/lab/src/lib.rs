@@ -20,6 +20,11 @@
 //! cargo run --release -p rws-lab --bin lab -- scenarios/quick.scn --out LAB_quick.json
 //! ```
 //!
+//! `--jobs N` fans independent simulated runs out across an `N`-worker `rws-runtime` pool
+//! (native runs stay serialized so their steal-counter deltas attribute correctly); the
+//! emitted document is byte-identical whatever `N` is, because the volatile measurements
+//! (wall clocks, native steal counters) live in an opt-in `--timing` sidecar.
+//!
 //! ```
 //! use rws_lab::{report, Scenario};
 //!

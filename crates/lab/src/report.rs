@@ -10,19 +10,36 @@
 //!   "work": W, "t_inf": T∞, "native_fallback": bool,
 //!   "runs": [ { "backend", "executor", "procs", "seed", "axis", "axis_value",
 //!               "steals", "failed_steals", "work_items", "time_units", "time_unit",
-//!               "wall_ns", "cache_misses", "block_misses", "false_sharing_misses",
+//!               "cache_misses", "block_misses", "false_sharing_misses",
 //!               "sequential_fallback" } ],
 //!   "checks": [ { "run", "name", "measured", "bound", "slack", "ratio", "verdict" } ],
+//!   "timing": null | [ { "run", "wall_ns", "steals", "failed_steals" } ],
 //!   "summary": { "runs", "checks", "failed" }
 //! }
 //! ```
 //!
 //! `axis`/`axis_value` are `null` for unswept runs; `run` indexes into `runs`.
+//!
+//! **Determinism contract.** Everything outside `timing` is a deterministic function of
+//! the scenario: simulated runs are seeded, native `work_items` counts executed fork
+//! branches (a property of the kernel, not the schedule), and record order is expansion
+//! order whatever `--jobs` level produced it. The *volatile* quantities — wall clocks on
+//! both backends, and a native run's racy steal counters — live only in the `timing`
+//! sidecar, emitted on request ([`LabReport::to_json_timed`], `lab --timing`) and `null`
+//! otherwise. A default document is therefore byte-identical across invocations and
+//! across `--jobs` levels; `steals`/`failed_steals`/`time_units` in a **native** run row
+//! are `null`, pointing at the sidecar. Wall-clock *benchmarking* belongs to
+//! `BENCH_native.json`, not the lab report.
+//!
+//! Documents emitted before the sidecar existed carried a per-row `wall_ns` and measured
+//! native steal counters instead; they still validate (`timing` is optional in
+//! [`validate_report`]), but consumers of the volatile quantities should read the
+//! `timing` array in current documents.
 
 use crate::checks::{evaluate, CheckRecord};
 use crate::json::{self, obj, Json};
-use crate::scenario::Scenario;
-use crate::sweep::{run_scenario, LabRun};
+use crate::scenario::{BackendChoice, Scenario};
+use crate::sweep::{run_scenario_jobs, LabRun};
 
 /// The schema tag of the emitted JSON document.
 pub const SCHEMA: &str = "rws-lab-report/v1";
@@ -38,7 +55,14 @@ pub struct LabReport {
 
 /// Run a scenario end to end: sweep, execute on every backend, evaluate the checks.
 pub fn run(sc: &Scenario) -> LabReport {
-    let lab = run_scenario(sc);
+    run_with_jobs(sc, 1)
+}
+
+/// [`run`] with up to `jobs` concurrent simulated runs (native runs stay serialized); see
+/// [`crate::sweep::run_scenario_jobs`]. The resulting report — and its default JSON
+/// emission — is identical for every `jobs` value.
+pub fn run_with_jobs(sc: &Scenario, jobs: usize) -> LabReport {
+    let lab = run_scenario_jobs(sc, jobs);
     let checks = evaluate(sc, &lab);
     LabReport { lab, checks }
 }
@@ -94,8 +118,20 @@ impl LabReport {
         lines
     }
 
-    /// Render the `rws-lab-report/v1` JSON document (always passes [`validate_report`]).
+    /// Render the deterministic `rws-lab-report/v1` JSON document: `timing` is `null` and
+    /// every value present is reproducible (always passes [`validate_report`], and is
+    /// byte-identical across invocations and `--jobs` levels).
     pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// Render the document with the volatile `timing` sidecar populated (wall clocks and
+    /// native steal counters — values that differ run to run by nature).
+    pub fn to_json_timed(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, timed: bool) -> String {
         let runs: Vec<Json> = self
             .lab
             .records
@@ -105,6 +141,11 @@ impl LabReport {
                     Some((name, v)) => (Json::from(name), Json::from(v)),
                     None => (Json::Null, Json::Null),
                 };
+                // A native run's steal counters and elapsed time are schedule- and
+                // wall-clock-dependent: deterministic rows carry null and the real
+                // measurements ride in the `timing` sidecar.
+                let volatile = r.spec.backend == BackendChoice::Native;
+                let gate = |v: Json| if volatile { Json::Null } else { v };
                 obj([
                     ("backend", r.spec.backend.name().into()),
                     ("executor", r.report.executor.as_str().into()),
@@ -112,12 +153,11 @@ impl LabReport {
                     ("seed", r.spec.seed.into()),
                     ("axis", axis),
                     ("axis_value", axis_value),
-                    ("steals", r.report.steals.into()),
-                    ("failed_steals", r.report.failed_steals.into()),
+                    ("steals", gate(r.report.steals.into())),
+                    ("failed_steals", gate(r.report.failed_steals.into())),
                     ("work_items", r.report.work_items.into()),
-                    ("time_units", r.report.time_units.into()),
+                    ("time_units", gate(r.report.time_units.into())),
                     ("time_unit", r.report.backend.time_unit().into()),
-                    ("wall_ns", u64::try_from(r.report.wall.as_nanos()).unwrap_or(u64::MAX).into()),
                     ("cache_misses", r.report.cache_misses.into()),
                     ("block_misses", r.report.block_misses.into()),
                     ("false_sharing_misses", r.report.false_sharing_misses.into()),
@@ -125,6 +165,28 @@ impl LabReport {
                 ])
             })
             .collect();
+        let timing: Json = if timed {
+            Json::Arr(
+                self.lab
+                    .records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        obj([
+                            ("run", i.into()),
+                            (
+                                "wall_ns",
+                                u64::try_from(r.report.wall.as_nanos()).unwrap_or(u64::MAX).into(),
+                            ),
+                            ("steals", r.report.steals.into()),
+                            ("failed_steals", r.report.failed_steals.into()),
+                        ])
+                    })
+                    .collect(),
+            )
+        } else {
+            Json::Null
+        };
         let checks: Vec<Json> = self
             .checks
             .iter()
@@ -149,6 +211,7 @@ impl LabReport {
             ("native_fallback", self.lab.native_fallback.into()),
             ("runs", runs.into()),
             ("checks", checks.into()),
+            ("timing", timing),
             (
                 "summary",
                 obj([
@@ -163,7 +226,9 @@ impl LabReport {
 }
 
 /// Validate an emitted lab-report document: structurally well-formed JSON carrying the
-/// schema tag and the required top-level keys.
+/// schema tag and the required top-level keys. `timing` is *not* required: documents
+/// emitted before the sidecar existed (which carried `wall_ns` per run row instead) are
+/// still valid `rws-lab-report/v1`; the evolution was additive-with-nulls, not a tag bump.
 pub fn validate_report(doc: &str) -> Result<(), String> {
     json::validate_with_keys(doc, &["schema", "scenario", "runs", "checks", "summary"])?;
     if !doc.contains(SCHEMA) {
@@ -215,5 +280,36 @@ mod tests {
         assert!(validate_report("not json").is_err());
         let wrong_schema = tiny_report().to_json().replace(SCHEMA, "other/v9");
         assert!(validate_report(&wrong_schema).is_err());
+    }
+
+    #[test]
+    fn default_document_is_byte_identical_across_invocations_and_jobs_levels() {
+        // The determinism contract: wall clocks and racy native counters are excluded by
+        // default, so rerunning the same scenario — sequentially or fanned out — emits the
+        // same bytes.
+        let sc = Scenario::parse(
+            "name = tiny\nworkload = prefix-sums\nn = 256\nbackends = sim, native\n\
+             seeds = 11\nsweep = procs: 1, 2",
+        )
+        .unwrap();
+        let sequential = run(&sc).to_json();
+        let again = run(&sc).to_json();
+        let fanned = run_with_jobs(&sc, 4).to_json();
+        assert_eq!(sequential, again, "two sequential runs must emit identical documents");
+        assert_eq!(sequential, fanned, "--jobs must not change the emitted document");
+        assert!(sequential.contains("\"timing\": null"));
+    }
+
+    #[test]
+    fn timed_document_carries_the_volatile_sidecar() {
+        let report = tiny_report();
+        let doc = report.to_json_timed();
+        validate_report(&doc).expect("timed report must validate");
+        assert!(doc.contains("\"wall_ns\""), "{doc}");
+        assert!(!doc.contains("\"timing\": null"), "{doc}");
+        // Native rows null their volatile columns in both modes; the sidecar has the data.
+        let default_doc = report.to_json();
+        assert!(default_doc.contains("\"time_units\": null"), "{default_doc}");
+        assert!(!default_doc.contains("\"wall_ns\""), "{default_doc}");
     }
 }

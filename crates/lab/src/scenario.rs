@@ -22,8 +22,7 @@
 //! do not apply to the workload) so a scenario that parses is runnable end to end.
 
 use rws_exec::workloads::{
-    FftWorkload, ListRankWorkload, MatMulWorkload, PrefixWorkload, SortWorkload,
-    TransposeWorkload,
+    FftWorkload, ListRankWorkload, MatMulWorkload, PrefixWorkload, SortWorkload, TransposeWorkload,
 };
 use rws_exec::SharedWorkload;
 use rws_machine::MachineConfig;
@@ -385,14 +384,13 @@ impl Scenario {
                         let Some(kind) = CheckKind::parse(check_name) else {
                             return err(ln, format!("unknown check in `{other}`"));
                         };
-                        let v: f64 = value
-                            .parse()
-                            .ok()
-                            .filter(|v: &f64| v.is_finite() && *v > 0.0)
-                            .ok_or(ScenarioError {
-                                line: ln,
-                                msg: format!("`{other}` must be a positive number"),
-                            })?;
+                        let v: f64 =
+                            value.parse().ok().filter(|v: &f64| v.is_finite() && *v > 0.0).ok_or(
+                                ScenarioError {
+                                    line: ln,
+                                    msg: format!("`{other}` must be a positive number"),
+                                },
+                            )?;
                         slacks.push((kind, v, ln));
                     } else {
                         return err(ln, format!("unknown key `{other}`"));
@@ -405,11 +403,12 @@ impl Scenario {
         let Some(workload) = workload else { return err(0, "missing required key `workload`") };
         let Some(n) = n else { return err(0, "missing required key `n`") };
         if n < 2 || !n.is_power_of_two() {
-            return err(0, format!("n = {n} must be a power of two ≥ 2 (the dag builders require it)"));
+            return err(
+                0,
+                format!("n = {n} must be a power of two ≥ 2 (the dag builders require it)"),
+            );
         }
-        if base.is_some()
-            && !matches!(workload, WorkloadKind::MatMul | WorkloadKind::Transpose)
-        {
+        if base.is_some() && !matches!(workload, WorkloadKind::MatMul | WorkloadKind::Transpose) {
             return err(
                 0,
                 format!(
@@ -444,8 +443,8 @@ impl Scenario {
             }
         }
         // Default: the three paper checks every workload supports.
-        let checks =
-            checks.unwrap_or_else(|| vec![CheckKind::Steals, CheckKind::BlockMisses, CheckKind::Runtime]);
+        let checks = checks
+            .unwrap_or_else(|| vec![CheckKind::Steals, CheckKind::BlockMisses, CheckKind::Runtime]);
         if checks.contains(&CheckKind::CacheMisses) && workload != WorkloadKind::MatMul {
             return err(
                 0,
@@ -461,7 +460,11 @@ impl Scenario {
                 None => {
                     return err(
                         ln,
-                        format!("slack.{} given but `{}` is not in checks", kind.name(), kind.name()),
+                        format!(
+                            "slack.{} given but `{}` is not in checks",
+                            kind.name(),
+                            kind.name()
+                        ),
                     )
                 }
             }
@@ -519,7 +522,11 @@ fn split_list(value: &str) -> Vec<&str> {
     value.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
 }
 
-fn parse_num<T: std::str::FromStr>(line: usize, key: &str, value: &str) -> Result<T, ScenarioError> {
+fn parse_num<T: std::str::FromStr>(
+    line: usize,
+    key: &str,
+    value: &str,
+) -> Result<T, ScenarioError> {
     value.parse().map_err(|_| ScenarioError {
         line,
         msg: format!("`{key}` expects a number, got `{value}`"),
@@ -580,7 +587,10 @@ mod tests {
             ("name = x\nworkload = fft\nn = 64\nbogus = 1", "unknown key"),
             ("name = x\nworkload = fft\nn = 64\nsweep = misses: 1", "unknown sweep axis"),
             ("name = x\nworkload = fft\nn = 64\nchecks = cache-misses", "matmul"),
-            ("name = x\nworkload = fft\nn = 64\nslack.runtime = 2\nchecks = steals", "not in checks"),
+            (
+                "name = x\nworkload = fft\nn = 64\nslack.runtime = 2\nchecks = steals",
+                "not in checks",
+            ),
             ("name = x\nworkload = fft\nn = 64\nno_equals_here", "key = value"),
             ("name = x\nworkload = fft\nn = 64\nseeds = 1, nope", "expects a number"),
             ("name = x\nworkload = fft\nn = 64\nsteal_cost = 1", "invalid machine"),
@@ -599,9 +609,7 @@ mod tests {
     fn swept_machines_are_validated_at_parse_time() {
         // Every value a sweep will instantiate must already be a valid machine, so the
         // "parses => runnable" contract holds (no scheduler panic mid-run).
-        let ok = Scenario::parse(
-            "name = x\nworkload = fft\nn = 64\nsweep = block_words: 4, 8, 16",
-        );
+        let ok = Scenario::parse("name = x\nworkload = fft\nn = 64\nsweep = block_words: 4, 8, 16");
         assert!(ok.is_ok());
         for (text, needle) in [
             (

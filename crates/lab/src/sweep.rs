@@ -1,10 +1,12 @@
 //! The sweep engine: expand a [`Scenario`] into concrete runs and execute them through the
-//! [`rws_exec::Executor`] trait on each requested backend.
+//! [`rws_exec::Executor`] trait on each requested backend — sequentially, or fanned out
+//! across a driver pool ([`run_scenario_jobs`], the `lab --jobs N` path).
 
 use crate::scenario::{BackendChoice, Scenario, SweepAxis};
 use rws_core::SimConfig;
-use rws_exec::{ExecReport, Executor, NativeExecutor, SimExecutor};
+use rws_exec::{ExecReport, Executor, NativeExecutor, SharedWorkload, SimExecutor};
 use rws_machine::MachineConfig;
+use rws_runtime::{scope, ThreadPool};
 
 /// One expanded run: the backend, the concrete machine/pool shape, and the seed.
 #[derive(Clone, Debug)]
@@ -86,34 +88,48 @@ pub fn expand(sc: &Scenario) -> Vec<RunSpec> {
     specs
 }
 
-/// Execute every expanded run of the scenario and collect the records.
-///
-/// Native pools are built once per distinct thread count and reused across seeds (pool
-/// construction is thread spawning; the runs are what is being measured). Simulated runs
-/// construct one seeded scheduler each — that is what makes them reproducible.
+/// Execute every expanded run of the scenario and collect the records, one run at a time
+/// in expansion order. Equivalent to [`run_scenario_jobs`] with `jobs = 1`.
 pub fn run_scenario(sc: &Scenario) -> LabRun {
+    run_scenario_jobs(sc, 1)
+}
+
+/// One simulated run: a fresh seeded scheduler per run is what makes it reproducible —
+/// and also what makes simulated runs safe to execute concurrently (no shared state).
+fn run_sim(spec: &RunSpec, workload: SharedWorkload) -> ExecReport {
+    let exec = SimExecutor::new(spec.machine.clone(), SimConfig::with_seed(spec.seed));
+    exec.execute(workload).report
+}
+
+/// Execute the scenario's expanded runs with up to `jobs` concurrent **simulated** runs.
+///
+/// * Simulated runs are pure, independent, seeded computations: they fan out across a
+///   `jobs`-wide driver pool via [`rws_runtime::scope`] and land in their expansion-order
+///   slot, so the record order (and every simulated measurement in it) is identical
+///   whatever `jobs` is.
+/// * Native runs stay **serialized** on the driver thread, in expansion order: an
+///   [`ExecReport`]'s native steal/job counters are pool-global deltas over the run, which
+///   only attribute correctly while nothing else executes on that pool — and native runs
+///   are wall-clock measurements besides, which concurrent siblings would distort. Native
+///   pools are still built once per distinct thread count and reused across seeds (pool
+///   construction is thread spawning; the runs are what is being measured).
+///
+/// With `jobs = 1` no driver pool is built and everything runs inline on the caller,
+/// exactly as before this entry point existed.
+pub fn run_scenario_jobs(sc: &Scenario, jobs: usize) -> LabRun {
+    let jobs = jobs.max(1);
     let workload = sc.instantiate();
     let comp = workload.computation();
     let (work, t_inf) = (comp.dag.work(), comp.dag.span_nodes());
 
-    let mut records = Vec::new();
-    let mut native_pool: Option<NativeExecutor> = None;
-    for spec in expand(sc) {
-        let report = match spec.backend {
-            BackendChoice::Sim => {
-                let exec = SimExecutor::new(spec.machine.clone(), SimConfig::with_seed(spec.seed));
-                exec.execute(workload.clone()).report
-            }
-            BackendChoice::Native => {
-                let reusable = native_pool.as_ref().is_some_and(|p| p.procs() == spec.procs);
-                if !reusable {
-                    native_pool = Some(NativeExecutor::new(spec.procs));
-                }
-                native_pool.as_ref().expect("just built").execute(workload.clone()).report
-            }
-        };
-        records.push(RunRecord { spec, report });
-    }
+    let records = if jobs == 1 {
+        execute_specs(expand(sc), workload.clone())
+    } else {
+        // `install` needs an owned closure; move clones in and get the records back out.
+        let (sc, workload) = (sc.clone(), workload.clone());
+        let driver = ThreadPool::new(jobs);
+        driver.install(move || execute_specs(expand(&sc), workload))
+    };
 
     LabRun {
         scenario: sc.name.clone(),
@@ -123,6 +139,38 @@ pub fn run_scenario(sc: &Scenario) -> LabRun {
         t_inf,
         records,
     }
+}
+
+/// Run every spec, simulated runs through scoped spawns (concurrent when the caller is a
+/// pool worker, inline otherwise), native runs serialized in the scope body. Each run
+/// writes its expansion-order slot, so the returned order never depends on scheduling.
+fn execute_specs(specs: Vec<RunSpec>, workload: SharedWorkload) -> Vec<RunRecord> {
+    let mut slots: Vec<Option<RunRecord>> = specs.iter().map(|_| None).collect();
+    scope(|s| {
+        let mut native = Vec::new();
+        for (spec, slot) in specs.into_iter().zip(slots.iter_mut()) {
+            match spec.backend {
+                BackendChoice::Sim => {
+                    let w = workload.clone();
+                    s.spawn(move |_| {
+                        let report = run_sim(&spec, w);
+                        *slot = Some(RunRecord { spec, report });
+                    });
+                }
+                BackendChoice::Native => native.push((spec, slot)),
+            }
+        }
+        let mut native_pool: Option<NativeExecutor> = None;
+        for (spec, slot) in native {
+            let reusable = native_pool.as_ref().is_some_and(|p| p.procs() == spec.procs);
+            if !reusable {
+                native_pool = Some(NativeExecutor::new(spec.procs));
+            }
+            let report = native_pool.as_ref().expect("just built").execute(workload.clone()).report;
+            *slot = Some(RunRecord { spec, report });
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every run slot is filled inside the scope")).collect()
 }
 
 #[cfg(test)]
@@ -185,6 +233,31 @@ mod tests {
             if a.spec.backend == BackendChoice::Sim {
                 assert_eq!(a.report.steals, b.report.steals);
                 assert_eq!(a.report.time_units, b.report.time_units);
+            }
+        }
+    }
+
+    #[test]
+    fn fanned_out_runs_match_the_sequential_sweep() {
+        // `jobs` must change neither the record order nor any deterministic measurement;
+        // simulated runs are seeded, so their full reports must be equal field for field.
+        let sc = parse(
+            "name = fan\nworkload = prefix-sums\nn = 512\nbackends = sim, native\n\
+             seeds = 5, 9\nsweep = procs: 1, 2",
+        );
+        let sequential = run_scenario(&sc);
+        let fanned = run_scenario_jobs(&sc, 4);
+        assert_eq!(sequential.records.len(), fanned.records.len());
+        for (a, b) in sequential.records.iter().zip(&fanned.records) {
+            assert_eq!(a.spec.backend, b.spec.backend, "expansion order must be preserved");
+            assert_eq!(a.spec.procs, b.spec.procs);
+            assert_eq!(a.spec.seed, b.spec.seed);
+            assert_eq!(a.report.work_items, b.report.work_items);
+            if a.spec.backend == BackendChoice::Sim {
+                assert_eq!(a.report.steals, b.report.steals);
+                assert_eq!(a.report.failed_steals, b.report.failed_steals);
+                assert_eq!(a.report.time_units, b.report.time_units);
+                assert_eq!(a.report.block_misses, b.report.block_misses);
             }
         }
     }

@@ -24,8 +24,7 @@ fn committed_scenarios_all_parse() {
         let path = entry.unwrap().path();
         if path.extension().is_some_and(|e| e == "scn") {
             let text = std::fs::read_to_string(&path).unwrap();
-            Scenario::parse(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            Scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             count += 1;
         }
     }
@@ -45,15 +44,30 @@ fn quick_scenario_runs_both_backends_and_passes() {
     assert!(sim_runs > 0 && native_runs > 0, "the same workload must run on both backends");
     assert!(result.checks.len() >= 3, "need at least three bound-check verdicts");
     for kind in ["steals", "block-misses", "runtime"] {
-        assert!(
-            result.checks.iter().any(|c| c.check.name == kind),
-            "missing a `{kind}` verdict"
-        );
+        assert!(result.checks.iter().any(|c| c.check.name == kind), "missing a `{kind}` verdict");
     }
     assert!(result.all_passed(), "{:#?}", result.summary_lines());
     assert!(!result.lab.native_fallback, "the smoke workload must have a real parallel kernel");
     let doc = result.to_json();
     report::validate_report(&doc).expect("quick scenario JSON must validate");
+}
+
+#[test]
+fn quick_scenario_with_jobs_4_is_byte_identical_to_the_sequential_run() {
+    // The `lab --jobs` determinism acceptance: fanning the sweep out across a 4-worker
+    // driver pool must emit the exact bytes of the sequential run (expansion-order slots;
+    // volatile wall/steal measurements live in the opt-in `timing` sidecar), with every
+    // verdict passing on both backends.
+    let sc = load("quick.scn");
+    let sequential = report::run_with_jobs(&sc, 1);
+    let fanned = report::run_with_jobs(&sc, 4);
+    assert!(sequential.all_passed(), "{:#?}", sequential.summary_lines());
+    assert!(fanned.all_passed(), "{:#?}", fanned.summary_lines());
+    let (a, b) = (sequential.to_json(), fanned.to_json());
+    report::validate_report(&a).unwrap();
+    assert_eq!(a, b, "--jobs 4 must produce a byte-identical rws-lab-report/v1 document");
+    // Rerunning at the same jobs level is also byte-stable (cross-invocation determinism).
+    assert_eq!(b, report::run_with_jobs(&sc, 4).to_json());
 }
 
 #[test]
@@ -65,11 +79,7 @@ fn ported_experiment_scenarios_pass_their_checks() {
         let sc = load(name);
         let result = report::run(&sc);
         assert!(!result.checks.is_empty(), "{name} must evaluate checks");
-        assert!(
-            result.all_passed(),
-            "{name} failed:\n{}",
-            result.summary_lines().join("\n")
-        );
+        assert!(result.all_passed(), "{name} failed:\n{}", result.summary_lines().join("\n"));
         report::validate_report(&result.to_json()).unwrap();
     }
 }

@@ -59,13 +59,15 @@ impl ProcSet {
     /// Iterate over the members in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = ProcId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter_map(move |b| {
-                if w & (1u64 << b) != 0 {
-                    Some(ProcId(wi * 64 + b))
-                } else {
-                    None
-                }
-            })
+            (0..64).filter_map(
+                move |b| {
+                    if w & (1u64 << b) != 0 {
+                        Some(ProcId(wi * 64 + b))
+                    } else {
+                        None
+                    }
+                },
+            )
         })
     }
 

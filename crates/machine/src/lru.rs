@@ -81,11 +81,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
         if self.touch(&key) {
             return None;
         }
-        let evicted = if self.map.len() == self.capacity {
-            self.evict_lru()
-        } else {
-            None
-        };
+        let evicted = if self.map.len() == self.capacity { self.evict_lru() } else { None };
         let slot = match self.free.pop() {
             Some(idx) => {
                 self.slots[idx] = Slot { key: key.clone(), prev: NIL, next: NIL };
@@ -318,7 +314,8 @@ mod tests {
                         reference.insert(0, key);
                         assert_eq!(evicted, None);
                     } else {
-                        let expect_evict = if reference.len() == cap { reference.pop() } else { None };
+                        let expect_evict =
+                            if reference.len() == cap { reference.pop() } else { None };
                         reference.insert(0, key);
                         assert_eq!(evicted, expect_evict);
                     }

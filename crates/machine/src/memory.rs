@@ -166,11 +166,8 @@ impl MemorySystem {
             }
         } else {
             // Miss path. First figure out where the data comes from.
-            let remote_owner = self
-                .directory
-                .get(block)
-                .and_then(|e| e.owner)
-                .filter(|&o| o != proc);
+            let remote_owner =
+                self.directory.get(block).and_then(|e| e.owner).filter(|&o| o != proc);
 
             if access.write {
                 // Read-for-ownership: every other copy is invalidated.

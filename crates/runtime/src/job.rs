@@ -16,7 +16,7 @@ use crate::sleep::Sleep;
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A unit of work queued in a worker deque or the injector.
 pub(crate) enum Job {
@@ -72,6 +72,17 @@ pub(crate) struct JobRef {
 unsafe impl Send for JobRef {}
 
 impl JobRef {
+    /// A queue entry from a raw data pointer and its execute function. Used by the scoped
+    /// spawn machinery (`scope.rs`), whose jobs live either in the scope's stack frame
+    /// (inline slots) or in a box whose ownership the ref carries.
+    ///
+    /// # Safety
+    /// Whatever `data` points to must stay alive until `execute_fn` consumes it, and the
+    /// ref must be executed exactly once (the deque's pop/steal discipline).
+    pub(crate) unsafe fn from_raw(data: *const (), execute_fn: unsafe fn(*const ())) -> JobRef {
+        JobRef { data, execute_fn }
+    }
+
     /// Run the referenced stack job.
     ///
     /// # Safety
@@ -117,6 +128,64 @@ impl Latch {
         // the sleeper a single notify would pick; completions are rare enough not to
         // matter.
         if (*sleep).sleepers() > 0 {
+            (*sleep).notify_all_now();
+        }
+    }
+}
+
+/// A counting completion latch: the scoped-task (`scope`) analogue of [`Latch`]. Every
+/// spawned task increments it before being queued and decrements it after running; the
+/// scope's owner waits until the count drains to zero. Like [`Latch`], the final decrement
+/// wakes parked workers through the pool's [`Sleep`], so a parked owner learns of
+/// completion promptly (the sleep protocol's 1ms backstop covers the documented
+/// StoreLoad race, exactly as for `join`).
+pub(crate) struct CountLatch {
+    pending: AtomicUsize,
+    /// Null when the latch belongs to a scope created outside any pool (inline execution;
+    /// nothing ever waits).
+    sleep: *const Sleep,
+}
+
+// Safety: the pointer is only dereferenced by `set_one`, whose safety contract requires the
+// pool (and thus the `Sleep`) to be alive; the counter itself is atomic.
+unsafe impl Send for CountLatch {}
+unsafe impl Sync for CountLatch {}
+
+impl CountLatch {
+    pub(crate) fn new(sleep: Option<&Sleep>) -> Self {
+        CountLatch {
+            pending: AtomicUsize::new(0),
+            sleep: sleep.map_or(std::ptr::null(), |s| s as *const Sleep),
+        }
+    }
+
+    /// Register one more pending task. Called before the task is published to a queue; the
+    /// queue push provides the ordering that makes the increment visible to the waiter.
+    pub(crate) fn increment(&self) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether every registered task has completed (acquire: pairs with the release
+    /// decrement in [`CountLatch::set_one`], so the tasks' writes are visible).
+    #[inline]
+    pub(crate) fn done(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Mark one task complete, waking sleepers if this was the last one.
+    ///
+    /// # Safety
+    /// Must pair with a prior [`CountLatch::increment`]; the `Sleep` this latch points into
+    /// must still be alive (true whenever a pool worker executes the task, since workers
+    /// keep the pool's `Shared` alive). After the decrement the latch's owner may already
+    /// have returned and destroyed the latch, so `self` is not touched again — only the raw
+    /// sleep pointer is.
+    pub(crate) unsafe fn set_one(&self) {
+        let sleep = self.sleep;
+        if self.pending.fetch_sub(1, Ordering::Release) == 1
+            && !sleep.is_null()
+            && (*sleep).sleepers() > 0
+        {
             (*sleep).notify_all_now();
         }
     }

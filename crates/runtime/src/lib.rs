@@ -18,6 +18,12 @@
 //! * **Parked idle workers** — a worker that finds no work spins briefly and then parks on
 //!   the pool's sleep protocol; an idle pool burns no CPU, and a fork wakes sleepers with a
 //!   single relaxed load on the producer side.
+//! * **Scoped tasks and parallel iterators** — [`scope`] generalizes `join` to arbitrary
+//!   borrow-friendly fan-out behind one shared atomic completion latch (inline job slots
+//!   keep small fan-outs, including the kernels' 4-way quadrant splits, allocation-free),
+//!   and [`par_iter`] builds rayon-style slice iterators (`par_iter`, `par_iter_mut`,
+//!   `par_chunks`, `par_chunks_mut`) with pool-width-adaptive splitting on top of the same
+//!   fork-join machinery.
 //!
 //! [`deque::SimpleDeque`] — a mutex-protected deque with identical owner/thief semantics —
 //! is kept as the contrast backend ([`DequeBackend::Simple`]) that the `BENCH_native.json`
@@ -36,11 +42,15 @@
 pub mod deque;
 mod job;
 pub mod padding;
+pub mod par_iter;
 pub mod pool;
+pub mod scope;
 mod sleep;
 pub mod stats;
 
 pub use deque::{DequeBackend, SimpleDeque};
-pub use padding::{CacheAligned, CachePadded, PaddedCounters, UnpaddedCounters};
-pub use pool::{join, ThreadPool, ThreadPoolBuilder};
+pub use padding::{CachePadded, PaddedCounters, UnpaddedCounters};
+pub use par_iter::{ParChunks, ParChunksMut, ParIter, ParIterMut, ParSliceExt};
+pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuilder};
+pub use scope::{scope, Scope};
 pub use stats::PoolStats;

@@ -26,9 +26,6 @@ impl<T> CachePadded<T> {
     }
 }
 
-/// Former name of [`CachePadded`], kept so downstream code keeps compiling.
-pub type CacheAligned<T> = CachePadded<T>;
-
 /// A set of per-worker counters deliberately packed into as few cache lines as possible —
 /// concurrent increments from different workers falsely share lines.
 #[derive(Debug)]
@@ -99,10 +96,10 @@ mod tests {
     use std::thread;
 
     #[test]
-    fn cache_aligned_is_actually_aligned() {
-        assert!(std::mem::align_of::<CacheAligned<u64>>() >= 64);
-        assert!(std::mem::size_of::<CacheAligned<u64>>() >= 64);
-        let c = CacheAligned::new(7u64);
+    fn cache_padded_is_actually_aligned() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 64);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 64);
+        let c = CachePadded::new(7u64);
         assert_eq!(*c.get(), 7);
     }
 

@@ -33,18 +33,26 @@ const SPIN_ROUNDS: u32 = 64;
 /// Consecutive `Steal::Retry` results tolerated per victim before trying another.
 const STEAL_RETRIES: u32 = 4;
 
-struct Shared {
+pub(crate) struct Shared {
     injector: Injector<Job>,
     cb_stealers: Vec<Stealer<Job>>,
     simple_deques: Vec<Arc<SimpleDeque<Job>>>,
     backend: DequeBackend,
     stats: PoolStats,
-    sleep: Sleep,
+    pub(crate) sleep: Sleep,
     shutdown: AtomicBool,
     workers: usize,
 }
 
 impl Shared {
+    /// Push a job into the global injector and wake a sleeper — the submission path for
+    /// work arriving from outside a worker of this pool (`spawn`, cross-thread `install`,
+    /// and scoped spawns issued off-pool).
+    pub(crate) fn inject(&self, job: Job) {
+        self.injector.push(job);
+        self.sleep.notify();
+    }
+
     /// Whether any queue visibly holds work (the pre-park check; racy by design — a missed
     /// observation is covered by the sleep protocol's backstop).
     fn has_visible_work(&self) -> bool {
@@ -58,9 +66,9 @@ impl Shared {
     }
 }
 
-struct WorkerHandle {
+pub(crate) struct WorkerHandle {
     index: usize,
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     cb_local: Option<CbWorker<Job>>,
     simple_local: Option<Arc<SimpleDeque<Job>>>,
     rng: RefCell<SmallRng>,
@@ -70,8 +78,20 @@ thread_local! {
     static CURRENT_WORKER: RefCell<Option<Rc<WorkerHandle>>> = const { RefCell::new(None) };
 }
 
+/// The calling thread's worker handle, when it is a pool worker.
+pub(crate) fn current_worker() -> Option<Rc<WorkerHandle>> {
+    CURRENT_WORKER.with(|w| w.borrow().clone())
+}
+
+/// Number of workers in the pool the calling thread belongs to, or 1 when the caller is not
+/// a pool worker (where fork-join primitives degrade to sequential execution). This is what
+/// drives the parallel iterators' adaptive grain.
+pub fn current_num_threads() -> usize {
+    CURRENT_WORKER.with(|w| w.borrow().as_ref().map(|h| h.shared.workers)).unwrap_or(1)
+}
+
 impl WorkerHandle {
-    fn push_local(&self, job: Job) {
+    pub(crate) fn push_local(&self, job: Job) {
         match self.shared.backend {
             DequeBackend::Crossbeam => self.cb_local.as_ref().expect("crossbeam worker").push(job),
             DequeBackend::Simple => {
@@ -182,19 +202,26 @@ impl WorkerHandle {
         }
     }
 
-    /// Help-then-park until `latch` is set: run any job we can find; with nothing to do,
-    /// spin briefly, then park (woken by new pushes or the latch completion itself).
-    fn wait_for_latch(&self, latch: &Latch) {
+    /// Help-then-park until `done` turns true: run any job we can find; with nothing to
+    /// do, spin briefly, then park (woken by new pushes or by the completion that flips
+    /// `done` — both the `join` latch and the scope counter notify the pool's sleep on
+    /// their final transition).
+    pub(crate) fn wait_until(&self, done: impl Fn() -> bool) {
         let mut idle = 0u32;
-        while !latch.probe() {
+        while !done() {
             if let Some(job) = self.find_job(idle == 0) {
                 idle = 0;
                 self.run_job(job);
                 continue;
             }
             let shared = &self.shared;
-            self.idle_step(&mut idle, || latch.probe() || shared.has_visible_work());
+            self.idle_step(&mut idle, || done() || shared.has_visible_work());
         }
+    }
+
+    /// [`WorkerHandle::wait_until`] specialized to a stolen `join` branch's latch.
+    fn wait_for_latch(&self, latch: &Latch) {
+        self.wait_until(|| latch.probe());
     }
 }
 
@@ -330,8 +357,7 @@ impl ThreadPool {
 
     /// Submit a fire-and-forget job.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
-        self.shared.injector.push(Job::Heap(Box::new(job)));
-        self.shared.sleep.notify();
+        self.shared.inject(Job::Heap(Box::new(job)));
     }
 
     /// Run `f` on a worker thread and block until it returns. Calls to [`join`] inside `f`
@@ -345,9 +371,8 @@ impl ThreadPool {
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        let on_this_pool = CURRENT_WORKER.with(|w| {
-            w.borrow().as_ref().is_some_and(|h| Arc::ptr_eq(&h.shared, &self.shared))
-        });
+        let on_this_pool = CURRENT_WORKER
+            .with(|w| w.borrow().as_ref().is_some_and(|h| Arc::ptr_eq(&h.shared, &self.shared)));
         if on_this_pool {
             return f();
         }

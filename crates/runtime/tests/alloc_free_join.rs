@@ -8,7 +8,7 @@
 //! window is entirely inside the installed closure, with the main thread blocked and no
 //! other thread runnable.
 
-use rws_runtime::{join, DequeBackend, ThreadPoolBuilder};
+use rws_runtime::{join, scope, DequeBackend, ThreadPoolBuilder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -58,7 +58,7 @@ fn unstolen_join_fast_path_is_allocation_free() {
         let pool = ThreadPoolBuilder::new().threads(1).backend(backend).build();
         let n = 1 << 16; // ~1 << 10 joins, recursion depth 10 — far below the deque's
                          // initial capacity, so no buffer growth during the measured run
-        // Warm up: first run pays any one-time lazy initialization.
+                         // Warm up: first run pays any one-time lazy initialization.
         assert_eq!(pool.install(move || recursive_sum(0, n)), n * (n - 1) / 2);
         let (total, delta) = pool.install(move || {
             let before = ALLOCATIONS.load(Ordering::SeqCst);
@@ -68,10 +68,50 @@ fn unstolen_join_fast_path_is_allocation_free() {
         });
         assert_eq!(total, n * (n - 1) / 2);
         assert_eq!(
-            delta, 0,
+            delta,
+            0,
             "{backend:?}: the unstolen join fast path must not allocate (got {delta} \
              allocations for {} joins)",
             (n / 64).max(1)
+        );
+    }
+}
+
+#[test]
+fn unstolen_single_spawn_scope_fast_path_is_allocation_free() {
+    // The scoped-task analogue of the join assertion: a scope whose (small) spawns fit the
+    // inline slots queues them as two-word refs in the scope's own stack frame — no Box,
+    // no Arc, no lock. One worker means nothing is stolen: the owner pops every spawn back
+    // and runs it itself, and the whole recursion must not allocate once warm.
+    fn scoped_sum(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 64 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let mut left = 0u64;
+        // The canonical single-spawn scope: one spawned branch, one in the body.
+        let right = scope(|s| {
+            s.spawn(|_| left = scoped_sum(lo, mid));
+            scoped_sum(mid, hi)
+        });
+        left + right
+    }
+    for backend in [DequeBackend::Crossbeam, DequeBackend::Simple] {
+        let pool = ThreadPoolBuilder::new().threads(1).backend(backend).build();
+        let n = 1 << 16;
+        // Warm up: first run pays any one-time lazy initialization.
+        assert_eq!(pool.install(move || scoped_sum(0, n)), n * (n - 1) / 2);
+        let (total, delta) = pool.install(move || {
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let total = scoped_sum(0, n);
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+            (total, after - before)
+        });
+        assert_eq!(total, n * (n - 1) / 2);
+        assert_eq!(
+            delta, 0,
+            "{backend:?}: the unstolen single-spawn scope fast path must not allocate \
+             (got {delta} allocations)"
         );
     }
 }

@@ -32,8 +32,7 @@ fn sum_tree(lo: u64, hi: u64, grain: u64) -> u64 {
         return (lo..hi).sum();
     }
     let mid = lo + (hi - lo) / 2;
-    let (a, b) =
-        join(move || sum_tree(lo, mid, grain), move || sum_tree(mid, hi, grain));
+    let (a, b) = join(move || sum_tree(lo, mid, grain), move || sum_tree(mid, hi, grain));
     a + b
 }
 

@@ -20,10 +20,15 @@ fn main() {
     let base = 4;
     let machine = MachineConfig::small().with_procs(8);
 
-    println!("matrix multiply, n = {n}, base case {base}, p = 8, B = {} words\n", machine.block_words);
-    println!("{:<22} {:>8} {:>12} {:>12} {:>12} {:>10}", "variant", "steals", "cache-miss", "block-miss", "false-share", "blk-delay");
-    for variant in
-        [MmVariant::DepthNInPlace, MmVariant::DepthNLimitedAccess, MmVariant::DepthLog2N]
+    println!(
+        "matrix multiply, n = {n}, base case {base}, p = 8, B = {} words\n",
+        machine.block_words
+    );
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "variant", "steals", "cache-miss", "block-miss", "false-share", "blk-delay"
+    );
+    for variant in [MmVariant::DepthNInPlace, MmVariant::DepthNLimitedAccess, MmVariant::DepthLog2N]
     {
         let comp = matmul_computation(&MatMulConfig { n, base, variant });
         let report = RwsScheduler::new(machine.clone(), SimConfig::with_seed(7)).run(&comp);
@@ -39,7 +44,8 @@ fn main() {
     }
 
     println!("\nPadded-segment ablation (Remark 4.1) for the limited-access variant:");
-    let comp = matmul_computation(&MatMulConfig { n, base, variant: MmVariant::DepthNLimitedAccess });
+    let comp =
+        matmul_computation(&MatMulConfig { n, base, variant: MmVariant::DepthNLimitedAccess });
     for (label, sim) in [
         ("unpadded segments", SimConfig::with_seed(7)),
         ("padded segments  ", SimConfig::with_seed(7).padded()),

@@ -36,7 +36,9 @@ fn main() {
     // 3. Run through the Executor trait on 1..16 simulated processors. The same
     //    `workload` would run unchanged on a `NativeExecutor` (see the
     //    prefix_sums_native example).
-    println!("\n  p   steals  failed  cache-miss  block-miss  false-share  blk-delay  makespan  speedup");
+    println!(
+        "\n  p   steals  failed  cache-miss  block-miss  false-share  blk-delay  makespan  speedup"
+    );
     for p in [1usize, 2, 4, 8, 16] {
         let executor = SimExecutor::with_machine(machine.clone().with_procs(p));
         let outcome = executor.execute(Arc::clone(&workload) as _);

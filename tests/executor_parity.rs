@@ -13,8 +13,7 @@
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use rws_algos::matmul::{MatMulConfig, MmVariant};
 use rws_exec::workloads::{
-    FftWorkload, ListRankWorkload, MatMulWorkload, PrefixWorkload, SortWorkload,
-    TransposeWorkload,
+    FftWorkload, ListRankWorkload, MatMulWorkload, PrefixWorkload, SortWorkload, TransposeWorkload,
 };
 use rws_exec::{Backend, Executor, NativeExecutor, SharedWorkload, SimExecutor};
 use rws_runtime::DequeBackend;

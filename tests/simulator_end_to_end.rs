@@ -18,9 +18,22 @@ use rws_machine::MachineConfig;
 
 fn suite() -> Vec<(&'static str, Computation)> {
     vec![
-        ("matmul-inplace", matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthNInPlace })),
-        ("matmul-limited", matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthNLimitedAccess })),
-        ("matmul-log2", matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthLog2N })),
+        (
+            "matmul-inplace",
+            matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthNInPlace }),
+        ),
+        (
+            "matmul-limited",
+            matmul_computation(&MatMulConfig {
+                n: 16,
+                base: 4,
+                variant: MmVariant::DepthNLimitedAccess,
+            }),
+        ),
+        (
+            "matmul-log2",
+            matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthLog2N }),
+        ),
         ("prefix-sums", prefix_sums_computation(&PrefixConfig::new(1024))),
         ("transpose", transpose_bi_computation(16, 4)),
         ("rm-to-bi", rm_to_bi_computation(16, 4)),
@@ -28,7 +41,10 @@ fn suite() -> Vec<(&'static str, Computation)> {
         ("sort", sort_computation(&SortConfig::new(512))),
         ("fft", fft_computation(&FftConfig::new(256))),
         ("list-ranking", list_ranking_computation(&ListRankConfig::new(128))),
-        ("connected-components", connected_components_computation(&ConnectedComponentsConfig::new(64))),
+        (
+            "connected-components",
+            connected_components_computation(&ConnectedComponentsConfig::new(64)),
+        ),
     ]
 }
 
@@ -93,8 +109,7 @@ fn steals_scale_with_processors_not_with_work() {
     for p in [2usize, 4, 8] {
         let mut total = 0u64;
         for seed in [1u64, 2, 3] {
-            let report =
-                RwsScheduler::new(machine(p), SimConfig::with_seed(seed)).run(&comp);
+            let report = RwsScheduler::new(machine(p), SimConfig::with_seed(seed)).run(&comp);
             total += report.successful_steals;
         }
         let avg = total as f64 / 3.0;
@@ -143,7 +158,11 @@ fn reports_are_reproducible_for_a_fixed_seed() {
 #[test]
 fn padded_segments_reduce_stack_block_transfers() {
     // Remark 4.1: padding each segment to a whole block removes stack false sharing.
-    let comp = matmul_computation(&MatMulConfig { n: 16, base: 4, variant: MmVariant::DepthNLimitedAccess });
+    let comp = matmul_computation(&MatMulConfig {
+        n: 16,
+        base: 4,
+        variant: MmVariant::DepthNLimitedAccess,
+    });
     let mut plain_total = 0u64;
     let mut padded_total = 0u64;
     for seed in [11u64, 12, 13] {

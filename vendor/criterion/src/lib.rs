@@ -75,7 +75,11 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     /// Run a benchmark identified by a plain name.
-    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
         run_bench(&label, self.samples(), f);
         self

@@ -403,10 +403,7 @@ fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
 impl<T> Injector<T> {
     /// An empty injector.
     pub fn new() -> Self {
-        Injector {
-            queue: Mutex::new(VecDeque::new()),
-            len: std::sync::atomic::AtomicUsize::new(0),
-        }
+        Injector { queue: Mutex::new(VecDeque::new()), len: std::sync::atomic::AtomicUsize::new(0) }
     }
 
     /// Push a task onto the queue.
