@@ -178,8 +178,9 @@ fn c_mul(a: Complex, b: Complex) -> Complex {
     (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
 }
 
-/// Iterative radix-2 Cooley–Tukey FFT of a power-of-two-length buffer, in place (shared by
-/// the reference and the native kernel's base case).
+/// Iterative radix-2 Cooley–Tukey FFT of a power-of-two-length buffer, in place (the
+/// reference path; the native kernel's base case is the table-driven [`fft_base_tw`], kept
+/// separate so the reference stays an independent oracle).
 fn fft_in_place(a: &mut [Complex]) {
     let n = a.len();
     debug_assert!(n.is_power_of_two());
@@ -217,6 +218,54 @@ pub fn fft_reference(input: &[Complex]) -> Vec<Complex> {
     let mut a = input.to_vec();
     fft_in_place(&mut a);
     a
+}
+
+/// Precomputed full-circle twiddle table for a length-`n` transform: `tw[x] = ω_n^x`
+/// (with `ω_n = e^{-2πi/n}`), one direct trig evaluation per entry.
+///
+/// One table serves the *whole* recursion: every sub-problem size divides `n` (all sizes
+/// are powers of two obtained by factoring), so a size-`m` stage reads `ω_m^x` as
+/// `tw[x · n/m]` exactly. This replaces a trig evaluation per twiddle-pass element and the
+/// base case's repeated `w ·= wlen` recurrence (whose rounding error grows along the
+/// butterfly) with a table lookup that is exact per entry.
+fn twiddle_table(n: usize) -> Vec<Complex> {
+    debug_assert!(n.is_power_of_two());
+    (0..n)
+        .map(|x| {
+            let angle = -2.0 * std::f64::consts::PI * x as f64 / n as f64;
+            (angle.cos(), angle.sin())
+        })
+        .collect()
+}
+
+/// The native kernel's base case: iterative radix-2 FFT of `a` in place, butterfly factors
+/// looked up in the full-circle table `tw` (stage `len` uses `ω_len^k = tw[k · tw.len()/len]`;
+/// `a.len()` must divide `tw.len()`).
+fn fft_base_tw(a: &mut [Complex], tw: &[Complex]) {
+    let n = a.len();
+    debug_assert!(n.is_power_of_two() && tw.len().is_multiple_of(n));
+    let bits = n.trailing_zeros();
+    if bits > 0 {
+        for i in 0..n {
+            let j = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let step = tw.len() / len;
+        for chunk in a.chunks_mut(len) {
+            for k in 0..len / 2 {
+                let u = chunk[k];
+                let v = c_mul(chunk[k + len / 2], tw[k * step]);
+                chunk[k] = c_add(u, v);
+                chunk[k + len / 2] = c_sub(u, v);
+            }
+        }
+        len *= 2;
+    }
 }
 
 // ------------------------------------------------------------------------------------------
@@ -260,26 +309,33 @@ impl Strided<'_> {
 ///
 /// Every parallel branch borrows a disjoint `&mut` chunk of the scratch (via
 /// [`par_chunks_mut`]); the recursion bottoms out at `base` with an iterative radix-2 leaf,
-/// mirroring the dag's base case. Call from inside [`rws_runtime::ThreadPool::install`] for
-/// parallel execution; outside a pool worker the joins degrade to sequential calls.
+/// mirroring the dag's base case. All twiddle factors — the per-level scaling pass and the
+/// leaves' butterfly factors alike — come from one precomputed full-circle table
+/// ([`twiddle_table`]) built once per top-level call, replacing per-element trig in the hot
+/// passes. Call from inside [`rws_runtime::ThreadPool::install`] for parallel execution;
+/// outside a pool worker the joins degrade to sequential calls.
 pub fn fft_native(input: &[Complex], base: usize) -> Vec<Complex> {
     assert!(input.len().is_power_of_two(), "fft length must be a power of two");
     assert!(base.is_power_of_two() && base >= 1, "fft base case must be a power of two");
+    let tw = twiddle_table(input.len());
     let mut out = vec![(0.0, 0.0); input.len()];
-    fft_rec(Strided { data: input, offset: 0, stride: 1 }, input.len(), &mut out, base);
+    fft_rec(Strided { data: input, offset: 0, stride: 1 }, input.len(), &mut out, base, &tw);
     out
 }
 
-/// Transform the `m`-element sequence viewed by `src` into `dst` (natural DFT order).
-fn fft_rec(src: Strided<'_>, m: usize, dst: &mut [Complex], base: usize) {
+/// Transform the `m`-element sequence viewed by `src` into `dst` (natural DFT order). `tw`
+/// is the top-level call's full-circle twiddle table ([`twiddle_table`]); `m` always
+/// divides `tw.len()`.
+fn fft_rec(src: Strided<'_>, m: usize, dst: &mut [Complex], base: usize, tw: &[Complex]) {
     debug_assert_eq!(dst.len(), m);
+    debug_assert!(tw.len().is_multiple_of(m));
     // m = 2 must be a leaf regardless of `base`: its split is r = 2, c = 1, whose "column
     // FFT" would be this very problem again.
     if m <= base.max(2) {
         for (t, d) in dst.iter_mut().enumerate() {
             *d = src.get(t);
         }
-        fft_in_place(dst);
+        fft_base_tw(dst, tw);
         return;
     }
     // Split m = r * c with r >= c, both powers of two (the dag builder's split).
@@ -291,15 +347,16 @@ fn fft_rec(src: Strided<'_>, m: usize, dst: &mut [Complex], base: usize) {
     // contiguous scratch row.
     let mut scratch = vec![(0.0, 0.0); m];
     par_chunks_mut(&mut scratch, r, &|j1, row: &mut [Complex]| {
-        fft_rec(src.class(j1, c), r, row, base);
+        fft_rec(src.class(j1, c), r, row, base, tw);
     });
 
-    // Twiddle pass: scratch[j1 * r + k2] *= ω_m^{j1·k2} (one trig evaluation per element
-    // keeps the error independent of the recursion shape).
+    // Twiddle pass: scratch[j1 * r + k2] *= ω_m^{j1·k2}, read from the table as
+    // tw[j1·k2 · tw.len()/m]. The index never wraps: j1 < c and k2 < r, so
+    // j1·k2 ≤ (c-1)(r-1) < m and the scaled index stays below tw.len().
+    let step = tw.len() / m;
     par_chunks_mut(&mut scratch, r, &|j1, row: &mut [Complex]| {
         for (k2, v) in row.iter_mut().enumerate() {
-            let angle = -2.0 * std::f64::consts::PI * (j1 * k2) as f64 / m as f64;
-            *v = c_mul(*v, (angle.cos(), angle.sin()));
+            *v = c_mul(*v, tw[j1 * k2 * step]);
         }
     });
 
@@ -308,7 +365,7 @@ fn fft_rec(src: Strided<'_>, m: usize, dst: &mut [Complex], base: usize) {
     let scratch = scratch; // froze: stage 3 only reads it
     let mut rows = vec![(0.0, 0.0); m];
     par_chunks_mut(&mut rows, c, &|k2, row: &mut [Complex]| {
-        fft_rec(Strided { data: &scratch, offset: k2, stride: r }, c, row, base);
+        fft_rec(Strided { data: &scratch, offset: k2, stride: r }, c, row, base, tw);
     });
 
     // Final pass: transpose the (r × c) result back into natural order, parallel over
@@ -382,6 +439,29 @@ mod tests {
         input[0] = (1.0, 0.0);
         for v in fft_native(&input, 4) {
             assert!((v.0 - 1.0).abs() < 1e-9 && v.1.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table_driven_base_case_matches_the_trig_recurrence() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        for n in [1usize, 2, 8, 32] {
+            let input: Vec<Complex> =
+                (0..n).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+            // A table four times larger than the transform exercises the stride scaling.
+            for table_n in [n, 4 * n] {
+                let tw = twiddle_table(table_n);
+                let mut a = input.clone();
+                fft_base_tw(&mut a, &tw);
+                let mut b = input.clone();
+                fft_in_place(&mut b);
+                for (x, y) in a.iter().zip(&b) {
+                    assert!(
+                        (x.0 - y.0).abs() < 1e-9 && (x.1 - y.1).abs() < 1e-9,
+                        "n = {n}, table {table_n}: {x:?} != {y:?}"
+                    );
+                }
+            }
         }
     }
 

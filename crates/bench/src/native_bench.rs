@@ -12,6 +12,12 @@
 //! `serde` is a no-op marker, so emission is hand-rolled — but hand-rolled once, there);
 //! the structural [`validate_json`] check runs after every write so a malformed emission
 //! fails loudly (in CI, the bench smoke step).
+//!
+//! The committed baseline is *enforced*, not just recorded: [`gate_against`] compares a
+//! fresh run to `BENCH_native.json` under the [`GateConfig`] tolerances, emits a
+//! machine-readable `rws-bench-delta/v1` document, and fails on regression — the
+//! `native_bench --gate` path CI runs on every PR. [`trajectory_row`] /
+//! [`append_trajectory`] maintain the long-run `rws-bench-trajectory/v1` history.
 
 use rws_algos::fft::fft_native;
 use rws_algos::listrank::list_ranking_native;
@@ -60,14 +66,22 @@ pub struct BenchConfig {
     pub threads: Vec<usize>,
     /// Timed repetitions per configuration (the median is reported).
     pub repeats: usize,
+    /// Untimed warm-up passes per configuration before the timed repeats (at least one
+    /// always runs — it also produces the reference checksum): first-touch page faults,
+    /// allocator pool growth, and branch-predictor training all land here instead of in
+    /// the first timed repeat.
+    pub warmup: usize,
 }
 
 impl BenchConfig {
-    /// The default sweep for a size class.
+    /// The default sweep for a size class (these defaults are recorded in the JSON header,
+    /// so a baseline is self-describing).
     pub fn for_size(size: SizeClass) -> Self {
         match size {
-            SizeClass::Smoke => BenchConfig { size, threads: vec![1, 4], repeats: 1 },
-            SizeClass::Full => BenchConfig { size, threads: vec![1, 2, 4, 8], repeats: 7 },
+            SizeClass::Smoke => BenchConfig { size, threads: vec![1, 4], repeats: 1, warmup: 1 },
+            SizeClass::Full => {
+                BenchConfig { size, threads: vec![1, 2, 4, 8], repeats: 7, warmup: 2 }
+            }
         }
     }
 }
@@ -85,8 +99,12 @@ pub struct BenchRecord {
     pub wall_ns_median: u64,
     /// Fastest repeat, nanoseconds.
     pub wall_ns_min: u64,
-    /// Successful steals (pool counter delta, median run).
+    /// Successful steals (pool counter delta, median run) — one event per migrated task,
+    /// the paper's view.
     pub steals: u64,
+    /// Successful steal *operations* (victim visits; a batch of `k` tasks counts once) —
+    /// the CAS-traffic view. `steals / batch_steals` is the average batch size.
+    pub batch_steals: u64,
     /// Fork branches executed (pool counter delta, median run).
     pub jobs: u64,
     /// Steal attempts that lost a CAS race (`Steal::Retry`; always 0 on `simple`).
@@ -143,11 +161,24 @@ fn mm_cols(a: &[f64], bt: &[f64], row: &mut [f64], n: usize, i: usize, col0: usi
         for (jj, out) in row.iter_mut().enumerate() {
             let j = col0 + jj;
             let brow = &bt[j * n..(j + 1) * n];
-            let mut acc = 0.0;
-            for k in 0..n {
-                acc += arow[k] * brow[k];
+            // Four independent accumulators break the single-sum dependence chain (a
+            // serial chain of fused multiply-adds runs at FMA latency, not throughput)
+            // and vectorize cleanly; n is a multiple of 4 at both size classes, the
+            // remainder loop covers everything else.
+            let mut acc = [0.0f64; 4];
+            let mut ka = arow.chunks_exact(4);
+            let mut kb = brow.chunks_exact(4);
+            for (ca, cb) in (&mut ka).zip(&mut kb) {
+                acc[0] += ca[0] * cb[0];
+                acc[1] += ca[1] * cb[1];
+                acc[2] += ca[2] * cb[2];
+                acc[3] += ca[3] * cb[3];
             }
-            *out = acc;
+            let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            for (x, y) in ka.remainder().iter().zip(kb.remainder()) {
+                total += x * y;
+            }
+            *out = total;
         }
         return;
     }
@@ -266,6 +297,7 @@ fn suite(size: SizeClass) -> Vec<WorkloadSpec> {
 struct OneRun {
     wall_ns: u64,
     steals: u64,
+    batch_steals: u64,
     jobs: u64,
     retries: u64,
     parks: u64,
@@ -281,13 +313,18 @@ pub fn run_suite(cfg: &BenchConfig, alloc_count: impl Fn() -> u64) -> Vec<BenchR
             for &threads in &cfg.threads {
                 // One pool per configuration: counters attribute through deltas, and pool
                 // construction stays outside every timed window (the hot path is what is
-                // being measured, not thread spawning). One untimed warm-up run absorbs
-                // first-touch costs.
+                // being measured, not thread spawning). The untimed warm-up passes absorb
+                // first-touch costs; the first also produces the reference checksum.
                 let pool = ThreadPoolBuilder::new().threads(threads).backend(backend).build();
                 let warm = (spec.run)(&pool);
+                for _ in 1..cfg.warmup {
+                    let again = (spec.run)(&pool);
+                    assert_eq!(again, warm, "{}: nondeterministic checksum", spec.name);
+                }
                 let mut runs: Vec<OneRun> = Vec::with_capacity(cfg.repeats);
                 for _ in 0..cfg.repeats {
                     let steals0 = pool.stats().total_steals();
+                    let batch0 = pool.stats().total_batch_steals();
                     let jobs0 = pool.stats().total_jobs();
                     let retries0 = pool.stats().total_retries();
                     let parks0 = pool.stats().total_parks();
@@ -299,6 +336,7 @@ pub fn run_suite(cfg: &BenchConfig, alloc_count: impl Fn() -> u64) -> Vec<BenchR
                     runs.push(OneRun {
                         wall_ns,
                         steals: pool.stats().total_steals() - steals0,
+                        batch_steals: pool.stats().total_batch_steals() - batch0,
                         jobs: pool.stats().total_jobs() - jobs0,
                         retries: pool.stats().total_retries() - retries0,
                         parks: pool.stats().total_parks() - parks0,
@@ -314,6 +352,7 @@ pub fn run_suite(cfg: &BenchConfig, alloc_count: impl Fn() -> u64) -> Vec<BenchR
                     wall_ns_median: median.wall_ns,
                     wall_ns_min: runs[0].wall_ns,
                     steals: median.steals,
+                    batch_steals: median.batch_steals,
                     jobs: median.jobs,
                     steal_retries: median.retries,
                     parks: median.parks,
@@ -363,6 +402,7 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
                 ("wall_ns_median", r.wall_ns_median.into()),
                 ("wall_ns_min", r.wall_ns_min.into()),
                 ("steals", r.steals.into()),
+                ("batch_steals", r.batch_steals.into()),
                 ("jobs", r.jobs.into()),
                 ("steal_retries", r.steal_retries.into()),
                 ("parks", r.parks.into()),
@@ -397,6 +437,7 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
         ("schema", "rws-bench-native/v1".into()),
         ("size", cfg.size.name().into()),
         ("repeats", cfg.repeats.into()),
+        ("warmup", cfg.warmup.into()),
         ("host_parallelism", host.into()),
         ("caveat", caveat.into()),
         ("records", recs.into()),
@@ -510,39 +551,270 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ------------------------------------------------------------------------------------------
+// The perf-regression gate
+// ------------------------------------------------------------------------------------------
+
+/// Tolerances of the perf-regression gate ([`gate_against`]).
+///
+/// The defaults encode what is actually deterministic on this suite:
+///
+/// * **`threads = 1` wall times** are gated with a *relative* tolerance — generous
+///   (35%) because CI hosts are noisy and shared, yet tight enough that a hot-path change
+///   costing 2x fails loudly.
+/// * **Deterministic counters** (`jobs` at every thread count; `allocs`, `steals`,
+///   `batch_steals`, `steal_retries` at `threads = 1`, where a lone worker never steals)
+///   are gated **exactly**: they cannot drift honestly.
+/// * **`threads > 1` wall times and parks are not gated at all** — the committed baseline
+///   may come from a 1-CPU host (see the document's `caveat`), where those rows measure OS
+///   time-slicing, not the scheduler.
+/// * **`threads > 1` `steal_retries`** get a loose upper bound (`base · retry_factor +
+///   retry_slack`): scheduling-dependent, but an explosion in lost CAS races is precisely
+///   the kind of regression batching exists to prevent.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Relative tolerance on `threads = 1` median wall times (0.35 = +35%).
+    pub wall_rel_tol: f64,
+    /// Multiplier on baseline `steal_retries` for `threads > 1` rows.
+    pub retry_factor: u64,
+    /// Absolute slack added to the `threads > 1` retry bound (covers near-zero baselines).
+    pub retry_slack: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { wall_rel_tol: 0.35, retry_factor: 16, retry_slack: 256 }
+    }
+}
+
+/// Gate a run document against the committed baseline. Returns the machine-readable delta
+/// document (schema `rws-bench-delta/v1`) and whether the gate passed; `Err` means the
+/// documents could not be compared at all (which CI also treats as failure).
+///
+/// Rows are matched by `(workload, backend, threads)`. Every run row must have a baseline
+/// counterpart (a missing one means the suite grew — regenerate `BENCH_native.json`);
+/// baseline rows absent from the run are ignored, so CI may gate on a subset sweep. Both
+/// documents must carry the same `size` class — comparing smoke walls against full
+/// baselines would be meaningless.
+pub fn gate_against(
+    run_doc: &str,
+    baseline_doc: &str,
+    gate: &GateConfig,
+) -> Result<(String, bool), String> {
+    let run = json::parse(run_doc).map_err(|e| format!("run document: {e}"))?;
+    let base = json::parse(baseline_doc).map_err(|e| format!("baseline document: {e}"))?;
+    if run.get("schema") != base.get("schema") {
+        return Err(format!(
+            "schema tags differ: run {:?}, baseline {:?}",
+            run.get("schema"),
+            base.get("schema")
+        ));
+    }
+    if run.get("size") != base.get("size") {
+        return Err(format!(
+            "size classes differ (run {:?}, baseline {:?}): gate runs must use the \
+             baseline's size",
+            run.get("size"),
+            base.get("size")
+        ));
+    }
+    let records = |doc: &Json, which: &str| -> Result<Vec<Json>, String> {
+        doc.get("records")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .ok_or(format!("{which} document has no `records` array"))
+    };
+    let run_records = records(&run, "run")?;
+    let base_records = records(&base, "baseline")?;
+
+    let text = |rec: &Json, k: &str| -> Result<String, String> {
+        rec.get(k).and_then(Json::as_str).map(str::to_string).ok_or(format!("record lacks `{k}`"))
+    };
+    let num = |rec: &Json, k: &str| -> Result<u64, String> {
+        rec.get(k).and_then(Json::as_u64).ok_or(format!(
+            "record lacks a numeric `{k}` — regenerate BENCH_native.json with this binary"
+        ))
+    };
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
+    for rec in &run_records {
+        let (w, b) = (text(rec, "workload")?, text(rec, "backend")?);
+        let t = num(rec, "threads")?;
+        let id = format!("{w}/{b} t={t}");
+        let Some(base_rec) = base_records.iter().find(|r| {
+            r.get("workload") == rec.get("workload")
+                && r.get("backend") == rec.get("backend")
+                && r.get("threads") == rec.get("threads")
+        }) else {
+            return Err(format!(
+                "run row {id} has no baseline counterpart — the suite changed; regenerate \
+                 BENCH_native.json"
+            ));
+        };
+
+        let wall_run = num(rec, "wall_ns_median")?;
+        let wall_base = num(base_rec, "wall_ns_median")?;
+        let wall_rel = if wall_base == 0 {
+            0.0
+        } else {
+            (wall_run as f64 - wall_base as f64) / wall_base as f64
+        };
+        let mut ok = true;
+        if t == 1 && wall_rel > gate.wall_rel_tol {
+            ok = false;
+            regressions.push(format!(
+                "{id}: wall_ns_median {wall_run} vs baseline {wall_base} \
+                 ({:+.1}% > +{:.0}%)",
+                100.0 * wall_rel,
+                100.0 * gate.wall_rel_tol
+            ));
+        }
+
+        let exact: &[&str] = if t == 1 {
+            &["jobs", "allocs", "steals", "batch_steals", "steal_retries"]
+        } else {
+            &["jobs"]
+        };
+        let mut counters: Vec<(String, Json)> = Vec::new();
+        for key in ["steals", "batch_steals", "jobs", "steal_retries", "allocs"] {
+            let (r, bse) = (num(rec, key)?, num(base_rec, key)?);
+            counters.push((format!("{key}_run"), r.into()));
+            counters.push((format!("{key}_base"), bse.into()));
+            if exact.contains(&key) && r != bse {
+                ok = false;
+                regressions.push(format!("{id}: {key} {r} vs baseline {bse} (gated exact)"));
+            }
+        }
+        if t > 1 {
+            let (r, bse) = (num(rec, "steal_retries")?, num(base_rec, "steal_retries")?);
+            let bound = bse.saturating_mul(gate.retry_factor).saturating_add(gate.retry_slack);
+            if r > bound {
+                ok = false;
+                regressions.push(format!(
+                    "{id}: steal_retries {r} vs baseline {bse} (bound {bound} = \
+                     base x{} + {})",
+                    gate.retry_factor, gate.retry_slack
+                ));
+            }
+        }
+
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("workload", w.as_str().into()),
+            ("backend", b.as_str().into()),
+            ("threads", Json::U64(t)),
+            ("wall_ns_median_run", wall_run.into()),
+            ("wall_ns_median_base", wall_base.into()),
+            ("wall_rel_delta", wall_rel.into()),
+            ("wall_gated", (t == 1).into()),
+            ("ok", ok.into()),
+        ];
+        fields.extend(counters.iter().map(|(k, v)| (k.as_str(), v.clone())));
+        rows.push(Json::Obj(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()));
+    }
+
+    let pass = regressions.is_empty();
+    let delta = obj([
+        ("schema", "rws-bench-delta/v1".into()),
+        ("size", run.get("size").cloned().unwrap_or(Json::Null)),
+        ("wall_rel_tol", gate.wall_rel_tol.into()),
+        ("retry_factor", gate.retry_factor.into()),
+        ("retry_slack", gate.retry_slack.into()),
+        ("pass", pass.into()),
+        (
+            "regressions",
+            Json::Arr(regressions.iter().map(|r| r.as_str().into()).collect::<Vec<_>>()),
+        ),
+        ("rows", rows.into()),
+    ])
+    .render();
+    Ok((delta, pass))
+}
+
+/// Structural validation of a delta document emitted by [`gate_against`].
+pub fn validate_delta(doc: &str) -> Result<(), String> {
+    json::validate_with_keys(doc, &["schema", "pass", "regressions", "rows", "wall_rel_tol"])
+}
+
+/// Summarize a run document as one trajectory row: the `threads = 1` `chaselev` median
+/// wall per workload (the numbers the gate actually protects), stamped with `date` and a
+/// free-form `note`.
+pub fn trajectory_row(run_doc: &str, date: &str, note: &str) -> Result<Json, String> {
+    let run = json::parse(run_doc).map_err(|e| format!("run document: {e}"))?;
+    let records =
+        run.get("records").and_then(Json::as_array).ok_or("run document has no `records`")?;
+    let mut walls: Vec<(String, Json)> = Vec::new();
+    for rec in records {
+        if rec.get("backend").and_then(Json::as_str) == Some("chaselev")
+            && rec.get("threads").and_then(Json::as_u64) == Some(1)
+        {
+            let w = rec.get("workload").and_then(Json::as_str).ok_or("record lacks `workload`")?;
+            let ns = rec.get("wall_ns_median").and_then(Json::as_u64).ok_or("record lacks wall")?;
+            walls.push((w.to_string(), ns.into()));
+        }
+    }
+    if walls.is_empty() {
+        return Err("run document has no threads=1 chaselev rows to summarize".into());
+    }
+    Ok(obj([
+        ("date", date.into()),
+        ("note", note.into()),
+        ("size", run.get("size").cloned().unwrap_or(Json::Null)),
+        ("t1_chaselev_wall_ns", Json::Obj(walls)),
+    ]))
+}
+
+/// Append `row` to a trajectory document (schema `rws-bench-trajectory/v1`), creating the
+/// document when `existing` is `None`. Returns the new document text.
+pub fn append_trajectory(existing: Option<&str>, row: Json) -> Result<String, String> {
+    let mut rows: Vec<Json> = match existing {
+        None => Vec::new(),
+        Some(doc) => {
+            let parsed = json::parse(doc).map_err(|e| format!("trajectory document: {e}"))?;
+            if parsed.get("schema").and_then(Json::as_str) != Some("rws-bench-trajectory/v1") {
+                return Err(format!(
+                    "trajectory document has schema {:?}, expected rws-bench-trajectory/v1",
+                    parsed.get("schema")
+                ));
+            }
+            parsed
+                .get("rows")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+                .ok_or("trajectory document has no `rows` array")?
+        }
+    };
+    rows.push(row);
+    Ok(obj([("schema", "rws-bench-trajectory/v1".into()), ("rows", rows.into())]).render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn record(backend: &str, threads: usize, wall: u64) -> BenchRecord {
+        BenchRecord {
+            workload: "recursive-sum".into(),
+            backend: backend.into(),
+            threads,
+            wall_ns_median: wall,
+            wall_ns_min: wall - 10,
+            steals: if threads == 1 { 0 } else { 5 },
+            batch_steals: if threads == 1 { 0 } else { 2 },
+            jobs: 50,
+            steal_retries: if threads == 1 { 0 } else { 1 },
+            parks: 2,
+            allocs: 3,
+            allocs_per_fork: 0.06,
+        }
+    }
+
     fn tiny_records() -> Vec<BenchRecord> {
-        vec![
-            BenchRecord {
-                workload: "recursive-sum".into(),
-                backend: "chaselev".into(),
-                threads: 4,
-                wall_ns_median: 100,
-                wall_ns_min: 90,
-                steals: 5,
-                jobs: 50,
-                steal_retries: 1,
-                parks: 2,
-                allocs: 3,
-                allocs_per_fork: 0.06,
-            },
-            BenchRecord {
-                workload: "recursive-sum".into(),
-                backend: "simple".into(),
-                threads: 4,
-                wall_ns_median: 150,
-                wall_ns_min: 140,
-                steals: 6,
-                jobs: 50,
-                steal_retries: 0,
-                parks: 2,
-                allocs: 3,
-                allocs_per_fork: 0.06,
-            },
-        ]
+        vec![record("chaselev", 4, 100), record("simple", 4, 150)]
+    }
+
+    fn gate_records() -> Vec<BenchRecord> {
+        vec![record("chaselev", 1, 1000), record("chaselev", 4, 800), record("simple", 1, 1500)]
     }
 
     #[test]
@@ -615,11 +887,127 @@ mod tests {
     #[test]
     fn smoke_suite_runs_end_to_end_on_both_backends() {
         // The CI smoke path in miniature: tiny sizes, one thread count, validated output.
-        let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![2], repeats: 1 };
+        let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![2], repeats: 1, warmup: 1 };
         let records = run_suite(&cfg, || 0);
         assert_eq!(records.len(), 7 * 2, "7 workloads x 2 backends");
         assert!(records.iter().all(|r| r.jobs > 0), "every run must execute forks");
         let doc = to_json(&cfg, &records);
         validate_json(&doc).expect("smoke suite JSON must validate");
+    }
+
+    #[test]
+    fn gate_passes_on_an_identical_run() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let doc = to_json(&cfg, &gate_records());
+        let (delta, pass) = gate_against(&doc, &doc, &GateConfig::default()).expect("comparable");
+        assert!(pass, "identical documents must pass:\n{delta}");
+        validate_delta(&delta).expect("delta document must validate");
+        assert!(delta.contains("\"pass\": true"));
+    }
+
+    #[test]
+    fn gate_trips_on_a_single_thread_slowdown_but_ignores_multithread_walls() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let baseline = to_json(&cfg, &gate_records());
+
+        // +50% on the t=1 chaselev wall: over the 35% tolerance, must fail.
+        let mut slow = gate_records();
+        slow[0].wall_ns_median = 1500;
+        let (delta, pass) =
+            gate_against(&to_json(&cfg, &slow), &baseline, &GateConfig::default()).unwrap();
+        assert!(!pass, "an injected t=1 slowdown must trip the gate");
+        assert!(delta.contains("wall_ns_median 1500"), "{delta}");
+
+        // A *bigger* slowdown on the t=4 row alone: walls are not gated there.
+        let mut slow_mt = gate_records();
+        slow_mt[1].wall_ns_median = 80_000;
+        let (_, pass) =
+            gate_against(&to_json(&cfg, &slow_mt), &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "threads > 1 walls are not gated (1-CPU-host caveat)");
+
+        // The tolerance is configurable: +50% passes a 60% gate.
+        let loose = GateConfig { wall_rel_tol: 0.6, ..GateConfig::default() };
+        let (_, pass) = gate_against(&to_json(&cfg, &slow), &baseline, &loose).unwrap();
+        assert!(pass);
+    }
+
+    #[test]
+    fn gate_trips_on_deterministic_counter_drift() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let baseline = to_json(&cfg, &gate_records());
+
+        // jobs is deterministic at every thread count.
+        let mut more_jobs = gate_records();
+        more_jobs[1].jobs += 1;
+        let (delta, pass) =
+            gate_against(&to_json(&cfg, &more_jobs), &baseline, &GateConfig::default()).unwrap();
+        assert!(!pass, "a jobs drift must trip the gate even at threads > 1");
+        assert!(delta.contains("jobs 51"), "{delta}");
+
+        // allocs is gated exactly at t=1 only.
+        let mut more_allocs = gate_records();
+        more_allocs[0].allocs += 2;
+        let (_, pass) =
+            gate_against(&to_json(&cfg, &more_allocs), &baseline, &GateConfig::default()).unwrap();
+        assert!(!pass, "a t=1 allocation regression must trip the gate");
+    }
+
+    #[test]
+    fn gate_bounds_multithread_retries_and_tolerates_noise_below_the_bound() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let baseline = to_json(&cfg, &gate_records());
+        // Baseline t=4 retries is 1; bound is 1*16 + 256 = 272.
+        let mut noisy = gate_records();
+        noisy[1].steal_retries = 200;
+        let (_, pass) =
+            gate_against(&to_json(&cfg, &noisy), &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "scheduling noise below the bound passes");
+        let mut storm = gate_records();
+        storm[1].steal_retries = 100_000;
+        let (delta, pass) =
+            gate_against(&to_json(&cfg, &storm), &baseline, &GateConfig::default()).unwrap();
+        assert!(!pass, "a retry explosion must trip the gate");
+        assert!(delta.contains("steal_retries 100000"), "{delta}");
+    }
+
+    #[test]
+    fn gate_requires_comparable_documents() {
+        let full = BenchConfig::for_size(SizeClass::Full);
+        let smoke = BenchConfig::for_size(SizeClass::Smoke);
+        let records = gate_records();
+        let baseline = to_json(&full, &records);
+
+        // Size classes must match.
+        let err = gate_against(&to_json(&smoke, &records), &baseline, &GateConfig::default())
+            .unwrap_err();
+        assert!(err.contains("size classes differ"), "{err}");
+
+        // A run row with no baseline counterpart means the suite grew.
+        let mut extra = records.clone();
+        extra.push(BenchRecord { workload: "new-workload".into(), ..records[0].clone() });
+        let err =
+            gate_against(&to_json(&full, &extra), &baseline, &GateConfig::default()).unwrap_err();
+        assert!(err.contains("regenerate"), "{err}");
+
+        // The reverse — gating a subset sweep against the full baseline — is fine.
+        let subset = vec![records[0].clone()];
+        let (_, pass) =
+            gate_against(&to_json(&full, &subset), &baseline, &GateConfig::default()).unwrap();
+        assert!(pass);
+    }
+
+    #[test]
+    fn trajectory_rows_accumulate() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let doc = to_json(&cfg, &gate_records());
+        let row = trajectory_row(&doc, "2026-08-08", "first entry").expect("summarizable");
+        let t1 = append_trajectory(None, row.clone()).expect("fresh document");
+        json::validate(&t1).expect("well-formed");
+        assert!(t1.contains("rws-bench-trajectory/v1") && t1.contains("first entry"));
+        let t2 = append_trajectory(Some(&t1), row).expect("append");
+        let parsed = json::parse(&t2).unwrap();
+        assert_eq!(parsed.get("rows").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        // Appending to a non-trajectory document is rejected.
+        assert!(append_trajectory(Some(&doc), trajectory_row(&doc, "d", "n").unwrap()).is_err());
     }
 }

@@ -544,6 +544,26 @@ impl Json {
             _ => Vec::new(),
         }
     }
+
+    /// The value as a `u64`, when this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, when this is any number (integers convert losslessly up to
+    /// 2^53, which covers every counter the bench documents carry).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

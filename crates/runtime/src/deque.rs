@@ -46,6 +46,20 @@ impl<T> SimpleDeque<T> {
         self.inner.lock().pop_front()
     }
 
+    /// Steal up to half the queued tasks (never more than `max`) from the top: the oldest
+    /// task is returned directly, the rest — still oldest-first — in the overflow vector
+    /// for the thief to queue locally. One lock acquisition covers the whole batch, and the
+    /// victim's lock is released before the caller touches any other deque — two thieves
+    /// batch-stealing from each other can therefore never deadlock.
+    pub fn steal_top_batch(&self, max: usize) -> Option<(T, Vec<T>)> {
+        let mut q = self.inner.lock();
+        let take = q.len().div_ceil(2).min(max.max(1));
+        let first = q.pop_front()?;
+        let rest: Vec<T> = (1..take).map_while(|_| q.pop_front()).collect();
+        drop(q);
+        Some((first, rest))
+    }
+
     /// Number of queued tasks.
     pub fn len(&self) -> usize {
         self.inner.lock().len()
@@ -77,6 +91,23 @@ mod tests {
         assert_eq!(d.pop_bottom(), Some(2));
         assert_eq!(d.pop_bottom(), None);
         assert_eq!(d.steal_top(), None);
+    }
+
+    #[test]
+    fn steal_top_batch_takes_the_oldest_half() {
+        let d = SimpleDeque::new();
+        for i in 0..10 {
+            d.push_bottom(i);
+        }
+        let (first, rest) = d.steal_top_batch(32).expect("non-empty");
+        assert_eq!(first, 0, "the directly returned task is the oldest");
+        assert_eq!(rest, vec![1, 2, 3, 4], "ceil(10/2) = 5 total, order preserved");
+        assert_eq!(d.len(), 5, "the victim keeps the newer half");
+        // `max` caps the batch; an empty deque yields None.
+        let (first, rest) = d.steal_top_batch(2).expect("non-empty");
+        assert_eq!((first, rest.len()), (5, 1));
+        while d.steal_top_batch(8).is_some() {}
+        assert!(d.is_empty());
     }
 
     #[test]

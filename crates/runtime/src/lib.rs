@@ -8,9 +8,13 @@
 //!
 //! The fork/steal hot path is engineered to cost what the model charges it and nothing more:
 //!
-//! * **Lock-free deques** — the default backend is a real Chase–Lev deque (the vendored
-//!   `crossbeam-deque`): atomic top/bottom indices, CAS-arbitrated steals with
-//!   `Steal::Retry` on lost races, a growable ring buffer, and no locks anywhere.
+//! * **Lock-free deques with steal-half batching** — the default backend is a real
+//!   Chase–Lev deque (the vendored `crossbeam-deque`): atomic top/bottom indices,
+//!   CAS-arbitrated steals with `Steal::Retry` on lost races, a growable ring buffer, and
+//!   no locks anywhere. A thief takes up to *half* the victim's queue per visit
+//!   (`steal_batch_and_pop`), running the oldest job and requeueing the rest locally — the
+//!   stats separate the paper's per-task steal events from per-visit
+//!   [`batch_steals`](PoolStats::total_batch_steals).
 //! * **Allocation-free `join`** — the right branch of a [`join`] is a *stack job* in the
 //!   caller's frame, queued by reference; the unstolen fast path performs zero heap
 //!   allocations and takes no lock (asserted by a counting-allocator test), touching only
@@ -53,4 +57,5 @@ pub use padding::{CachePadded, PaddedCounters, UnpaddedCounters};
 pub use par_iter::{ParChunks, ParChunksMut, ParIter, ParIterMut, ParSliceExt};
 pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuilder};
 pub use scope::{scope, Scope};
+pub use sleep::SleepBackoff;
 pub use stats::PoolStats;

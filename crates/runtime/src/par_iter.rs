@@ -32,6 +32,15 @@ use crate::pool::current_num_threads;
 /// stealing to balance uneven pieces, few enough that fork overhead stays negligible.
 pub const SPLIT_FACTOR: usize = 4;
 
+/// Floor on the adaptive grain of the *element* iterators: never fork a piece of fewer
+/// than this many elements. The `grain_calibration` bench in `crates/bench` puts the
+/// break-even point where one `join` (a deque push/pop pair plus a possible steal) stops
+/// paying for itself around a few dozen cheap element operations; below that a wide pool
+/// on a short slice would spend more time forking than working. Chunk adapters are
+/// exempt — their unit of work is a whole chunk, whose cost the element count says
+/// nothing about (grain 1 there reproduces the dag builders' one-fork-per-chunk trees).
+pub const MIN_SEQ_ELEMENTS: usize = 64;
+
 /// The adaptive leaf size for `len` work items: `len / (SPLIT_FACTOR * pool width)`,
 /// rounded up, at least 1. Outside a pool the width is 1, so the tree degrades to a
 /// handful of leaves whose `join`s all run sequentially on the caller.
@@ -39,6 +48,16 @@ fn adaptive_grain(len: usize, explicit: Option<usize>) -> usize {
     match explicit {
         Some(g) => g.max(1),
         None => len.div_ceil(SPLIT_FACTOR * current_num_threads()).max(1),
+    }
+}
+
+/// [`adaptive_grain`] with the [`MIN_SEQ_ELEMENTS`] floor applied — the default grain of
+/// the per-element adapters. An explicit `with_grain` still wins outright: pinned grains
+/// are how the experiments force degenerate split trees on purpose.
+fn adaptive_element_grain(len: usize, explicit: Option<usize>) -> usize {
+    match explicit {
+        Some(g) => g.max(1),
+        None => adaptive_grain(len, None).max(MIN_SEQ_ELEMENTS),
     }
 }
 
@@ -115,7 +134,7 @@ impl<'data, T: Sync> ParIter<'data, T> {
     where
         F: Fn(&T) + Sync,
     {
-        let grain = adaptive_grain(self.slice.len(), self.grain);
+        let grain = adaptive_element_grain(self.slice.len(), self.grain);
         for_each_ref(self.slice, grain, &f);
     }
 
@@ -129,7 +148,7 @@ impl<'data, T: Sync> ParIter<'data, T> {
         M: Fn(&T) -> R + Sync,
         C: Fn(R, R) -> R + Sync,
     {
-        let grain = adaptive_grain(self.slice.len(), self.grain);
+        let grain = adaptive_element_grain(self.slice.len(), self.grain);
         map_reduce_ref(self.slice, grain, &map, &reduce, &identity)
     }
 }
@@ -147,7 +166,7 @@ impl<'data, T: Send> ParIterMut<'data, T> {
     where
         F: Fn(&mut T) + Sync,
     {
-        let grain = adaptive_grain(self.slice.len(), self.grain);
+        let grain = adaptive_element_grain(self.slice.len(), self.grain);
         for_each_mut(self.slice, grain, &f);
     }
 }
@@ -376,6 +395,18 @@ mod tests {
         // An explicit grain wins.
         assert_eq!(adaptive_grain(1000, Some(64)), 64);
         assert_eq!(adaptive_grain(1000, Some(0)), 1);
+    }
+
+    #[test]
+    fn element_grain_never_drops_below_the_sequential_floor() {
+        // Big slices keep the pure width-adaptive grain…
+        assert_eq!(adaptive_element_grain(100_000, None), adaptive_grain(100_000, None));
+        // …short ones are floored so a wide pool cannot fork 3-element leaves…
+        let pool = ThreadPool::new(4);
+        let grain = pool.install(|| adaptive_element_grain(256, None));
+        assert_eq!(grain, MIN_SEQ_ELEMENTS, "width-adaptive 16 is floored to 64");
+        // …and an explicit grain bypasses the floor entirely.
+        assert_eq!(adaptive_element_grain(1000, Some(2)), 2);
     }
 
     #[test]

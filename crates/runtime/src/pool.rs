@@ -17,9 +17,9 @@
 
 use crate::deque::{DequeBackend, SimpleDeque};
 use crate::job::{Job, JoinResult, Latch, StackJob};
-use crate::sleep::Sleep;
+use crate::sleep::{Sleep, SleepBackoff};
 use crate::stats::PoolStats;
-use crossbeam_deque::{Injector, Steal, Stealer, Worker as CbWorker};
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as CbWorker, MAX_BATCH};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::cell::RefCell;
 use std::panic::{self, AssertUnwindSafe};
@@ -28,8 +28,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 
-/// Rounds of spinning (with periodic yields) before an idle worker parks.
-const SPIN_ROUNDS: u32 = 64;
 /// Consecutive `Steal::Retry` results tolerated per victim before trying another.
 const STEAL_RETRIES: u32 = 4;
 
@@ -40,6 +38,7 @@ pub(crate) struct Shared {
     backend: DequeBackend,
     stats: PoolStats,
     pub(crate) sleep: Sleep,
+    backoff: SleepBackoff,
     shutdown: AtomicBool,
     workers: usize,
 }
@@ -109,18 +108,42 @@ impl WorkerHandle {
         }
     }
 
-    fn steal_from(&self, victim: usize) -> Steal<Job> {
+    /// One batch-steal visit to `victim`: up to half its queue (capped at the deque's
+    /// `MAX_BATCH`) moves in a single visit. The oldest job — in recursive computations
+    /// the largest, the one the paper's discipline says a thief should run — comes back
+    /// directly; the rest land in this worker's own deque, where they are locally
+    /// poppable *and* still stealable by everyone else. Returns the popped job and the
+    /// total number of jobs moved.
+    fn steal_from(&self, victim: usize) -> Steal<(Job, u64)> {
         match self.shared.backend {
-            DequeBackend::Crossbeam => self.shared.cb_stealers[victim].steal(),
-            DequeBackend::Simple => match self.shared.simple_deques[victim].steal_top() {
-                Some(job) => Steal::Success(job),
-                None => Steal::Empty,
-            },
+            DequeBackend::Crossbeam => {
+                let local = self.cb_local.as_ref().expect("crossbeam worker");
+                match self.shared.cb_stealers[victim].steal_batch_and_pop_counted(local) {
+                    Steal::Success((job, k)) => Steal::Success((job, k as u64)),
+                    Steal::Empty => Steal::Empty,
+                    Steal::Retry => Steal::Retry,
+                }
+            }
+            DequeBackend::Simple => {
+                match self.shared.simple_deques[victim].steal_top_batch(MAX_BATCH) {
+                    Some((job, rest)) => {
+                        let k = 1 + rest.len() as u64;
+                        let local = self.simple_local.as_ref().expect("simple deque");
+                        for j in rest {
+                            local.push_bottom(j);
+                        }
+                        Steal::Success((job, k))
+                    }
+                    None => Steal::Empty,
+                }
+            }
         }
     }
 
     /// Find one job: local deque first, then the injector, then a bounded number of random
-    /// steal attempts (with a short per-victim retry budget for lost CAS races).
+    /// steal attempts (with a short per-victim retry budget for lost CAS races). A
+    /// successful steal is a *batch* (see [`WorkerHandle::steal_from`]): the surplus goes
+    /// into our own deque and a sleeper is woken to come and take some of it.
     ///
     /// `record_failures` gates the failed-steal/retry accounting: the first sweep of an
     /// activity burst records (that is the paper's "active processor probed and missed"),
@@ -149,8 +172,14 @@ impl WorkerHandle {
                 let mut retries = 0;
                 loop {
                     match self.steal_from(victim) {
-                        Steal::Success(job) => {
-                            self.shared.stats.record_steal(self.index);
+                        Steal::Success((job, k)) => {
+                            self.shared.stats.record_steal_batch(self.index, k);
+                            if k > 1 {
+                                // Freshly stealable surplus sits in our deque now; one
+                                // wake (the usual single relaxed load when nobody is
+                                // parked) invites a thief over.
+                                self.shared.sleep.notify();
+                            }
                             return Some(job);
                         }
                         Steal::Empty => {
@@ -181,24 +210,27 @@ impl WorkerHandle {
         job.execute();
     }
 
-    /// One step of the spin-then-park idle protocol: advance the spin counter, yielding
-    /// every 16th round, and park once the spin budget is spent. `ready` is the wake
-    /// condition re-checked before actually sleeping (see [`Sleep::sleep_unless`]). After a
-    /// meaningful wake (notification / work visible) the caller's next find sweep starts a
-    /// fresh activity burst (`idle == 0`); after a backstop timeout the spin budget stays
-    /// spent, so the worker makes one quiet rescan and goes right back to sleep.
+    /// One step of the spin→yield→park idle protocol (shape set by the pool's
+    /// [`SleepBackoff`]): the first rounds busy-spin an exponentially growing number of
+    /// pause cycles between work-finding sweeps, the next rounds yield the OS slice, and
+    /// past the budget the worker parks. `ready` is the wake condition re-checked before
+    /// actually sleeping (see [`Sleep::sleep_unless`]). After a meaningful wake
+    /// (notification / work visible) the caller's next find sweep starts a fresh activity
+    /// burst (`idle == 0`); after a backstop timeout the backoff budget stays spent, so
+    /// the worker makes one quiet rescan and goes right back to sleep.
     fn idle_step(&self, idle: &mut u32, ready: impl FnMut() -> bool) {
+        let bk = self.shared.backoff;
         *idle += 1;
-        if *idle <= SPIN_ROUNDS {
-            if idle.is_multiple_of(16) {
-                thread::yield_now();
-            } else {
+        if *idle <= bk.spin_rounds {
+            for _ in 0..bk.spins_for_round(*idle) {
                 std::hint::spin_loop();
             }
+        } else if *idle <= bk.rounds_before_park() {
+            thread::yield_now();
         } else {
             self.shared.stats.record_park(self.index);
             let notified = self.shared.sleep.sleep_unless(ready);
-            *idle = if notified { 0 } else { SPIN_ROUNDS };
+            *idle = if notified { 0 } else { bk.rounds_before_park() };
         }
     }
 
@@ -250,11 +282,16 @@ fn worker_loop(handle: Rc<WorkerHandle>) {
 pub struct ThreadPoolBuilder {
     threads: usize,
     backend: DequeBackend,
+    backoff: SleepBackoff,
 }
 
 impl Default for ThreadPoolBuilder {
     fn default() -> Self {
-        ThreadPoolBuilder { threads: num_threads_default(), backend: DequeBackend::Crossbeam }
+        ThreadPoolBuilder {
+            threads: num_threads_default(),
+            backend: DequeBackend::Crossbeam,
+            backoff: SleepBackoff::default(),
+        }
     }
 }
 
@@ -280,9 +317,16 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Shape of the idle workers' spin→yield→park backoff schedule (see [`SleepBackoff`];
+    /// the default comes from the `sleep_backoff` bench sweep).
+    pub fn backoff(mut self, backoff: SleepBackoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
     /// Build and start the pool.
     pub fn build(self) -> ThreadPool {
-        ThreadPool::with_config(self.threads, self.backend)
+        ThreadPool::with_config(self.threads, self.backend, self.backoff)
     }
 }
 
@@ -295,10 +339,10 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// A pool with `threads` workers and the lock-free Chase–Lev deque backend.
     pub fn new(threads: usize) -> Self {
-        Self::with_config(threads, DequeBackend::Crossbeam)
+        Self::with_config(threads, DequeBackend::Crossbeam, SleepBackoff::default())
     }
 
-    fn with_config(threads: usize, backend: DequeBackend) -> Self {
+    fn with_config(threads: usize, backend: DequeBackend, backoff: SleepBackoff) -> Self {
         let threads = threads.max(1);
         let cb_workers: Vec<CbWorker<Job>> = (0..threads).map(|_| CbWorker::new_lifo()).collect();
         let cb_stealers: Vec<Stealer<Job>> = cb_workers.iter().map(|w| w.stealer()).collect();
@@ -311,6 +355,7 @@ impl ThreadPool {
             backend,
             stats: PoolStats::new(threads),
             sleep: Sleep::new(),
+            backoff,
             shutdown: AtomicBool::new(false),
             workers: threads,
         });
@@ -583,6 +628,36 @@ mod tests {
         let total = pool.install(move || recursive_sum(0, n));
         assert_eq!(total, n * (n - 1) / 2);
         assert!(pool.stats().total_jobs() > 0);
+    }
+
+    #[test]
+    fn batch_steal_counters_stay_consistent() {
+        for backend in [DequeBackend::Crossbeam, DequeBackend::Simple] {
+            let pool = ThreadPoolBuilder::new().threads(4).backend(backend).build();
+            let n = 1_000_000u64;
+            let total = pool.install(move || recursive_sum(0, n));
+            assert_eq!(total, n * (n - 1) / 2);
+            let stats = pool.stats();
+            // Every steal path is batch-aware, so the two task-level views agree, and a
+            // visit never moves fewer than one job.
+            assert_eq!(stats.total_jobs_stolen(), stats.total_steals(), "{backend:?}");
+            assert!(stats.total_batch_steals() <= stats.total_steals(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn custom_backoff_schedules_still_run_to_completion() {
+        use crate::sleep::SleepBackoff;
+        // Degenerate schedules (park immediately / spin hard) must only affect latency,
+        // never correctness.
+        for backoff in [
+            SleepBackoff { spin_rounds: 0, spin_cap_shift: 0, yield_rounds: 0 },
+            SleepBackoff { spin_rounds: 12, spin_cap_shift: 8, yield_rounds: 6 },
+        ] {
+            let pool = ThreadPoolBuilder::new().threads(3).backoff(backoff).build();
+            let n = 300_000u64;
+            assert_eq!(pool.install(move || recursive_sum(0, n)), n * (n - 1) / 2);
+        }
     }
 
     #[test]

@@ -31,6 +31,55 @@ use std::time::Duration;
 /// the producer-side relaxed load; see the module docs).
 const PARK_BACKSTOP: Duration = Duration::from_millis(1);
 
+/// Tunable shape of the idle protocol's spin→yield→park schedule.
+///
+/// Each idle *round* is one full work-finding sweep (own deque, injector, random victims) —
+/// the expensive part of idling, since every sweep hammers other workers' deque indices.
+/// The schedule therefore backs off **between sweeps** exponentially: round `i` of the
+/// first [`spin_rounds`](SleepBackoff::spin_rounds) busy-spins `2^min(i, spin_cap_shift)`
+/// pause cycles, the next [`yield_rounds`](SleepBackoff::yield_rounds) rounds yield the OS
+/// slice, and after that the worker parks on the pool's [`Sleep`] protocol. Compared to the
+/// old fixed schedule (64 uniform sweeps, a yield every 16th), the same busy-wait budget is
+/// spent across ~10x fewer sweeps, and a genuinely idle worker reaches the park — where it
+/// costs nothing — sooner.
+///
+/// The defaults come from the `sleep_backoff` bench sweep in `crates/bench` (latency of
+/// fork-join bursts separated by idle gaps, swept over schedules): deeper spin schedules
+/// stopped improving wake-up latency before `2^6`, and more than a few yields only delayed
+/// the park without ever winning the race against a real notification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SleepBackoff {
+    /// Exponential busy-spin rounds (work-finding sweeps) before yielding.
+    pub spin_rounds: u32,
+    /// Cap on the per-round spin exponent: round `i` spins `2^min(i, spin_cap_shift)`.
+    pub spin_cap_shift: u32,
+    /// `thread::yield_now` rounds after the spin rounds, before parking.
+    pub yield_rounds: u32,
+}
+
+impl Default for SleepBackoff {
+    fn default() -> Self {
+        SleepBackoff { spin_rounds: 6, spin_cap_shift: 5, yield_rounds: 3 }
+    }
+}
+
+impl SleepBackoff {
+    /// Rounds an idle worker survives before parking.
+    pub(crate) fn rounds_before_park(&self) -> u32 {
+        self.spin_rounds + self.yield_rounds
+    }
+
+    /// Busy-spin `std::hint::spin_loop` iterations for 1-based idle round `round`
+    /// (saturating at `2^spin_cap_shift`); 0 for rounds past the spin phase.
+    pub(crate) fn spins_for_round(&self, round: u32) -> u32 {
+        if round == 0 || round > self.spin_rounds {
+            0
+        } else {
+            1u32 << (round - 1).min(self.spin_cap_shift)
+        }
+    }
+}
+
 /// Shared sleep state: an event counter under a mutex, a condvar, and the sleeper count
 /// producers check.
 #[derive(Debug, Default)]
@@ -146,6 +195,17 @@ mod tests {
         // ready() is true immediately: must return without any notification.
         sleep.sleep_unless(|| true);
         assert_eq!(sleep.sleepers(), 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_then_capped() {
+        let bk = SleepBackoff { spin_rounds: 6, spin_cap_shift: 4, yield_rounds: 2 };
+        assert_eq!(
+            (1..=8).map(|r| bk.spins_for_round(r)).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16, 16, 0, 0],
+            "doubling spins, capped at 2^spin_cap_shift, zero in the yield phase"
+        );
+        assert_eq!(bk.rounds_before_park(), 8);
     }
 
     #[test]

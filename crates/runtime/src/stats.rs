@@ -16,6 +16,15 @@ struct WorkerCounters {
     failed_steals: AtomicU64,
     steal_retries: AtomicU64,
     parks: AtomicU64,
+    /// Successful steal *operations* (victim visits): a batch moving `k` jobs counts once
+    /// here and `k` times in `steals` — this is the CAS-traffic/victim-visit view, while
+    /// `steals` keeps the paper's per-task-migration semantics.
+    batch_steals: AtomicU64,
+    /// Jobs moved by steal operations (the batch sizes summed). Numerically equal to
+    /// `steals` while every steal path is batch-aware; recorded independently so the
+    /// (`batch_steals`, `jobs_stolen`) pair stays self-describing — their ratio is the
+    /// average batch size.
+    jobs_stolen: AtomicU64,
 }
 
 /// Counters collected by the thread pool.
@@ -30,9 +39,20 @@ impl PoolStats {
         PoolStats { workers: (0..workers).map(|_| CachePadded::default()).collect() }
     }
 
-    /// Record a successful steal by worker `w`.
+    /// Record a successful steal by worker `w` (a batch of one).
     pub fn record_steal(&self, w: usize) {
-        self.workers[w].0.steals.fetch_add(1, Ordering::Relaxed);
+        self.record_steal_batch(w, 1);
+    }
+
+    /// Record one successful steal operation by worker `w` that moved `k >= 1` jobs: `k`
+    /// steal events for the paper-facing `steals` (a batch of `k` migrates `k` tasks), one
+    /// `batch_steals` operation for the CAS-traffic view.
+    pub fn record_steal_batch(&self, w: usize, k: u64) {
+        debug_assert!(k >= 1, "a successful steal moves at least one job");
+        let c = &self.workers[w].0;
+        c.steals.fetch_add(k, Ordering::Relaxed);
+        c.batch_steals.fetch_add(1, Ordering::Relaxed);
+        c.jobs_stolen.fetch_add(k, Ordering::Relaxed);
     }
 
     /// Record a job executed by worker `w`.
@@ -83,6 +103,17 @@ impl PoolStats {
         self.workers.iter().map(|c| c.0.steal_retries.load(Ordering::Relaxed)).sum()
     }
 
+    /// Total successful steal *operations* (victim visits — a batch counts once).
+    pub fn total_batch_steals(&self) -> u64 {
+        self.workers.iter().map(|c| c.0.batch_steals.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total jobs moved by steal operations (batch sizes summed);
+    /// `total_jobs_stolen() / total_batch_steals()` is the average batch size.
+    pub fn total_jobs_stolen(&self) -> u64 {
+        self.workers.iter().map(|c| c.0.jobs_stolen.load(Ordering::Relaxed)).sum()
+    }
+
     /// Total times any worker parked.
     pub fn total_parks(&self) -> u64 {
         self.workers.iter().map(|c| c.0.parks.load(Ordering::Relaxed)).sum()
@@ -121,12 +152,24 @@ mod tests {
         s.record_park(0);
         assert_eq!(s.total_steals(), 3);
         assert_eq!(s.steals_of(1), 2);
+        assert_eq!(s.total_batch_steals(), 3, "each single steal is a batch of one");
+        assert_eq!(s.total_jobs_stolen(), 3);
         assert_eq!(s.total_jobs(), 1);
         assert_eq!(s.jobs_of(0), 1);
         assert_eq!(s.total_retries(), 1);
         assert_eq!(s.total_failed_steals(), 3, "empty probes plus CAS losses");
         assert_eq!(s.total_parks(), 1);
         assert_eq!(s.workers(), 2);
+    }
+
+    #[test]
+    fn batches_count_k_steal_events_but_one_operation() {
+        let s = PoolStats::new(1);
+        s.record_steal_batch(0, 5);
+        s.record_steal_batch(0, 1);
+        assert_eq!(s.total_steals(), 6, "paper view: one event per migrated task");
+        assert_eq!(s.total_batch_steals(), 2, "CAS-traffic view: one per victim visit");
+        assert_eq!(s.total_jobs_stolen(), 6);
     }
 
     #[test]

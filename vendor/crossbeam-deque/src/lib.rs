@@ -1,6 +1,7 @@
 //! Offline stand-in for `crossbeam-deque`, covering the surface this workspace uses:
-//! [`Worker`] (`new_lifo`, `new_fifo`, `push`, `pop`, `stealer`), [`Stealer`] (`steal`),
-//! [`Injector`] (`new`, `push`, `steal`) and the [`Steal`] result enum.
+//! [`Worker`] (`new_lifo`, `new_fifo`, `push`, `pop`, `stealer`), [`Stealer`] (`steal`,
+//! `steal_batch`, `steal_batch_and_pop`), [`Injector`] (`new`, `push`, `steal`) and the
+//! [`Steal`] result enum.
 //!
 //! [`Worker`]/[`Stealer`] are a real lock-free **Chase–Lev deque** (Chase & Lev, SPAA'05,
 //! with the C11 memory orderings of Lê et al., PPoPP'13): the owner pushes and pops at the
@@ -71,6 +72,14 @@ struct Padded<T>(T);
 
 const MIN_CAP: usize = 64;
 
+/// Upper bound on how many tasks a single [`Stealer::steal_batch`] /
+/// [`Stealer::steal_batch_and_pop`] moves ("steal half, but not more than this"). Bounding
+/// the batch keeps a thief from draining a huge victim queue in one visit — past a few tens
+/// of tasks the amortization has already flattened, while an unbounded grab would serialize
+/// the pool behind one thief (and, for the FIFO flavor's stack staging below, would need
+/// unbounded stack space).
+pub const MAX_BATCH: usize = 32;
+
 /// A fixed-capacity ring of `MaybeUninit<T>` slots, indexed by the unbounded monotone
 /// `top`/`bottom` counters modulo the (power-of-two) capacity. Slots live in `UnsafeCell`s:
 /// the owner mutates them while stealers hold shared references to the same buffer, which
@@ -122,6 +131,19 @@ impl<T> Buffer<T> {
     }
 }
 
+/// Pop discipline of the owner end. Lives in [`Inner`] (not [`Worker`]) because batch
+/// steals must know the *victim's* flavor: a LIFO owner pops the bottom CAS-free, so a
+/// thief claiming several indices with one `top` CAS could race such a pop and duplicate a
+/// task — the LIFO batch protocol claims per item. A FIFO owner contends through the same
+/// `top` CAS as every thief, so there a single multi-index CAS is sound.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// Owner pops the most recently pushed task (depth-first execution).
+    Lifo,
+    /// Owner pops the oldest task (same end thieves take from).
+    Fifo,
+}
+
 struct Inner<T> {
     /// Thieves' end: next index to steal. Monotonically increasing.
     top: Padded<AtomicIsize>,
@@ -131,18 +153,21 @@ struct Inner<T> {
     buffer: AtomicPtr<Buffer<T>>,
     /// Buffers retired by growth, kept alive until drop so stale stealer reads stay valid.
     retired: Mutex<Vec<*mut Buffer<T>>>,
+    /// The owner's pop discipline (see [`Flavor`] on why the stealer side needs it).
+    flavor: Flavor,
 }
 
 unsafe impl<T: Send> Send for Inner<T> {}
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Inner<T> {
-    fn new() -> Self {
+    fn new(flavor: Flavor) -> Self {
         Inner {
             top: Padded(AtomicIsize::new(0)),
             bottom: Padded(AtomicIsize::new(0)),
             buffer: AtomicPtr::new(Box::into_raw(Buffer::alloc(MIN_CAP))),
             retired: Mutex::new(Vec::new()),
+            flavor,
         }
     }
 
@@ -172,22 +197,12 @@ impl<T> Drop for Inner<T> {
     }
 }
 
-/// Pop discipline of the owner end.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Flavor {
-    /// Owner pops the most recently pushed task (depth-first execution).
-    Lifo,
-    /// Owner pops the oldest task (same end thieves take from).
-    Fifo,
-}
-
 /// The owner end of a lock-free Chase–Lev work-stealing deque.
 ///
 /// `Worker` is `Send` but deliberately not `Sync`: all owner-end operations must come from
 /// one thread at a time (the worker thread that owns the deque).
 pub struct Worker<T> {
     inner: Arc<Inner<T>>,
-    flavor: Flavor,
     /// Owner-side operations are single-threaded; `!Sync` is enforced via this marker.
     _not_sync: PhantomData<Cell<()>>,
 }
@@ -203,12 +218,12 @@ impl<T> fmt::Debug for Worker<T> {
 impl<T> Worker<T> {
     /// A deque whose owner pops the most recently pushed task (depth-first execution).
     pub fn new_lifo() -> Self {
-        Worker { inner: Arc::new(Inner::new()), flavor: Flavor::Lifo, _not_sync: PhantomData }
+        Worker { inner: Arc::new(Inner::new(Flavor::Lifo)), _not_sync: PhantomData }
     }
 
     /// A deque whose owner pops the oldest task.
     pub fn new_fifo() -> Self {
-        Worker { inner: Arc::new(Inner::new()), flavor: Flavor::Fifo, _not_sync: PhantomData }
+        Worker { inner: Arc::new(Inner::new(Flavor::Fifo)), _not_sync: PhantomData }
     }
 
     /// Push a task onto the owner end. Never blocks; grows the buffer when full.
@@ -229,7 +244,7 @@ impl<T> Worker<T> {
 
     /// Pop a task from the owner end. Lock-free; at most one CAS (for the last element).
     pub fn pop(&self) -> Option<T> {
-        match self.flavor {
+        match self.inner.flavor {
             Flavor::Lifo => self.pop_lifo(),
             Flavor::Fifo => self.pop_fifo(),
         }
@@ -338,6 +353,12 @@ impl<T> fmt::Debug for Stealer<T> {
     }
 }
 
+/// How many tasks a batch may take when `available` are queued: half, rounded up, capped
+/// at [`MAX_BATCH`] — "steal half" leaves the victim the other half to keep working on.
+fn batch_limit(available: isize) -> usize {
+    (available as usize).div_ceil(2).min(MAX_BATCH)
+}
+
 fn steal_from<T>(inner: &Inner<T>) -> Steal<T> {
     let t = inner.top.0.load(Ordering::Acquire);
     // Order the `top` load before the `bottom` load against the owner's pop-side fence.
@@ -368,6 +389,172 @@ impl<T> Stealer<T> {
     /// thief; the caller decides whether to retry immediately or move to another victim.
     pub fn steal(&self) -> Steal<T> {
         steal_from(&self.inner)
+    }
+
+    /// Steal up to half the victim's tasks (never more than [`MAX_BATCH`]) and push them
+    /// all onto `dest`, preserving their oldest-first order. Returns [`Steal::Retry`] only
+    /// when the *first* claim lost a race; a batch cut short after at least one task is a
+    /// success.
+    pub fn steal_batch(&self, dest: &Worker<T>) -> Steal<()> {
+        match self.steal_batch_counted(dest, false) {
+            Steal::Success((first, _)) => {
+                debug_assert!(first.is_none());
+                Steal::Success(())
+            }
+            Steal::Empty => Steal::Empty,
+            Steal::Retry => Steal::Retry,
+        }
+    }
+
+    /// Like [`steal_batch`](Stealer::steal_batch), but return the first (oldest — in
+    /// recursive computations the largest) stolen task to the caller instead of queueing
+    /// it; the rest land in `dest`.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        match self.steal_batch_and_pop_counted(dest) {
+            Steal::Success((task, _)) => Steal::Success(task),
+            Steal::Empty => Steal::Empty,
+            Steal::Retry => Steal::Retry,
+        }
+    }
+
+    /// [`steal_batch_and_pop`](Stealer::steal_batch_and_pop) that also reports how many
+    /// tasks moved in total, the returned one included — the hook `rws-runtime` uses to
+    /// attribute a batch of `k` as `k` steal events in its paper-facing counters while
+    /// counting the batch once in the CAS-traffic view. (The real `crossbeam-deque` has no
+    /// counted variant; this is the one deliberate surface extension.)
+    pub fn steal_batch_and_pop_counted(&self, dest: &Worker<T>) -> Steal<(T, usize)> {
+        match self.steal_batch_counted(dest, true) {
+            Steal::Success((Some(task), taken)) => Steal::Success((task, taken)),
+            Steal::Success((None, _)) => unreachable!("a successful batch claims >= 1 task"),
+            Steal::Empty => Steal::Empty,
+            Steal::Retry => Steal::Retry,
+        }
+    }
+
+    /// Batch-steal core: claim up to `batch_limit` tasks, route the first to the caller
+    /// (`keep_first`) or to `dest` like the rest. The claim protocol depends on the
+    /// *victim's* flavor — see [`Flavor`] for why LIFO claims per item while FIFO may take
+    /// the whole range with one CAS.
+    fn steal_batch_counted(&self, dest: &Worker<T>, keep_first: bool) -> Steal<(Option<T>, usize)> {
+        debug_assert!(
+            !Arc::ptr_eq(&self.inner, &dest.inner),
+            "a deque cannot batch-steal into itself"
+        );
+        match self.inner.flavor {
+            Flavor::Lifo => self.batch_lifo(dest, keep_first),
+            Flavor::Fifo => self.batch_fifo(dest, keep_first),
+        }
+    }
+
+    /// LIFO-victim batch: one read-then-CAS claim per task, exactly the single-steal
+    /// protocol in a loop. A multi-index CAS would be unsound here: the owner pops the
+    /// bottom CAS-free (only the *last* element contends through `top`), so it could take
+    /// an element inside a thief's claimed range before the thief's CAS lands, and the two
+    /// would both run it. Per-item claims keep every task arbitrated; the batch still
+    /// amortizes victim selection, both SeqCst fences' cache misses on `bottom`, and the
+    /// caller's bookkeeping over up to [`MAX_BATCH`] tasks.
+    fn batch_lifo(&self, dest: &Worker<T>, keep_first: bool) -> Steal<(Option<T>, usize)> {
+        let inner = &*self.inner;
+        let mut t = inner.top.0.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.0.load(Ordering::Acquire);
+        let available = b - t;
+        if available <= 0 {
+            return Steal::Empty;
+        }
+        let limit = batch_limit(available);
+        let mut first: Option<T> = None;
+        let mut taken = 0usize;
+        while taken < limit {
+            if taken > 0 {
+                // Re-validate the owner's end before every further claim: a LIFO owner
+                // shrinks the window from the bottom without touching `top`.
+                fence(Ordering::SeqCst);
+                let b = inner.bottom.0.load(Ordering::Acquire);
+                if t >= b {
+                    break;
+                }
+            }
+            unsafe {
+                // Read-then-confirm, as in `steal_from`. The buffer pointer is reloaded
+                // after the `bottom` load each round: tasks pushed after a growth exist
+                // only in the new buffer, and loading `bottom` first (Acquire, against the
+                // push's Release store) guarantees the buffer we then load covers index
+                // `t` — in a retired buffer the bits for a still-claimable index are the
+                // ones the growth copied, and a stale-index read is discarded by the
+                // failing CAS without ever being materialized.
+                let buf = inner.buffer.load(Ordering::Acquire);
+                let value = (*buf).read(t);
+                if inner
+                    .top
+                    .0
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    break;
+                }
+                let value = value.assume_init();
+                if keep_first && first.is_none() {
+                    first = Some(value);
+                } else {
+                    dest.push(value);
+                }
+            }
+            t += 1;
+            taken += 1;
+        }
+        if taken == 0 {
+            // `available > 0`, so the only way to come up empty-handed is losing the first
+            // CAS race.
+            return Steal::Retry;
+        }
+        Steal::Success((first, taken))
+    }
+
+    /// FIFO-victim batch: stage up to `batch_limit` reads, then claim the whole range with
+    /// **one** `top` CAS. Sound for this flavor only, because the FIFO owner's `pop` goes
+    /// through the same `top` CAS as every thief — all consumers arbitrate on `top`, so a
+    /// successful `t -> t + n` advance proves nobody else consumed any index in
+    /// `[t, t + n)` and every staged read is of a fully published, still-live task.
+    fn batch_fifo(&self, dest: &Worker<T>, keep_first: bool) -> Steal<(Option<T>, usize)> {
+        let inner = &*self.inner;
+        let t = inner.top.0.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.0.load(Ordering::Acquire);
+        let available = b - t;
+        if available <= 0 {
+            return Steal::Empty;
+        }
+        let n = batch_limit(available);
+        let mut staged: [MaybeUninit<T>; MAX_BATCH] = [const { MaybeUninit::uninit() }; MAX_BATCH];
+        unsafe {
+            // One buffer load covers all n reads: the indices [t, t + n) were live when
+            // `bottom` was read, a concurrent growth preserves their bits in the retired
+            // buffer, and any consumption by others fails our CAS below.
+            let buf = inner.buffer.load(Ordering::Acquire);
+            for (i, slot) in staged.iter_mut().take(n).enumerate() {
+                *slot = (*buf).read(t + i as isize);
+            }
+            if inner
+                .top
+                .0
+                .compare_exchange(t, t + n as isize, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            // Claim confirmed for the whole range: materialize in oldest-first order.
+            let mut first: Option<T> = None;
+            for slot in staged.iter().take(n) {
+                let value = slot.assume_init_read();
+                if keep_first && first.is_none() {
+                    first = Some(value);
+                } else {
+                    dest.push(value);
+                }
+            }
+            Steal::Success((first, n))
+        }
     }
 
     /// Whether the deque is currently empty (racy estimate).
@@ -415,7 +602,12 @@ impl<T> Injector<T> {
 
     /// Steal the oldest task from the queue.
     pub fn steal(&self) -> Steal<T> {
-        if self.len.load(Ordering::Acquire) == 0 {
+        // A `Relaxed` probe suffices: task contents are published by the mutex on the path
+        // that actually pops, and a stale `0` (missing a racing push) is indistinguishable
+        // from probing a moment earlier — the pool's sleep protocol already tolerates that
+        // race via its park backstop. Acquire here bought nothing but a fence on every
+        // idle-worker scan.
+        if self.len.load(Ordering::Relaxed) == 0 {
             return Steal::Empty;
         }
         let mut q = lock(&self.queue);
@@ -427,9 +619,10 @@ impl<T> Injector<T> {
         }
     }
 
-    /// Whether the queue is currently empty.
+    /// Whether the queue is currently empty (a racy estimate; see [`Injector::steal`] on
+    /// why the probe is `Relaxed`).
     pub fn is_empty(&self) -> bool {
-        self.len.load(Ordering::Acquire) == 0
+        self.len.load(Ordering::Relaxed) == 0
     }
 }
 
@@ -506,6 +699,92 @@ mod tests {
         assert_eq!(inj.steal().success(), Some('a'));
         assert_eq!(inj.steal().success(), Some('b'));
         assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn steal_batch_takes_half_oldest_first() {
+        let victim = Worker::new_lifo();
+        let thief = Worker::new_lifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        // 8 queued -> a batch takes ceil(8/2) = 4, the oldest ones, preserving order.
+        assert_eq!(victim.stealer().steal_batch(&thief), Steal::Success(()));
+        assert_eq!(victim.len(), 4);
+        assert_eq!(thief.len(), 4);
+        // The thief's deque received 0,1,2,3 in push order: FIFO from its stealer side.
+        let ts = thief.stealer();
+        for expect in 0..4 {
+            assert_eq!(ts.steal().success(), Some(expect));
+        }
+        // The victim keeps the newest half.
+        assert_eq!(victim.pop(), Some(7));
+    }
+
+    #[test]
+    fn steal_batch_and_pop_returns_the_oldest() {
+        for victim in [Worker::new_lifo(), Worker::new_fifo()] {
+            let thief = Worker::new_lifo();
+            for i in 0..10 {
+                victim.push(i);
+            }
+            let s = victim.stealer();
+            match s.steal_batch_and_pop_counted(&thief) {
+                Steal::Success((first, taken)) => {
+                    assert_eq!(first, 0, "the popped task is the oldest");
+                    assert_eq!(taken, 5, "half of 10");
+                    assert_eq!(thief.len(), 4, "the rest landed in dest");
+                }
+                other => panic!("expected success, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn steal_batch_respects_max_batch() {
+        let victim = Worker::new_fifo();
+        let thief = Worker::new_lifo();
+        for i in 0..(4 * MAX_BATCH) {
+            victim.push(i);
+        }
+        assert_eq!(victim.stealer().steal_batch(&thief), Steal::Success(()));
+        assert_eq!(thief.len(), MAX_BATCH, "half of 4*MAX_BATCH is capped at MAX_BATCH");
+        assert_eq!(victim.len(), 3 * MAX_BATCH);
+    }
+
+    #[test]
+    fn steal_batch_on_empty_and_single() {
+        let victim: Worker<u32> = Worker::new_lifo();
+        let thief = Worker::new_lifo();
+        assert!(victim.stealer().steal_batch(&thief).is_empty());
+        victim.push(9);
+        // One queued task: the batch is that task, and `and_pop` hands it straight over.
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Success(9));
+        assert_eq!(thief.len(), 0);
+        assert!(victim.is_empty());
+    }
+
+    #[test]
+    fn batch_stolen_values_drop_exactly_once() {
+        let live = Arc::new(AtomicUsize::new(0));
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        for mk in [Worker::<Tracked>::new_lifo, Worker::<Tracked>::new_fifo] {
+            let victim = mk();
+            let thief = Worker::new_lifo();
+            for _ in 0..20 {
+                live.fetch_add(1, Ordering::Relaxed);
+                victim.push(Tracked(Arc::clone(&live)));
+            }
+            drop(victim.stealer().steal_batch_and_pop(&thief)); // drops the popped one
+            drop(victim);
+            drop(thief);
+            assert_eq!(live.load(Ordering::Relaxed), 0, "every value dropped exactly once");
+        }
     }
 
     #[test]

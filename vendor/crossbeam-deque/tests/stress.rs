@@ -2,7 +2,7 @@
 //! stealers, buffer growth under contention, LIFO/FIFO order against a model, and the
 //! no-lost-no-duplicated-items invariant that the pool's exactly-once `join` relies on.
 
-use crossbeam_deque::{Steal, Worker};
+use crossbeam_deque::{Steal, Worker, MAX_BATCH};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::thread;
 
@@ -177,6 +177,121 @@ fn fifo_owner_matches_a_queue_model() {
         } else {
             assert_eq!(w.pop(), model.pop_front(), "fifo owner pop must take the oldest");
         }
+    }
+}
+
+/// Batch steals under a racing owner, for both victim flavors: owner pushes and pops at
+/// random while thieves `steal_batch_and_pop` into their own deques and drain them; every
+/// item must be consumed exactly once — nothing lost, nothing duplicated — for several
+/// seeds. This is the invariant the pool's exactly-once `join` rides on, exercised on the
+/// per-item-CAS (LIFO victim) and single-CAS (FIFO victim) batch protocols alike.
+#[test]
+fn randomized_batch_steals_lose_and_duplicate_nothing() {
+    const ITEMS: usize = 20_000;
+    const STEALERS: usize = 4;
+    for lifo_victim in [true, false] {
+        for seed in [3u64, 99, 0xBEEF] {
+            let w: Worker<usize> =
+                if lifo_victim { Worker::new_lifo() } else { Worker::new_fifo() };
+            let seen: Vec<AtomicU8> = (0..ITEMS).map(|_| AtomicU8::new(0)).collect();
+            let done = AtomicBool::new(false);
+            let consume = |i: usize, seen: &[AtomicU8]| {
+                let prev = seen[i].fetch_add(1, Ordering::Relaxed);
+                assert_eq!(prev, 0, "item {i} consumed twice (seed {seed}, lifo {lifo_victim})");
+            };
+            thread::scope(|scope| {
+                for t in 0..STEALERS {
+                    let s = w.stealer();
+                    let seen = &seen;
+                    let done = &done;
+                    let consume = &consume;
+                    let mut rng = XorShift::new(seed ^ (t as u64 + 1) << 24);
+                    scope.spawn(move || {
+                        let local: Worker<usize> = Worker::new_lifo();
+                        loop {
+                            match s.steal_batch_and_pop(&local) {
+                                Steal::Success(i) => {
+                                    consume(i, seen);
+                                    // Drain what the batch parked in our own deque.
+                                    while let Some(j) = local.pop() {
+                                        consume(j, seen);
+                                    }
+                                }
+                                Steal::Retry => std::hint::spin_loop(),
+                                Steal::Empty => {
+                                    if done.load(Ordering::Acquire) && s.is_empty() {
+                                        break;
+                                    }
+                                    if rng.below(4) == 0 {
+                                        thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                        assert!(local.pop().is_none(), "thief deque drained");
+                    });
+                }
+                // The owner interleaves pushes and pops following the seed.
+                let mut rng = XorShift::new(seed);
+                let mut next = 0usize;
+                while next < ITEMS {
+                    let burst = 1 + rng.below(16) as usize;
+                    for _ in 0..burst.min(ITEMS - next) {
+                        w.push(next);
+                        next += 1;
+                    }
+                    let pops = rng.below(8) as usize;
+                    for _ in 0..pops {
+                        if let Some(i) = w.pop() {
+                            consume(i, &seen);
+                        }
+                    }
+                }
+                while let Some(i) = w.pop() {
+                    consume(i, &seen);
+                }
+                done.store(true, Ordering::Release);
+            });
+            for (i, s) in seen.iter().enumerate() {
+                assert_eq!(
+                    s.load(Ordering::Relaxed),
+                    1,
+                    "item {i} lost (seed {seed}, lifo {lifo_victim})"
+                );
+            }
+        }
+    }
+}
+
+/// A batch preserves the FIFO prefix: with no concurrent owner, each `steal_batch` into an
+/// inspectable deque yields a contiguous run of the oldest remaining indices, in order —
+/// interleaving batches from two thieves partitions the sequence into ordered runs.
+#[test]
+fn steal_batch_preserves_fifo_prefix_order() {
+    for lifo_victim in [true, false] {
+        let w: Worker<u64> = if lifo_victim { Worker::new_lifo() } else { Worker::new_fifo() };
+        let n = 10 * MAX_BATCH as u64;
+        for i in 0..n {
+            w.push(i);
+        }
+        let s = w.stealer();
+        let mut expect = 0u64;
+        while expect < n {
+            let local: Worker<u64> = Worker::new_lifo();
+            match s.steal_batch(&local) {
+                Steal::Success(()) => {
+                    // Drain the batch oldest-first through the local deque's stealer side
+                    // and check it is exactly the next run of indices.
+                    let ls = local.stealer();
+                    while let Steal::Success(v) = ls.steal() {
+                        assert_eq!(v, expect, "batch must carry a contiguous oldest prefix");
+                        expect += 1;
+                    }
+                }
+                other => panic!("unexpected {other:?} at index {expect}"),
+            }
+        }
+        assert!(s.steal().is_empty());
     }
 }
 
