@@ -1,6 +1,7 @@
 //! Emit `BENCH_native.json`: the native hot-path benchmark comparing the lock-free
 //! Chase–Lev deque backend against the mutex-protected `SimpleDeque` across workloads and
-//! thread counts.
+//! thread counts, plus the service-mode rows (job-server throughput, shed rate, and p99
+//! queue latency — see `run_service_suite`).
 //!
 //! ```text
 //! native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N]
@@ -31,8 +32,8 @@
 //! creating the file on first use.
 
 use rws_bench::native_bench::{
-    append_trajectory, check_against, gate_against, run_suite, to_json, trajectory_row,
-    validate_json, BenchConfig, GateConfig, SizeClass,
+    append_trajectory, check_against, gate_against, run_service_suite, run_suite, to_json,
+    trajectory_row, validate_json, BenchConfig, GateConfig, SizeClass,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -207,7 +208,22 @@ fn main() -> ExitCode {
                 r.allocs_per_fork
             );
         }
-        let doc = to_json(&cfg, &records);
+        let service = run_service_suite(&cfg);
+        for r in &service {
+            eprintln!(
+                "  {:>16} {:>6} t={}  median {:>12} ns  {:>9.0} jobs/s  shed {:>4} \
+                 (rate {:.3})  p99 queue {:>9} ns",
+                r.scenario,
+                r.admission,
+                r.threads,
+                r.wall_ns_median,
+                r.jobs_per_sec,
+                r.shed,
+                r.shed_rate,
+                r.p99_queue_ns
+            );
+        }
+        let doc = to_json(&cfg, &records, &service);
         if let Err(e) = std::fs::write(&out, &doc) {
             eprintln!("native_bench: failed to write {out}: {e}");
             return ExitCode::FAILURE;

@@ -8,6 +8,12 @@
 //! allocation-counter hook, as the binary's counting global allocator does)
 //! allocations-per-fork. The output is the JSON perf trajectory future PRs must beat.
 //!
+//! Alongside the fork-join rows, [`run_service_suite`] measures the persistent job-server
+//! mode ([`rws_runtime::service`]): jobs/sec through the streamed submission pipeline
+//! under `Block` admission, and the shed rate plus p99 queue latency under a 4x-capacity
+//! `Shed` burst. These land in the document's `service` array and are gated too (exact
+//! `submitted` and outcome partition, t=1 walls, bounded shed rate).
+//!
 //! The JSON renders through the workspace's one writer, [`rws_lab::json`] (the vendored
 //! `serde` is a no-op marker, so emission is hand-rolled — but hand-rolled once, there);
 //! the structural [`validate_json`] check runs after every write so a malformed emission
@@ -25,9 +31,13 @@ use rws_algos::prefix::prefix_sums_native;
 use rws_algos::sort::merge_sort_native;
 use rws_algos::transpose::{bi_to_rm_native, rm_to_bi_native, transpose_native_bi};
 use rws_lab::json::{self, obj, Json};
-use rws_runtime::{join, DequeBackend, ThreadPool, ThreadPoolBuilder};
+use rws_runtime::{
+    join, AdmissionPolicy, DequeBackend, JobServer, ServiceConfig, ServiceSnapshot, ThreadPool,
+    ThreadPoolBuilder,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How big the suite's inputs are.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -369,6 +379,178 @@ pub fn run_suite(cfg: &BenchConfig, alloc_count: impl Fn() -> u64) -> Vec<BenchR
     records
 }
 
+// ------------------------------------------------------------------------------------------
+// Service-mode throughput rows
+// ------------------------------------------------------------------------------------------
+
+/// One service-mode measurement: streamed root jobs through a supervised [`JobServer`]
+/// instead of one `install`ed fork-join tree. These rows track the per-job pipeline cost
+/// (submission → MPMC injector → worker → settle) and the admission layer's behaviour
+/// under overload — the numbers the job-server subsystem exists to keep honest.
+#[derive(Clone, Debug)]
+pub struct ServiceBenchRecord {
+    /// Scenario name (`service-steady` or `service-overload`).
+    pub scenario: String,
+    /// Admission policy name (`block`, `shed`, `shed-oldest`).
+    pub admission: String,
+    /// Worker threads in the server's pool.
+    pub threads: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Submissions per run — fixed by the scenario, so gated exactly.
+    pub submitted: u64,
+    /// Jobs that ran to completion (median run).
+    pub completed: u64,
+    /// Submissions refused by admission (median run).
+    pub shed: u64,
+    /// Median wall time from first submission to last settle, nanoseconds.
+    pub wall_ns_median: u64,
+    /// Fastest repeat, nanoseconds.
+    pub wall_ns_min: u64,
+    /// Completed jobs per second on the median run (derived from the gated wall).
+    pub jobs_per_sec: f64,
+    /// `shed / submitted` on the median run.
+    pub shed_rate: f64,
+    /// p99 submission → execution-start latency, nanoseconds (reported, not gated).
+    pub p99_queue_ns: u64,
+    /// p99 execution-start → settle latency, nanoseconds (reported, not gated).
+    pub p99_service_ns: u64,
+}
+
+fn admission_name(p: AdmissionPolicy) -> &'static str {
+    match p {
+        AdmissionPolicy::Block => "block",
+        AdmissionPolicy::Shed => "shed",
+        AdmissionPolicy::ShedOldest => "shed-oldest",
+    }
+}
+
+struct ServiceScenario {
+    name: &'static str,
+    admission: AdmissionPolicy,
+    queue_capacity: usize,
+    jobs: u64,
+    /// Per-job busy-spin. Zero on the steady scenario: with no work in the closure, the
+    /// wall time is purely the per-job pipeline overhead under test.
+    job_spin: Duration,
+}
+
+fn service_scenarios(size: SizeClass) -> Vec<ServiceScenario> {
+    let (steady_jobs, burst_capacity) = match size {
+        SizeClass::Smoke => (1_500u64, 64usize),
+        SizeClass::Full => (30_000u64, 256usize),
+    };
+    vec![
+        // Throughput of the bare pipeline: Block admission means every submission is
+        // eventually admitted and runs, so submitted/completed/shed are all deterministic.
+        ServiceScenario {
+            name: "service-steady",
+            admission: AdmissionPolicy::Block,
+            queue_capacity: 256,
+            jobs: steady_jobs,
+            job_spin: Duration::ZERO,
+        },
+        // Admission under a 4x-capacity back-to-back burst of real (spinning) jobs: the
+        // queue fills almost immediately and Shed refuses most of the tail. The shed count
+        // depends on producer/consumer interleaving, so the gate bounds the shed *rate*
+        // instead of demanding exactness.
+        ServiceScenario {
+            name: "service-overload",
+            admission: AdmissionPolicy::Shed,
+            queue_capacity: burst_capacity,
+            jobs: (burst_capacity * 4) as u64,
+            job_spin: Duration::from_micros(20),
+        },
+    ]
+}
+
+/// One timed run: a fresh server, `jobs` submissions, every handle awaited. Returns the
+/// wall time (first submission → last settle) and the drained server's final snapshot.
+fn service_one_run(sc: &ServiceScenario, threads: usize) -> (u64, ServiceSnapshot) {
+    let server = JobServer::new(ServiceConfig {
+        threads,
+        queue_capacity: sc.queue_capacity,
+        admission: sc.admission,
+        ..ServiceConfig::default()
+    });
+    let ran = Arc::new(AtomicU64::new(0));
+    let spin = sc.job_spin;
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(sc.jobs as usize);
+    for _ in 0..sc.jobs {
+        let ran = Arc::clone(&ran);
+        handles.push(server.submit(move || {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if !spin.is_zero() {
+                let end = Instant::now() + spin;
+                while Instant::now() < end {
+                    std::hint::spin_loop();
+                }
+            }
+        }));
+    }
+    for h in &handles {
+        h.wait();
+    }
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let snap = server.shutdown();
+    // Free invariant checks on every bench run: no faults are injected here, so the
+    // outcome partition is exactly {completed, shed}, and the counted executions (the
+    // closure increments `ran`) must equal the completed count — a shed closure never ran.
+    assert_eq!(
+        snap.completed + snap.shed,
+        snap.submitted,
+        "{}: outcomes must partition submissions",
+        sc.name
+    );
+    assert_eq!(
+        ran.load(Ordering::Relaxed),
+        snap.completed,
+        "{}: counted executions must equal completions",
+        sc.name
+    );
+    (wall_ns, snap)
+}
+
+/// Run the service-mode scenarios across the configured thread sweep. Each repetition uses
+/// a fresh server (counters are per-server lifetime, so a fresh one gives clean per-run
+/// numbers); the reported record is the median repetition by wall time.
+pub fn run_service_suite(cfg: &BenchConfig) -> Vec<ServiceBenchRecord> {
+    let mut records = Vec::new();
+    for sc in service_scenarios(cfg.size) {
+        for &threads in &cfg.threads {
+            for _ in 0..cfg.warmup.max(1) {
+                service_one_run(&sc, threads);
+            }
+            let mut runs: Vec<(u64, ServiceSnapshot)> =
+                (0..cfg.repeats.max(1)).map(|_| service_one_run(&sc, threads)).collect();
+            runs.sort_by_key(|r| r.0);
+            let wall_min = runs[0].0;
+            let (wall_med, snap) = runs[runs.len() / 2];
+            let shed_rate =
+                if snap.submitted == 0 { 0.0 } else { snap.shed as f64 / snap.submitted as f64 };
+            let jobs_per_sec =
+                if wall_med == 0 { 0.0 } else { snap.completed as f64 * 1e9 / wall_med as f64 };
+            records.push(ServiceBenchRecord {
+                scenario: sc.name.to_string(),
+                admission: admission_name(sc.admission).to_string(),
+                threads,
+                queue_capacity: sc.queue_capacity,
+                submitted: snap.submitted,
+                completed: snap.completed,
+                shed: snap.shed,
+                wall_ns_median: wall_med,
+                wall_ns_min: wall_min,
+                jobs_per_sec,
+                shed_rate,
+                p99_queue_ns: snap.queue.p99_ns,
+                p99_service_ns: snap.service.p99_ns,
+            });
+        }
+    }
+    records
+}
+
 /// Head-to-head comparison derived from the records: for each (workload, threads), the
 /// chaselev-vs-simple speedup on median wall time.
 pub fn comparisons(records: &[BenchRecord]) -> Vec<(String, usize, u64, u64, f64)> {
@@ -391,7 +573,11 @@ pub fn comparisons(records: &[BenchRecord]) -> Vec<(String, usize, u64, u64, f64
 
 /// Serialize the suite results as the `BENCH_native.json` document (rendered through the
 /// shared [`rws_lab::json`] writer — one escaping and number-formatting path workspace-wide).
-pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
+pub fn to_json(
+    cfg: &BenchConfig,
+    records: &[BenchRecord],
+    service: &[ServiceBenchRecord],
+) -> String {
     let recs: Vec<Json> = records
         .iter()
         .map(|r| {
@@ -408,6 +594,26 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
                 ("parks", r.parks.into()),
                 ("allocs", r.allocs.into()),
                 ("allocs_per_fork", r.allocs_per_fork.into()),
+            ])
+        })
+        .collect();
+    let svc: Vec<Json> = service
+        .iter()
+        .map(|r| {
+            obj([
+                ("scenario", r.scenario.as_str().into()),
+                ("admission", r.admission.as_str().into()),
+                ("threads", r.threads.into()),
+                ("queue_capacity", r.queue_capacity.into()),
+                ("submitted", r.submitted.into()),
+                ("completed", r.completed.into()),
+                ("shed", r.shed.into()),
+                ("wall_ns_median", r.wall_ns_median.into()),
+                ("wall_ns_min", r.wall_ns_min.into()),
+                ("jobs_per_sec", r.jobs_per_sec.into()),
+                ("shed_rate", r.shed_rate.into()),
+                ("p99_queue_ns", r.p99_queue_ns.into()),
+                ("p99_service_ns", r.p99_service_ns.into()),
             ])
         })
         .collect();
@@ -434,13 +640,16 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
         "thread counts above host_parallelism measure oversubscription"
     };
     obj([
-        ("schema", "rws-bench-native/v1".into()),
+        // v2: the `service` array (job-server throughput/shedding rows) joined the
+        // document; consumers diffing against a v1 baseline must regenerate it.
+        ("schema", "rws-bench-native/v2".into()),
         ("size", cfg.size.name().into()),
         ("repeats", cfg.repeats.into()),
         ("warmup", cfg.warmup.into()),
         ("host_parallelism", host.into()),
         ("caveat", caveat.into()),
         ("records", recs.into()),
+        ("service", svc.into()),
         ("chaselev_vs_simple", cmps.into()),
     ])
     .render()
@@ -452,7 +661,7 @@ pub fn to_json(cfg: &BenchConfig, records: &[BenchRecord]) -> String {
 pub fn validate_json(doc: &str) -> Result<(), String> {
     json::validate_with_keys(
         doc,
-        &["schema", "records", "chaselev_vs_simple", "wall_ns_median", "caveat"],
+        &["schema", "records", "service", "chaselev_vs_simple", "wall_ns_median", "caveat"],
     )
 }
 
@@ -548,6 +757,44 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
             ));
         }
     }
+
+    // The service rows get the same structural treatment: every row carries the baseline's
+    // field set, and every baseline scenario appears in the run (the run may sweep fewer
+    // thread counts, so only scenario presence — not row counts — is required).
+    let service = |doc: &Json, which: &str| -> Result<Vec<Json>, String> {
+        doc.get("service")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .ok_or(format!("{which} document has no `service` array"))
+    };
+    let run_service = service(&run, "run")?;
+    let base_service = service(&base, "baseline")?;
+    if let Some(reference) = base_service.first() {
+        let fields = reference.keys();
+        for (which, recs) in [("run", &run_service), ("baseline", &base_service)] {
+            for (i, rec) in recs.iter().enumerate() {
+                if rec.keys() != fields {
+                    return Err(format!(
+                        "{which} service record {i} field set {:?} differs from the \
+                         baseline schema {fields:?}",
+                        rec.keys()
+                    ));
+                }
+            }
+        }
+        for rec in &base_service {
+            let name = rec
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or("baseline service record lacks a string `scenario`")?;
+            if !run_service.iter().any(|r| r.get("scenario") == rec.get("scenario")) {
+                return Err(format!(
+                    "service scenario {name:?} present in the baseline is missing from \
+                     the run — a row was silently dropped"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -571,6 +818,12 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
 /// * **`threads > 1` `steal_retries`** get a loose upper bound (`base · retry_factor +
 ///   retry_slack`): scheduling-dependent, but an explosion in lost CAS races is precisely
 ///   the kind of regression batching exists to prevent.
+/// * **Service rows** (matched by `(scenario, threads)`): `submitted` and the
+///   `completed + shed == submitted` partition are exact; `threads = 1` wall medians use
+///   `wall_rel_tol`; the shed rate is bounded above by `baseline + shed_slack` (shedding
+///   *less* is the good direction, so no lower bound). `jobs_per_sec` is derived from the
+///   gated wall and the p99 latencies are scheduling-noise-bound, so neither is gated
+///   directly.
 #[derive(Clone, Copy, Debug)]
 pub struct GateConfig {
     /// Relative tolerance on `threads = 1` median wall times (0.35 = +35%).
@@ -579,11 +832,13 @@ pub struct GateConfig {
     pub retry_factor: u64,
     /// Absolute slack added to the `threads > 1` retry bound (covers near-zero baselines).
     pub retry_slack: u64,
+    /// Absolute slack on service-row shed rates above the baseline (0.20 = +20 points).
+    pub shed_slack: f64,
 }
 
 impl Default for GateConfig {
     fn default() -> Self {
-        GateConfig { wall_rel_tol: 0.35, retry_factor: 16, retry_slack: 256 }
+        GateConfig { wall_rel_tol: 0.35, retry_factor: 16, retry_slack: 256, shed_slack: 0.20 }
     }
 }
 
@@ -713,6 +968,92 @@ pub fn gate_against(
         rows.push(Json::Obj(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()));
     }
 
+    // Service rows, matched by (scenario, threads). Same counterpart rule as the compute
+    // rows: every run row needs a baseline twin, baseline-only rows are ignored (CI gates
+    // a t=1 subset sweep).
+    let service_of = |doc: &Json| -> Vec<Json> {
+        doc.get("service").and_then(Json::as_array).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let run_service = service_of(&run);
+    let base_service = service_of(&base);
+    let fnum = |rec: &Json, k: &str| -> Result<f64, String> {
+        rec.get(k).and_then(Json::as_f64).ok_or(format!(
+            "service record lacks a numeric `{k}` — regenerate BENCH_native.json with \
+             this binary"
+        ))
+    };
+    let mut service_rows: Vec<Json> = Vec::new();
+    for rec in &run_service {
+        let scenario = text(rec, "scenario")?;
+        let t = num(rec, "threads")?;
+        let id = format!("{scenario} t={t}");
+        let Some(base_rec) = base_service.iter().find(|r| {
+            r.get("scenario") == rec.get("scenario") && r.get("threads") == rec.get("threads")
+        }) else {
+            return Err(format!(
+                "service row {id} has no baseline counterpart — the suite changed; \
+                 regenerate BENCH_native.json"
+            ));
+        };
+
+        let mut ok = true;
+        let (sub_run, sub_base) = (num(rec, "submitted")?, num(base_rec, "submitted")?);
+        if sub_run != sub_base {
+            ok = false;
+            regressions
+                .push(format!("{id}: submitted {sub_run} vs baseline {sub_base} (gated exact)"));
+        }
+        let (completed, shed) = (num(rec, "completed")?, num(rec, "shed")?);
+        if completed + shed != sub_run {
+            ok = false;
+            regressions.push(format!(
+                "{id}: completed {completed} + shed {shed} != submitted {sub_run} \
+                 (outcome partition broken)"
+            ));
+        }
+        let wall_run = num(rec, "wall_ns_median")?;
+        let wall_base = num(base_rec, "wall_ns_median")?;
+        let wall_rel = if wall_base == 0 {
+            0.0
+        } else {
+            (wall_run as f64 - wall_base as f64) / wall_base as f64
+        };
+        if t == 1 && wall_rel > gate.wall_rel_tol {
+            ok = false;
+            regressions.push(format!(
+                "{id}: wall_ns_median {wall_run} vs baseline {wall_base} ({:+.1}% > +{:.0}%)",
+                100.0 * wall_rel,
+                100.0 * gate.wall_rel_tol
+            ));
+        }
+        let shed_run = fnum(rec, "shed_rate")?;
+        let shed_base = fnum(base_rec, "shed_rate")?;
+        let bound = shed_base + gate.shed_slack;
+        if shed_run > bound {
+            ok = false;
+            regressions.push(format!(
+                "{id}: shed_rate {shed_run:.3} vs baseline {shed_base:.3} \
+                 (bound {bound:.3} = base + {:.2})",
+                gate.shed_slack
+            ));
+        }
+
+        service_rows.push(obj([
+            ("scenario", scenario.as_str().into()),
+            ("threads", Json::U64(t)),
+            ("wall_ns_median_run", wall_run.into()),
+            ("wall_ns_median_base", wall_base.into()),
+            ("wall_rel_delta", wall_rel.into()),
+            ("wall_gated", (t == 1).into()),
+            ("submitted_run", sub_run.into()),
+            ("submitted_base", sub_base.into()),
+            ("shed_rate_run", shed_run.into()),
+            ("shed_rate_base", shed_base.into()),
+            ("shed_rate_bound", bound.into()),
+            ("ok", ok.into()),
+        ]));
+    }
+
     let pass = regressions.is_empty();
     let delta = obj([
         ("schema", "rws-bench-delta/v1".into()),
@@ -720,12 +1061,14 @@ pub fn gate_against(
         ("wall_rel_tol", gate.wall_rel_tol.into()),
         ("retry_factor", gate.retry_factor.into()),
         ("retry_slack", gate.retry_slack.into()),
+        ("shed_slack", gate.shed_slack.into()),
         ("pass", pass.into()),
         (
             "regressions",
             Json::Arr(regressions.iter().map(|r| r.as_str().into()).collect::<Vec<_>>()),
         ),
         ("rows", rows.into()),
+        ("service_rows", service_rows.into()),
     ])
     .render();
     Ok((delta, pass))
@@ -733,12 +1076,15 @@ pub fn gate_against(
 
 /// Structural validation of a delta document emitted by [`gate_against`].
 pub fn validate_delta(doc: &str) -> Result<(), String> {
-    json::validate_with_keys(doc, &["schema", "pass", "regressions", "rows", "wall_rel_tol"])
+    json::validate_with_keys(
+        doc,
+        &["schema", "pass", "regressions", "rows", "service_rows", "wall_rel_tol"],
+    )
 }
 
 /// Summarize a run document as one trajectory row: the `threads = 1` `chaselev` median
-/// wall per workload (the numbers the gate actually protects), stamped with `date` and a
-/// free-form `note`.
+/// wall per workload plus the `threads = 1` service throughputs (the numbers the gate
+/// actually protects), stamped with `date` and a free-form `note`.
 pub fn trajectory_row(run_doc: &str, date: &str, note: &str) -> Result<Json, String> {
     let run = json::parse(run_doc).map_err(|e| format!("run document: {e}"))?;
     let records =
@@ -756,12 +1102,28 @@ pub fn trajectory_row(run_doc: &str, date: &str, note: &str) -> Result<Json, Str
     if walls.is_empty() {
         return Err("run document has no threads=1 chaselev rows to summarize".into());
     }
-    Ok(obj([
-        ("date", date.into()),
-        ("note", note.into()),
-        ("size", run.get("size").cloned().unwrap_or(Json::Null)),
-        ("t1_chaselev_wall_ns", Json::Obj(walls)),
-    ]))
+    let mut svc: Vec<(String, Json)> = Vec::new();
+    for rec in run.get("service").and_then(Json::as_array).unwrap_or(&[]) {
+        if rec.get("threads").and_then(Json::as_u64) == Some(1) {
+            if let (Some(name), Some(jps)) = (
+                rec.get("scenario").and_then(Json::as_str),
+                rec.get("jobs_per_sec").and_then(Json::as_f64),
+            ) {
+                svc.push((name.to_string(), jps.into()));
+            }
+        }
+    }
+    let mut fields: Vec<(String, Json)> = vec![
+        ("date".into(), date.into()),
+        ("note".into(), note.into()),
+        ("size".into(), run.get("size").cloned().unwrap_or(Json::Null)),
+        ("t1_chaselev_wall_ns".into(), Json::Obj(walls)),
+    ];
+    // Rows predating the service suite simply lack this key; the history stays appendable.
+    if !svc.is_empty() {
+        fields.push(("t1_service_jobs_per_sec".into(), Json::Obj(svc)));
+    }
+    Ok(Json::Obj(fields))
 }
 
 /// Append `row` to a trajectory document (schema `rws-bench-trajectory/v1`), creating the
@@ -809,6 +1171,25 @@ mod tests {
         }
     }
 
+    fn service_record(scenario: &str, threads: usize, wall: u64, shed: u64) -> ServiceBenchRecord {
+        let submitted = 1000;
+        ServiceBenchRecord {
+            scenario: scenario.into(),
+            admission: if shed == 0 { "block" } else { "shed" }.into(),
+            threads,
+            queue_capacity: 64,
+            submitted,
+            completed: submitted - shed,
+            shed,
+            wall_ns_median: wall,
+            wall_ns_min: wall - 5,
+            jobs_per_sec: (submitted - shed) as f64 * 1e9 / wall as f64,
+            shed_rate: shed as f64 / submitted as f64,
+            p99_queue_ns: 500,
+            p99_service_ns: 700,
+        }
+    }
+
     fn tiny_records() -> Vec<BenchRecord> {
         vec![record("chaselev", 4, 100), record("simple", 4, 150)]
     }
@@ -820,7 +1201,7 @@ mod tests {
     #[test]
     fn json_emission_is_structurally_valid() {
         let cfg = BenchConfig::for_size(SizeClass::Smoke);
-        let doc = to_json(&cfg, &tiny_records());
+        let doc = to_json(&cfg, &tiny_records(), &[]);
         validate_json(&doc).expect("emitted JSON must validate");
         assert!(doc.contains("\"speedup\": 1.500000"));
     }
@@ -831,7 +1212,7 @@ mod tests {
         assert!(validate_json("{}").is_err(), "required keys missing");
         assert!(validate_json("{\"schema\": \"x\", \"records\": [}]").is_err());
         let cfg = BenchConfig::for_size(SizeClass::Smoke);
-        let good = to_json(&cfg, &tiny_records());
+        let good = to_json(&cfg, &tiny_records(), &[]);
         let truncated = &good[..good.len() - 4];
         assert!(validate_json(truncated).is_err());
     }
@@ -850,38 +1231,68 @@ mod tests {
         let cfg = BenchConfig::for_size(SizeClass::Smoke);
         let full_cfg = BenchConfig::for_size(SizeClass::Full);
         let records = tiny_records();
-        let baseline = to_json(&full_cfg, &records);
+        let baseline = to_json(&full_cfg, &records, &[]);
 
         // A structurally identical run (different values are fine) passes.
         let mut faster = records.clone();
         for r in &mut faster {
             r.wall_ns_median /= 2;
         }
-        check_against(&to_json(&cfg, &faster), &baseline).expect("matching structure");
+        check_against(&to_json(&cfg, &faster, &[]), &baseline).expect("matching structure");
 
         // Dropping a whole (workload, backend) combination fails.
         let dropped: Vec<BenchRecord> =
             records.iter().filter(|r| r.backend != "simple").cloned().collect();
-        let err = check_against(&to_json(&cfg, &dropped), &baseline).unwrap_err();
+        let err = check_against(&to_json(&cfg, &dropped, &[]), &baseline).unwrap_err();
         assert!(err.contains("silently dropped"), "{err}");
 
         // Dropping one thread-count row of one combination breaks count uniformity.
         let mut uneven = records.clone();
         uneven.extend(records.iter().map(|r| BenchRecord { threads: 8, ..r.clone() }));
         uneven.remove(1); // "simple" now has 1 row where "chaselev" has 2
-        let err = check_against(&to_json(&cfg, &uneven), &baseline).unwrap_err();
+        let err = check_against(&to_json(&cfg, &uneven, &[]), &baseline).unwrap_err();
         assert!(err.contains("thread-count row"), "{err}");
 
         // A drifted record schema (missing field) fails even though the JSON validates.
-        let mut missing_field = to_json(&cfg, &records);
+        let mut missing_field = to_json(&cfg, &records, &[]);
         missing_field = missing_field.replacen("      \"parks\": 2,\n", "", 1);
         rws_lab::json::validate(&missing_field).expect("still well-formed JSON");
         let err = check_against(&missing_field, &baseline).unwrap_err();
         assert!(err.contains("field set"), "{err}");
 
         // A different schema tag fails.
-        let other_tag = baseline.replacen("rws-bench-native/v1", "rws-bench-native/v2", 1);
+        let other_tag = baseline.replacen("rws-bench-native/v2", "rws-bench-native/v3", 1);
         assert!(check_against(&other_tag, &baseline).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn check_against_covers_the_service_rows() {
+        let cfg = BenchConfig::for_size(SizeClass::Smoke);
+        let full_cfg = BenchConfig::for_size(SizeClass::Full);
+        let records = tiny_records();
+        let service = vec![
+            service_record("service-steady", 1, 10_000, 0),
+            service_record("service-overload", 1, 20_000, 500),
+        ];
+        let baseline = to_json(&full_cfg, &records, &service);
+
+        // Same structure, different values: passes. A run sweeping fewer thread counts
+        // also passes — only scenario presence is required.
+        check_against(&to_json(&cfg, &records, &service), &baseline).expect("matching");
+        let subset = vec![service[0].clone(), service[1].clone()];
+        check_against(&to_json(&cfg, &records, &subset), &baseline).expect("subset sweep");
+
+        // Dropping a scenario fails.
+        let dropped = vec![service[0].clone()];
+        let err = check_against(&to_json(&cfg, &records, &dropped), &baseline).unwrap_err();
+        assert!(err.contains("service-overload") && err.contains("silently dropped"), "{err}");
+
+        // A drifted service-record field set fails.
+        let mut missing = to_json(&cfg, &records, &service);
+        missing = missing.replacen("      \"p99_queue_ns\": 500,\n", "", 1);
+        rws_lab::json::validate(&missing).expect("still well-formed JSON");
+        let err = check_against(&missing, &baseline).unwrap_err();
+        assert!(err.contains("service record") && err.contains("field set"), "{err}");
     }
 
     #[test]
@@ -891,14 +1302,14 @@ mod tests {
         let records = run_suite(&cfg, || 0);
         assert_eq!(records.len(), 7 * 2, "7 workloads x 2 backends");
         assert!(records.iter().all(|r| r.jobs > 0), "every run must execute forks");
-        let doc = to_json(&cfg, &records);
+        let doc = to_json(&cfg, &records, &[]);
         validate_json(&doc).expect("smoke suite JSON must validate");
     }
 
     #[test]
     fn gate_passes_on_an_identical_run() {
         let cfg = BenchConfig::for_size(SizeClass::Full);
-        let doc = to_json(&cfg, &gate_records());
+        let doc = to_json(&cfg, &gate_records(), &[]);
         let (delta, pass) = gate_against(&doc, &doc, &GateConfig::default()).expect("comparable");
         assert!(pass, "identical documents must pass:\n{delta}");
         validate_delta(&delta).expect("delta document must validate");
@@ -908,13 +1319,13 @@ mod tests {
     #[test]
     fn gate_trips_on_a_single_thread_slowdown_but_ignores_multithread_walls() {
         let cfg = BenchConfig::for_size(SizeClass::Full);
-        let baseline = to_json(&cfg, &gate_records());
+        let baseline = to_json(&cfg, &gate_records(), &[]);
 
         // +50% on the t=1 chaselev wall: over the 35% tolerance, must fail.
         let mut slow = gate_records();
         slow[0].wall_ns_median = 1500;
         let (delta, pass) =
-            gate_against(&to_json(&cfg, &slow), &baseline, &GateConfig::default()).unwrap();
+            gate_against(&to_json(&cfg, &slow, &[]), &baseline, &GateConfig::default()).unwrap();
         assert!(!pass, "an injected t=1 slowdown must trip the gate");
         assert!(delta.contains("wall_ns_median 1500"), "{delta}");
 
@@ -922,25 +1333,26 @@ mod tests {
         let mut slow_mt = gate_records();
         slow_mt[1].wall_ns_median = 80_000;
         let (_, pass) =
-            gate_against(&to_json(&cfg, &slow_mt), &baseline, &GateConfig::default()).unwrap();
+            gate_against(&to_json(&cfg, &slow_mt, &[]), &baseline, &GateConfig::default()).unwrap();
         assert!(pass, "threads > 1 walls are not gated (1-CPU-host caveat)");
 
         // The tolerance is configurable: +50% passes a 60% gate.
         let loose = GateConfig { wall_rel_tol: 0.6, ..GateConfig::default() };
-        let (_, pass) = gate_against(&to_json(&cfg, &slow), &baseline, &loose).unwrap();
+        let (_, pass) = gate_against(&to_json(&cfg, &slow, &[]), &baseline, &loose).unwrap();
         assert!(pass);
     }
 
     #[test]
     fn gate_trips_on_deterministic_counter_drift() {
         let cfg = BenchConfig::for_size(SizeClass::Full);
-        let baseline = to_json(&cfg, &gate_records());
+        let baseline = to_json(&cfg, &gate_records(), &[]);
 
         // jobs is deterministic at every thread count.
         let mut more_jobs = gate_records();
         more_jobs[1].jobs += 1;
         let (delta, pass) =
-            gate_against(&to_json(&cfg, &more_jobs), &baseline, &GateConfig::default()).unwrap();
+            gate_against(&to_json(&cfg, &more_jobs, &[]), &baseline, &GateConfig::default())
+                .unwrap();
         assert!(!pass, "a jobs drift must trip the gate even at threads > 1");
         assert!(delta.contains("jobs 51"), "{delta}");
 
@@ -948,26 +1360,117 @@ mod tests {
         let mut more_allocs = gate_records();
         more_allocs[0].allocs += 2;
         let (_, pass) =
-            gate_against(&to_json(&cfg, &more_allocs), &baseline, &GateConfig::default()).unwrap();
+            gate_against(&to_json(&cfg, &more_allocs, &[]), &baseline, &GateConfig::default())
+                .unwrap();
         assert!(!pass, "a t=1 allocation regression must trip the gate");
     }
 
     #[test]
     fn gate_bounds_multithread_retries_and_tolerates_noise_below_the_bound() {
         let cfg = BenchConfig::for_size(SizeClass::Full);
-        let baseline = to_json(&cfg, &gate_records());
+        let baseline = to_json(&cfg, &gate_records(), &[]);
         // Baseline t=4 retries is 1; bound is 1*16 + 256 = 272.
         let mut noisy = gate_records();
         noisy[1].steal_retries = 200;
         let (_, pass) =
-            gate_against(&to_json(&cfg, &noisy), &baseline, &GateConfig::default()).unwrap();
+            gate_against(&to_json(&cfg, &noisy, &[]), &baseline, &GateConfig::default()).unwrap();
         assert!(pass, "scheduling noise below the bound passes");
         let mut storm = gate_records();
         storm[1].steal_retries = 100_000;
         let (delta, pass) =
-            gate_against(&to_json(&cfg, &storm), &baseline, &GateConfig::default()).unwrap();
+            gate_against(&to_json(&cfg, &storm, &[]), &baseline, &GateConfig::default()).unwrap();
         assert!(!pass, "a retry explosion must trip the gate");
         assert!(delta.contains("steal_retries 100000"), "{delta}");
+    }
+
+    #[test]
+    fn gate_covers_service_rows() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let service = vec![
+            service_record("service-steady", 1, 10_000, 0),
+            service_record("service-overload", 1, 20_000, 500),
+        ];
+        let baseline = to_json(&cfg, &gate_records(), &service);
+
+        // Identical documents pass, and the delta carries the service rows.
+        let (delta, pass) = gate_against(&baseline, &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "identical service rows must pass:\n{delta}");
+        assert!(delta.contains("service_rows") && delta.contains("service-overload"), "{delta}");
+
+        // A t=1 service wall slowdown past the tolerance trips the gate.
+        let mut slow = service.clone();
+        slow[0].wall_ns_median = 15_000;
+        let (delta, pass) =
+            gate_against(&to_json(&cfg, &gate_records(), &slow), &baseline, &GateConfig::default())
+                .unwrap();
+        assert!(!pass, "a service t=1 slowdown must trip the gate");
+        assert!(delta.contains("service-steady t=1: wall_ns_median 15000"), "{delta}");
+
+        // `submitted` is exact: the scenario fixes it, so any drift is a harness bug.
+        let mut drift = service.clone();
+        drift[0].submitted += 1;
+        let (delta, pass) = gate_against(
+            &to_json(&cfg, &gate_records(), &drift),
+            &baseline,
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert!(!pass, "a submitted drift must trip the gate");
+        assert!(delta.contains("submitted 1001"), "{delta}");
+
+        // A broken outcome partition (completed + shed != submitted) trips the gate.
+        let mut torn = service.clone();
+        torn[1].completed -= 1;
+        let (delta, pass) =
+            gate_against(&to_json(&cfg, &gate_records(), &torn), &baseline, &GateConfig::default())
+                .unwrap();
+        assert!(!pass, "a torn outcome partition must trip the gate");
+        assert!(delta.contains("outcome partition broken"), "{delta}");
+
+        // Shed-rate noise inside the slack passes; an explosion past it fails.
+        let shed_variant = |shed: u64| {
+            let mut v = service.clone();
+            v[1].shed = shed;
+            v[1].completed = v[1].submitted - shed;
+            v[1].shed_rate = shed as f64 / v[1].submitted as f64;
+            to_json(&cfg, &gate_records(), &v)
+        };
+        let (_, pass) =
+            gate_against(&shed_variant(650), &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "shed rate 0.65 is inside base 0.50 + slack 0.20");
+        let (delta, pass) =
+            gate_against(&shed_variant(900), &baseline, &GateConfig::default()).unwrap();
+        assert!(!pass, "shed rate 0.90 must trip the bound");
+        assert!(delta.contains("shed_rate 0.900"), "{delta}");
+        // Shedding *less* than the baseline is never a regression.
+        let (_, pass) = gate_against(&shed_variant(0), &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "a lower shed rate passes");
+
+        // A run service row with no baseline counterpart means the suite changed.
+        let grown = vec![service[0].clone(), service_record("service-new", 1, 5_000, 0)];
+        let err = gate_against(
+            &to_json(&cfg, &gate_records(), &grown),
+            &baseline,
+            &GateConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("service-new") && err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn service_suite_runs_end_to_end() {
+        let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![1], repeats: 1, warmup: 1 };
+        let service = run_service_suite(&cfg);
+        assert_eq!(service.len(), 2, "2 scenarios x 1 thread count");
+        let steady = service.iter().find(|r| r.scenario == "service-steady").unwrap();
+        assert_eq!(steady.shed, 0, "Block admission never sheds");
+        assert_eq!(steady.completed, steady.submitted);
+        assert!(steady.jobs_per_sec > 0.0);
+        let overload = service.iter().find(|r| r.scenario == "service-overload").unwrap();
+        assert_eq!(overload.submitted, 4 * overload.queue_capacity as u64);
+        assert_eq!(overload.completed + overload.shed, overload.submitted);
+        let doc = to_json(&cfg, &[], &service);
+        validate_json(&doc).expect("service suite JSON must validate");
     }
 
     #[test]
@@ -975,32 +1478,37 @@ mod tests {
         let full = BenchConfig::for_size(SizeClass::Full);
         let smoke = BenchConfig::for_size(SizeClass::Smoke);
         let records = gate_records();
-        let baseline = to_json(&full, &records);
+        let baseline = to_json(&full, &records, &[]);
 
         // Size classes must match.
-        let err = gate_against(&to_json(&smoke, &records), &baseline, &GateConfig::default())
+        let err = gate_against(&to_json(&smoke, &records, &[]), &baseline, &GateConfig::default())
             .unwrap_err();
         assert!(err.contains("size classes differ"), "{err}");
 
         // A run row with no baseline counterpart means the suite grew.
         let mut extra = records.clone();
         extra.push(BenchRecord { workload: "new-workload".into(), ..records[0].clone() });
-        let err =
-            gate_against(&to_json(&full, &extra), &baseline, &GateConfig::default()).unwrap_err();
+        let err = gate_against(&to_json(&full, &extra, &[]), &baseline, &GateConfig::default())
+            .unwrap_err();
         assert!(err.contains("regenerate"), "{err}");
 
         // The reverse — gating a subset sweep against the full baseline — is fine.
         let subset = vec![records[0].clone()];
         let (_, pass) =
-            gate_against(&to_json(&full, &subset), &baseline, &GateConfig::default()).unwrap();
+            gate_against(&to_json(&full, &subset, &[]), &baseline, &GateConfig::default()).unwrap();
         assert!(pass);
     }
 
     #[test]
     fn trajectory_rows_accumulate() {
         let cfg = BenchConfig::for_size(SizeClass::Full);
-        let doc = to_json(&cfg, &gate_records());
+        let service = vec![service_record("service-steady", 1, 10_000, 0)];
+        let doc = to_json(&cfg, &gate_records(), &service);
         let row = trajectory_row(&doc, "2026-08-08", "first entry").expect("summarizable");
+        assert!(
+            row.render().contains("t1_service_jobs_per_sec"),
+            "t=1 service throughput joins the trajectory row"
+        );
         let t1 = append_trajectory(None, row.clone()).expect("fresh document");
         json::validate(&t1).expect("well-formed");
         assert!(t1.contains("rws-bench-trajectory/v1") && t1.contains("first entry"));

@@ -4,7 +4,15 @@
 //!
 //! ```text
 //! lab <scenario file> [--out PATH] [--jobs N] [--timing]
+//! lab <chaos scenario> [--out PATH] [--sabotage]
 //! ```
+//!
+//! A scenario declaring `mode = chaos` runs the fault-injection harness instead of the
+//! sweep engine: streamed traffic against a supervised `JobServer` under the scenario's
+//! fault plan, exiting nonzero if any recovery invariant fails. `--sabotage` doctors the
+//! collected evidence before the verdicts are evaluated — the run MUST then fail, which
+//! is the CI self-test proving the harness actually trips (`--jobs`/`--timing` do not
+//! apply to chaos runs and are rejected).
 //!
 //! `--jobs N` fans independent **simulated** runs out across an `N`-worker driver pool
 //! (native runs stay serialized so their pool-counter deltas attribute correctly); the
@@ -21,11 +29,14 @@
 //! Exit codes: `0` all checks passed, `1` a check failed or the report was invalid,
 //! `2` usage or scenario-parse error.
 
-use rws_lab::{report, Scenario};
+use rws_lab::{chaos, report, Scenario};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: lab <scenario file> [--out PATH] [--jobs N] [--timing]");
+    eprintln!(
+        "usage: lab <scenario file> [--out PATH] [--jobs N] [--timing]\n\
+                lab <chaos scenario> [--out PATH] [--sabotage]"
+    );
     std::process::exit(2);
 }
 
@@ -33,7 +44,9 @@ fn main() -> ExitCode {
     let mut scenario_path: Option<String> = None;
     let mut out: Option<String> = None;
     let mut jobs: usize = 1;
+    let mut jobs_given = false;
     let mut timing = false;
+    let mut sabotage = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -45,9 +58,11 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|j| j.parse().ok())
                     .filter(|&j| j > 0)
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
+                jobs_given = true;
             }
             "--timing" => timing = true,
+            "--sabotage" => sabotage = true,
             "--help" | "-h" => usage(),
             other if scenario_path.is_none() && !other.starts_with('-') => {
                 scenario_path = Some(other.to_string())
@@ -64,6 +79,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if chaos::is_chaos_scenario(&text) {
+        if jobs_given || timing {
+            eprintln!("lab: --jobs/--timing do not apply to chaos scenarios");
+            return ExitCode::from(2);
+        }
+        return run_chaos(&scenario_path, &text, out.as_deref(), sabotage);
+    }
+    if sabotage {
+        eprintln!("lab: --sabotage only applies to chaos scenarios (mode = chaos)");
+        return ExitCode::from(2);
+    }
+
     let scenario = match Scenario::parse(&text) {
         Ok(sc) => sc,
         Err(e) => {
@@ -118,6 +146,70 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("lab: {} bound check(s) FAILED", result.failed_checks());
+        ExitCode::FAILURE
+    }
+}
+
+/// The chaos path: run the fault-injection harness, emit `rws-chaos-report/v1`, exit
+/// nonzero on any failed recovery invariant (or malformed emission).
+fn run_chaos(path: &str, text: &str, out: Option<&str>, sabotage: bool) -> ExitCode {
+    let scenario = match chaos::ChaosScenario::parse(text) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("lab: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "lab: running chaos scenario `{}` ({} jobs on {} threads, capacity {}, {} planned \
+         death(s), panic_every = {}{})",
+        scenario.name,
+        scenario.total_jobs(),
+        scenario.threads,
+        scenario.queue_capacity,
+        scenario.death_sweeps.len(),
+        scenario.panic_every,
+        if sabotage { ", SABOTAGE self-test" } else { "" }
+    );
+    let result = chaos::run(&scenario, sabotage);
+    for line in result.summary_lines() {
+        eprintln!("{line}");
+    }
+
+    let doc = result.to_json();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("lab: failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            // Validate what actually landed on disk, not the in-memory string.
+            let written = match std::fs::read_to_string(path) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("lab: failed to re-read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = chaos::validate_chaos_report(&written) {
+                eprintln!("lab: {path} is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("lab: wrote {path}");
+        }
+        None => {
+            if let Err(e) = chaos::validate_chaos_report(&doc) {
+                eprintln!("lab: emitted chaos report is malformed: {e}");
+                return ExitCode::FAILURE;
+            }
+            print!("{doc}");
+        }
+    }
+
+    if result.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lab: {} recovery invariant(s) FAILED", result.failed_verdicts());
         ExitCode::FAILURE
     }
 }

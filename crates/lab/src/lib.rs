@@ -20,6 +20,12 @@
 //! cargo run --release -p rws-lab --bin lab -- scenarios/quick.scn --out LAB_quick.json
 //! ```
 //!
+//! A scenario whose first meaningful key is `mode = chaos` dispatches to the [`chaos`]
+//! harness instead: streamed fault-injected traffic against the supervised
+//! `rws_runtime::JobServer`, with recovery-invariant verdicts emitted as a
+//! `rws-chaos-report/v1` document (the CI `chaos-smoke` job gates on its exit code, and
+//! `--sabotage` is the self-test proving the harness trips on doctored evidence).
+//!
 //! `--jobs N` fans independent simulated runs out across an `N`-worker `rws-runtime` pool
 //! (native runs stay serialized so their steal-counter deltas attribute correctly); the
 //! emitted document is byte-identical whatever `N` is, because the volatile measurements
@@ -41,12 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod checks;
 pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 
+pub use chaos::{ChaosReport, ChaosScenario};
 pub use checks::CheckRecord;
 pub use report::{LabReport, SCHEMA};
 pub use scenario::{BackendChoice, CheckKind, Scenario, ScenarioError, SweepAxis, WorkloadKind};

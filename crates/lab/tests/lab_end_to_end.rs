@@ -18,17 +18,27 @@ fn load(name: &str) -> Scenario {
 
 #[test]
 fn committed_scenarios_all_parse() {
+    // Same dispatch as the `lab` binary: `mode = chaos` files parse with the chaos
+    // dialect, everything else with the classic sweep parser.
     let dir = scenarios_dir();
     let mut count = 0;
+    let mut chaos_count = 0;
     for entry in std::fs::read_dir(&dir).expect("scenarios/ must exist") {
         let path = entry.unwrap().path();
         if path.extension().is_some_and(|e| e == "scn") {
             let text = std::fs::read_to_string(&path).unwrap();
-            Scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            if rws_lab::chaos::is_chaos_scenario(&text) {
+                rws_lab::ChaosScenario::parse(&text)
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                chaos_count += 1;
+            } else {
+                Scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            }
             count += 1;
         }
     }
     assert!(count >= 4, "expected the committed scenario set, found {count}");
+    assert!(chaos_count >= 2, "expected the committed chaos scenarios, found {chaos_count}");
 }
 
 #[test]

@@ -1,0 +1,207 @@
+//! Cooperative cancellation for service-mode jobs.
+//!
+//! A [`CancelToken`] is a shared flag a supervisor (or any holder) can flip; the running
+//! job observes it at **fork points** — `join` entry, `Scope::spawn`, and therefore every
+//! `par_iter` grain boundary, since the parallel iterators split through `join`. The
+//! observation unwinds the job with a private [`CancelPayload`] that rides the existing
+//! panic plumbing (stack-job capture, scope aggregation, first-payload-wins) up to the
+//! job-server's root wrapper, which maps it to a terminal [`JobOutcome`] instead of a
+//! worker-visible panic. Code outside service mode never pays more than a thread-local
+//! read per fork: with no token installed the check is a TLS load and a `None` test, and
+//! installing a token is free of allocation (an `Arc` clone into a TLS slot).
+//!
+//! Cancellation is **cooperative**: a job that never forks after the flag flips runs to
+//! completion, and whichever terminal event lands first — the job's own return, a real
+//! panic, or the cancellation unwind — wins the outcome exactly once (the server arbitrates
+//! with a single compare-and-swap). That is the semantics the chaos harness pins down with
+//! its panic-vs-deadline race tests.
+//!
+//! [`JobOutcome`]: crate::service::JobOutcome
+
+use std::cell::RefCell;
+use std::panic;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a job was asked to stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The job's deadline budget expired.
+    Deadline,
+    /// The holder cancelled explicitly (e.g. an admission eviction or a caller's abort).
+    Explicit,
+}
+
+const LIVE: u8 = 0;
+const BY_DEADLINE: u8 = 1;
+const BY_EXPLICIT: u8 = 2;
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    state: AtomicU8,
+}
+
+/// A shared, cloneable cancellation flag. Cloning shares the flag (it does not fork it).
+///
+/// The first [`cancel`](CancelToken::cancel) wins: a token cancelled for a deadline and
+/// then explicitly (or vice versa) keeps the first reason, so the job's terminal outcome
+/// is unambiguous.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Flip the flag. Idempotent; the first reason wins.
+    pub fn cancel(&self, reason: CancelReason) {
+        let v = match reason {
+            CancelReason::Deadline => BY_DEADLINE,
+            CancelReason::Explicit => BY_EXPLICIT,
+        };
+        let _ = self.inner.state.compare_exchange(LIVE, v, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled (relaxed — the cancellation points re-check).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != LIVE
+    }
+
+    /// The winning cancellation reason, if any.
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.inner.state.load(Ordering::Relaxed) {
+            LIVE => None,
+            BY_DEADLINE => Some(CancelReason::Deadline),
+            _ => Some(CancelReason::Explicit),
+        }
+    }
+}
+
+/// The unwind payload a cancellation point throws. Private to the crate: the service's
+/// root-job wrapper downcasts it back out of the panic plumbing; anything else that
+/// catches it (a user's `catch_unwind`) simply swallows the cancellation, which is the
+/// documented cooperative contract.
+pub(crate) struct CancelPayload(pub(crate) CancelReason);
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// The token installed on the calling thread, if any (i.e. the calling code is running
+/// under a service-mode job that can be cancelled).
+pub fn current_token() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// RAII guard restoring the previously installed token. Restoration runs during unwinds
+/// too, so a cancellation unwind leaves the executing worker's TLS clean.
+pub(crate) struct TokenGuard {
+    prev: Option<CancelToken>,
+    installed: bool,
+}
+
+/// Install `token` (if any) as the calling thread's current token for the guard's
+/// lifetime. `None` is a no-op guard — the non-service hot path constructs and drops it
+/// without touching TLS.
+pub(crate) fn enter(token: Option<CancelToken>) -> TokenGuard {
+    match token {
+        None => TokenGuard { prev: None, installed: false },
+        Some(t) => {
+            let prev = CURRENT.with(|c| c.borrow_mut().replace(t));
+            TokenGuard { prev, installed: true }
+        }
+    }
+}
+
+impl Drop for TokenGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            let prev = self.prev.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Cooperative cancellation point: a no-op unless the calling thread runs under a
+/// cancelled token, in which case it unwinds with the crate's [`CancelPayload`]. Called at
+/// every fork point; safe (and cheap — one TLS read) to call from user code for
+/// finer-grained responsiveness inside long leaf computations.
+#[inline]
+pub fn check_cancel() {
+    let cancelled = CURRENT.with(|c| c.borrow().as_ref().and_then(|t| t.reason()));
+    if let Some(reason) = cancelled {
+        throw_cancel(reason);
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn throw_cancel(reason: CancelReason) -> ! {
+    panic::panic_any(CancelPayload(reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn first_cancel_reason_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        t.cancel(CancelReason::Deadline);
+        t.cancel(CancelReason::Explicit);
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel(CancelReason::Explicit);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn check_cancel_is_inert_without_a_token() {
+        check_cancel(); // no token installed: must not unwind
+    }
+
+    #[test]
+    fn check_cancel_unwinds_under_a_cancelled_token_and_restores_tls() {
+        let t = CancelToken::new();
+        t.cancel(CancelReason::Deadline);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _g = enter(Some(t.clone()));
+            check_cancel();
+        }));
+        let payload = result.expect_err("a cancelled token must unwind the check");
+        let payload = payload.downcast::<CancelPayload>().expect("the crate's own payload");
+        assert_eq!(payload.0, CancelReason::Deadline);
+        assert!(current_token().is_none(), "the guard must restore TLS through the unwind");
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        {
+            let _a = enter(Some(outer.clone()));
+            {
+                let _b = enter(Some(inner.clone()));
+                assert!(!current_token().unwrap().is_cancelled());
+                inner.cancel(CancelReason::Explicit);
+                assert!(current_token().unwrap().is_cancelled());
+            }
+            // Back to the outer token, which is still live.
+            assert!(!current_token().unwrap().is_cancelled());
+        }
+        assert!(current_token().is_none());
+    }
+}

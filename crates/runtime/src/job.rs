@@ -12,6 +12,7 @@
 
 #![allow(unsafe_code)]
 
+use crate::cancel::{self, CancelToken};
 use crate::sleep::Sleep;
 use std::any::Any;
 use std::cell::UnsafeCell;
@@ -36,14 +37,20 @@ impl Job {
     /// panicking fire-and-forget `spawn` closure is dropped with the job, like a detached
     /// thread's. (Stack jobs do their own capturing and re-throw the payload at the
     /// owning `join`.)
-    pub(crate) fn execute(self) {
+    ///
+    /// Returns `true` when a heap job's panic was quarantined here, so the executing
+    /// worker can health-track it (`PoolStats::record_panic_caught`). Stack jobs report
+    /// `false` even when their closure panics: that payload is *delivered* to the owning
+    /// `join`, not swallowed, so it is the submitter's failure, not this worker's.
+    pub(crate) fn execute(self) -> bool {
         match self {
-            Job::Heap(f) => {
-                let _ = panic::catch_unwind(AssertUnwindSafe(f));
-            }
+            Job::Heap(f) => panic::catch_unwind(AssertUnwindSafe(f)).is_err(),
             // Safety: a queued JobRef's StackJob is kept alive by its `join` frame until
             // the latch is set, which only `execute` does (after running the closure).
-            Job::Stack(r) => unsafe { r.execute() },
+            Job::Stack(r) => {
+                unsafe { r.execute() };
+                false
+            }
         }
     }
 
@@ -200,6 +207,11 @@ pub(crate) struct StackJob<F, R> {
     latch: Latch,
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<JoinResult<R>>,
+    /// The submitting thread's cancellation token, captured at fork so a *thief* executing
+    /// this branch observes the same deadline the owner does. `None` outside service mode
+    /// — capturing is one TLS read, carrying it two words, both off the unstolen fast path's
+    /// allocation count.
+    cancel: Option<CancelToken>,
 }
 
 /// Outcome of the stolen branch, written by the executor before the latch is set.
@@ -226,6 +238,7 @@ where
             latch: Latch::new(sleep),
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(JoinResult::Pending),
+            cancel: cancel::current_token(),
         }
     }
 
@@ -246,6 +259,10 @@ where
     unsafe fn execute_from_ref(data: *const ()) {
         let this = &*(data as *const Self);
         let func = (*this.func.get()).take().expect("stack job executed twice");
+        // Install the fork-time token for the branch's run: a thief inherits the owner's
+        // deadline, and a cancellation unwind from inside `func` is captured below like any
+        // panic, travelling to the owning `join` as the branch's outcome.
+        let _token = cancel::enter(this.cancel.clone());
         let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JoinResult::Ok(r),
             Err(payload) => JoinResult::Panic(payload),

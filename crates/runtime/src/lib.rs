@@ -33,6 +33,14 @@
 //! is kept as the contrast backend ([`DequeBackend::Simple`]) that the `BENCH_native.json`
 //! benchmarks compare the lock-free implementation against.
 //!
+//! On top of the pool sits a supervised **persistent job-server mode** ([`service`]): a
+//! long-lived [`JobServer`] accepting streamed root jobs through the lock-free MPMC
+//! injector, with panic quarantine and dead-worker respawn ([`pool`]'s supervision
+//! hooks), per-job deadlines via cooperative [`cancel`] tokens observed at fork points,
+//! bounded-queue admission control with load-shedding, and latency histograms
+//! ([`hist`]). A compiled-in, default-off fault-injection layer ([`faults`]) drives the
+//! chaos harness in `rws-lab` that verifies the recovery invariants.
+//!
 //! The [`padding`] module provides the cache-line padding wrappers used by the false-sharing
 //! experiments (E19): identical workloads run once with per-worker accumulators packed into a
 //! single cache line (false sharing) and once with each accumulator padded to its own line.
@@ -43,19 +51,31 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod deque;
+pub mod faults;
+pub mod hist;
 mod job;
 pub mod padding;
 pub mod par_iter;
 pub mod pool;
 pub mod scope;
+pub mod service;
 mod sleep;
 pub mod stats;
 
+pub use cancel::{check_cancel, CancelReason, CancelToken};
 pub use deque::{DequeBackend, SimpleDeque};
+pub use faults::{FaultPlan, FaultSpec, StormSpec, WorkerFault};
+pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use padding::{CachePadded, PaddedCounters, UnpaddedCounters};
 pub use par_iter::{ParChunks, ParChunksMut, ParIter, ParIterMut, ParSliceExt};
-pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuilder};
+pub use pool::{
+    current_num_threads, join, InstallError, RespawnReport, ThreadPool, ThreadPoolBuilder,
+};
 pub use scope::{scope, Scope};
+pub use service::{
+    AdmissionPolicy, JobHandle, JobOutcome, JobServer, ServiceConfig, ServiceSnapshot,
+};
 pub use sleep::SleepBackoff;
 pub use stats::PoolStats;

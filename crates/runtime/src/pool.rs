@@ -15,17 +15,21 @@
 // everything else in the pool is safe code over the lock-free deques.
 #![allow(unsafe_code)]
 
+use crate::cancel;
 use crate::deque::{DequeBackend, SimpleDeque};
+use crate::faults::{FaultPlan, WorkerFault};
 use crate::job::{Job, JoinResult, Latch, StackJob};
 use crate::sleep::{Sleep, SleepBackoff};
 use crate::stats::PoolStats;
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as CbWorker, MAX_BATCH};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::any::Any;
 use std::cell::RefCell;
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
 
 /// Consecutive `Steal::Retry` results tolerated per victim before trying another.
@@ -33,7 +37,9 @@ const STEAL_RETRIES: u32 = 4;
 
 pub(crate) struct Shared {
     injector: Injector<Job>,
-    cb_stealers: Vec<Stealer<Job>>,
+    /// Behind `RwLock` so the supervisor can swap in a respawned worker's fresh stealer;
+    /// steal-path readers share the lock and only ever contend during a respawn.
+    cb_stealers: Vec<RwLock<Stealer<Job>>>,
     simple_deques: Vec<Arc<SimpleDeque<Job>>>,
     backend: DequeBackend,
     stats: PoolStats,
@@ -41,6 +47,12 @@ pub(crate) struct Shared {
     backoff: SleepBackoff,
     shutdown: AtomicBool,
     workers: usize,
+    /// Liveness flag per worker: lowered by the worker's own [`AliveGuard`] when its
+    /// thread exits for any reason (injected death, panic escaping the loop, shutdown).
+    /// A supervisor distinguishes shutdown from death by checking `shutdown` first.
+    alive: Vec<AtomicBool>,
+    /// Optional compiled-in fault schedule (default off; see [`crate::faults`]).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -59,9 +71,17 @@ impl Shared {
             return true;
         }
         match self.backend {
-            DequeBackend::Crossbeam => self.cb_stealers.iter().any(|s| !s.is_empty()),
+            DequeBackend::Crossbeam => self
+                .cb_stealers
+                .iter()
+                .any(|s| !s.read().unwrap_or_else(|e| e.into_inner()).is_empty()),
             DequeBackend::Simple => self.simple_deques.iter().any(|d| !d.is_empty()),
         }
+    }
+
+    /// The pool's statistics (service-layer access path).
+    pub(crate) fn stats(&self) -> &PoolStats {
+        &self.stats
     }
 }
 
@@ -90,6 +110,11 @@ pub fn current_num_threads() -> usize {
 }
 
 impl WorkerHandle {
+    /// This worker's index in the pool (service-layer access path for per-worker stats).
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
     pub(crate) fn push_local(&self, job: Job) {
         match self.shared.backend {
             DequeBackend::Crossbeam => self.cb_local.as_ref().expect("crossbeam worker").push(job),
@@ -118,7 +143,9 @@ impl WorkerHandle {
         match self.shared.backend {
             DequeBackend::Crossbeam => {
                 let local = self.cb_local.as_ref().expect("crossbeam worker");
-                match self.shared.cb_stealers[victim].steal_batch_and_pop_counted(local) {
+                let stealer =
+                    self.shared.cb_stealers[victim].read().unwrap_or_else(|e| e.into_inner());
+                match stealer.steal_batch_and_pop_counted(local) {
                     Steal::Success((job, k)) => Steal::Success((job, k as u64)),
                     Steal::Empty => Steal::Empty,
                     Steal::Retry => Steal::Retry,
@@ -154,8 +181,24 @@ impl WorkerHandle {
         if let Some(job) = self.pop_local() {
             return Some(job);
         }
-        if let Steal::Success(job) = self.shared.injector.steal() {
-            return Some(job);
+        // The MPMC injector can answer `Retry` under consumer contention; give it the same
+        // bounded courtesy the per-victim steal loop gets before moving on to stealing.
+        let mut retries = 0;
+        loop {
+            match self.shared.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => {
+                    if record_failures {
+                        self.shared.stats.record_retry(self.index);
+                    }
+                    retries += 1;
+                    if retries >= STEAL_RETRIES {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
         }
         let workers = self.shared.workers;
         if workers > 1 {
@@ -207,7 +250,11 @@ impl WorkerHandle {
 
     fn run_job(&self, job: Job) {
         self.shared.stats.record_job(self.index);
-        job.execute();
+        if job.execute() {
+            // A heap job's panic was quarantined inside `execute`; health-track it against
+            // this worker so a supervisor can tell a panic-storm from a healthy pool.
+            self.shared.stats.record_panic_caught(self.index);
+        }
     }
 
     /// One step of the spin→yield→park idle protocol (shape set by the pool's
@@ -257,10 +304,41 @@ impl WorkerHandle {
     }
 }
 
+/// Lowers the worker's alive flag and clears its thread-local handle when the worker loop
+/// exits — by `return`, by shutdown `break`, or by an unwind escaping the loop. Running it
+/// on every exit path is what makes the flag a truthful liveness signal for the supervisor.
+struct AliveGuard {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.shared.alive[self.index].store(false, Ordering::Release);
+        CURRENT_WORKER.with(|w| *w.borrow_mut() = None);
+        // A dying worker may strand queued jobs in its deque; make sure somebody is awake
+        // to notice the work (the supervisor's respawn sweep drains the rest).
+        self.shared.sleep.notify();
+    }
+}
+
 fn worker_loop(handle: Rc<WorkerHandle>) {
+    let _alive = AliveGuard { shared: Arc::clone(&handle.shared), index: handle.index };
     CURRENT_WORKER.with(|w| *w.borrow_mut() = Some(Rc::clone(&handle)));
     let mut idle = 0u32;
     loop {
+        // One heartbeat per scheduling sweep: a supervisor that sees the epoch frozen
+        // while `alive` is down knows the thread exited (vs. being busy in one long job).
+        handle.shared.stats.record_heartbeat(handle.index);
+        if let Some(plan) = &handle.shared.faults {
+            match plan.poll_worker_sweep() {
+                WorkerFault::None => {}
+                WorkerFault::Stall(d) => thread::sleep(d),
+                // Injected death: leave exactly like a crashed thread would — no drain, no
+                // goodbye; the AliveGuard lowers the flag and the supervisor cleans up.
+                WorkerFault::Die => return,
+            }
+        }
         if let Some(job) = handle.find_job(idle == 0) {
             idle = 0;
             handle.run_job(job);
@@ -274,7 +352,6 @@ fn worker_loop(handle: Rc<WorkerHandle>) {
             shared.shutdown.load(Ordering::Acquire) || shared.has_visible_work()
         });
     }
-    CURRENT_WORKER.with(|w| *w.borrow_mut() = None);
 }
 
 /// Configuration builder for [`ThreadPool`].
@@ -283,6 +360,7 @@ pub struct ThreadPoolBuilder {
     threads: usize,
     backend: DequeBackend,
     backoff: SleepBackoff,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ThreadPoolBuilder {
@@ -291,6 +369,7 @@ impl Default for ThreadPoolBuilder {
             threads: num_threads_default(),
             backend: DequeBackend::Crossbeam,
             backoff: SleepBackoff::default(),
+            faults: None,
         }
     }
 }
@@ -324,64 +403,180 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Install a fault-injection schedule (chaos testing; see [`crate::faults`]). Workers
+    /// poll the plan once per scheduling sweep; without a plan the poll is a single
+    /// never-taken branch.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Build and start the pool.
     pub fn build(self) -> ThreadPool {
-        ThreadPool::with_config(self.threads, self.backend, self.backoff)
+        ThreadPool::with_config(self.threads, self.backend, self.backoff, self.faults)
     }
 }
 
 /// A randomized work-stealing thread pool.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    handles: Vec<thread::JoinHandle<()>>,
+    /// `Option` so the supervisor can `take()` a dead worker's handle to join it before
+    /// installing a replacement; `Mutex` because respawns and `Drop` both touch the slots.
+    handles: Mutex<Vec<Option<thread::JoinHandle<()>>>>,
+}
+
+/// What a [`ThreadPool::respawn_dead_workers`] sweep did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RespawnReport {
+    /// Dead workers replaced with fresh threads.
+    pub respawned: usize,
+    /// Orphaned jobs drained from dead workers' deques back to the injector.
+    pub drained_jobs: u64,
+}
+
+/// Start one worker thread for slot `index`. `cb_local` is the worker end of the slot's
+/// Chase–Lev deque; its matching stealer must already be published in
+/// `shared.cb_stealers[index]` (the Simple backend shares `simple_deques` instead and
+/// ignores the crossbeam deque).
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    index: usize,
+    cb_local: CbWorker<Job>,
+) -> thread::JoinHandle<()> {
+    let shared_for_worker = Arc::clone(shared);
+    let simple_local = Arc::clone(&shared.simple_deques[index]);
+    thread::Builder::new()
+        .name(format!("rws-worker-{index}"))
+        .spawn(move || {
+            // The worker handle is built on its own thread: the crossbeam worker
+            // end of the deque and the RNG are thread-local by design.
+            let handle = Rc::new(WorkerHandle {
+                index,
+                shared: shared_for_worker,
+                cb_local: Some(cb_local),
+                simple_local: Some(simple_local),
+                rng: RefCell::new(SmallRng::seed_from_u64(0x9E3779B9 + index as u64)),
+            });
+            worker_loop(handle);
+        })
+        .expect("failed to spawn worker thread")
 }
 
 impl ThreadPool {
     /// A pool with `threads` workers and the lock-free Chase–Lev deque backend.
     pub fn new(threads: usize) -> Self {
-        Self::with_config(threads, DequeBackend::Crossbeam, SleepBackoff::default())
+        Self::with_config(threads, DequeBackend::Crossbeam, SleepBackoff::default(), None)
     }
 
-    fn with_config(threads: usize, backend: DequeBackend, backoff: SleepBackoff) -> Self {
+    fn with_config(
+        threads: usize,
+        backend: DequeBackend,
+        backoff: SleepBackoff,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let threads = threads.max(1);
         let cb_workers: Vec<CbWorker<Job>> = (0..threads).map(|_| CbWorker::new_lifo()).collect();
-        let cb_stealers: Vec<Stealer<Job>> = cb_workers.iter().map(|w| w.stealer()).collect();
+        let cb_stealers: Vec<RwLock<Stealer<Job>>> =
+            cb_workers.iter().map(|w| RwLock::new(w.stealer())).collect();
         let simple_deques: Vec<Arc<SimpleDeque<Job>>> =
             (0..threads).map(|_| Arc::new(SimpleDeque::new())).collect();
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             cb_stealers,
-            simple_deques: simple_deques.clone(),
+            simple_deques,
             backend,
             stats: PoolStats::new(threads),
             sleep: Sleep::new(),
             backoff,
             shutdown: AtomicBool::new(false),
             workers: threads,
+            alive: (0..threads).map(|_| AtomicBool::new(true)).collect(),
+            faults,
         });
-        let mut handles = Vec::with_capacity(threads);
-        for (index, cb_local) in cb_workers.into_iter().enumerate() {
-            let shared_for_worker = Arc::clone(&shared);
-            let simple_local = Arc::clone(&simple_deques[index]);
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("rws-worker-{index}"))
-                    .spawn(move || {
-                        // The worker handle is built on its own thread: the crossbeam worker
-                        // end of the deque and the RNG are thread-local by design.
-                        let handle = Rc::new(WorkerHandle {
-                            index,
-                            shared: shared_for_worker,
-                            cb_local: Some(cb_local),
-                            simple_local: Some(simple_local),
-                            rng: RefCell::new(SmallRng::seed_from_u64(0x9E3779B9 + index as u64)),
-                        });
-                        worker_loop(handle);
-                    })
-                    .expect("failed to spawn worker thread"),
-            );
+        let handles = cb_workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, cb_local)| Some(spawn_worker(&shared, index, cb_local)))
+            .collect();
+        ThreadPool { shared, handles: Mutex::new(handles) }
+    }
+
+    /// Whether worker `index`'s thread is currently running its loop.
+    pub fn worker_alive(&self, index: usize) -> bool {
+        self.shared.alive[index].load(Ordering::Acquire)
+    }
+
+    /// Number of workers whose threads have exited (excluding an in-progress shutdown,
+    /// during which every worker legitimately exits).
+    pub fn dead_workers(&self) -> usize {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return 0;
         }
-        ThreadPool { shared, handles }
+        self.shared.alive.iter().filter(|a| !a.load(Ordering::Acquire)).count()
+    }
+
+    /// Supervision sweep: join every dead worker's thread, drain the orphaned jobs left in
+    /// its deque back to the injector (so no accepted work is lost), and start a
+    /// replacement thread in its slot. Safe to call from any thread; idempotent when
+    /// nobody died. No-op during shutdown.
+    pub fn respawn_dead_workers(&self) -> RespawnReport {
+        let mut report = RespawnReport::default();
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return report;
+        }
+        // Holding the handle table for the whole sweep serializes concurrent supervisors:
+        // only one of them drains and respawns any given slot.
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        for index in 0..self.shared.workers {
+            if self.shared.alive[index].load(Ordering::Acquire) {
+                continue;
+            }
+            // Join the dead thread first: afterwards nothing touches the old deque's
+            // worker end, so the drain below sees every orphaned job.
+            if let Some(h) = handles[index].take() {
+                let _ = h.join();
+            }
+            let mut drained = 0u64;
+            let cb_local = match self.shared.backend {
+                DequeBackend::Crossbeam => {
+                    // Fresh deque for the replacement; publish its stealer, then drain the
+                    // dead worker's old deque through the stealer we just unseated.
+                    let fresh = CbWorker::new_lifo();
+                    let old_stealer = std::mem::replace(
+                        &mut *self.shared.cb_stealers[index]
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner()),
+                        fresh.stealer(),
+                    );
+                    loop {
+                        match old_stealer.steal() {
+                            Steal::Success(job) => {
+                                drained += 1;
+                                self.shared.injector.push(job);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => std::hint::spin_loop(),
+                        }
+                    }
+                    fresh
+                }
+                // The Simple backend's deque is shared by Arc and survives its worker; the
+                // replacement picks the queued jobs right back up — nothing to drain. (The
+                // unused crossbeam deque built here is inert.)
+                DequeBackend::Simple => CbWorker::new_lifo(),
+            };
+            if drained > 0 {
+                self.shared.sleep.notify_all_now();
+            }
+            // Raise the flag before the thread exists so a concurrent sweep won't try to
+            // respawn the same slot twice.
+            self.shared.alive[index].store(true, Ordering::Release);
+            handles[index] = Some(spawn_worker(&self.shared, index, cb_local));
+            self.shared.stats.record_respawn(drained);
+            report.respawned += 1;
+            report.drained_jobs += drained;
+        }
+        report
     }
 
     /// Number of worker threads.
@@ -411,7 +606,32 @@ impl ThreadPool {
     /// When called from inside one of this pool's own workers, `f` runs inline — queuing it
     /// and blocking on the result would deadlock a single-worker pool (the blocked worker is
     /// the only one that could run the job) and waste a worker on any pool.
+    ///
+    /// If `f` panics, the panic is resumed here with its **original payload** (as if `f`
+    /// had run on this thread). If the worker executing `f` dies without delivering a
+    /// result — an injected death or a crashed thread, never an ordinary closure panic —
+    /// this panics with a message saying exactly that; use [`ThreadPool::try_install`] to
+    /// handle either case as a value.
     pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        match self.try_install(f) {
+            Ok(r) => r,
+            Err(InstallError::Panicked(payload)) => panic::resume_unwind(payload),
+            Err(InstallError::Lost) => {
+                panic!("worker died before delivering the installed closure's result")
+            }
+        }
+    }
+
+    /// [`ThreadPool::install`] with structured errors: a panicking closure comes back as
+    /// [`InstallError::Panicked`] (carrying the original payload) and a worker that dies
+    /// mid-job — taking the result channel down with it — as [`InstallError::Lost`],
+    /// instead of the two being conflated into one misleading secondary panic at the
+    /// caller's `recv`.
+    pub fn try_install<R, F>(&self, f: F) -> Result<R, InstallError>
     where
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
@@ -419,21 +639,61 @@ impl ThreadPool {
         let on_this_pool = CURRENT_WORKER
             .with(|w| w.borrow().as_ref().is_some_and(|h| Arc::ptr_eq(&h.shared, &self.shared)));
         if on_this_pool {
-            return f();
+            return panic::catch_unwind(AssertUnwindSafe(f)).map_err(InstallError::Panicked);
         }
         let (tx, rx) = mpsc::channel();
         self.spawn(move || {
-            let _ = tx.send(f());
+            let _ = tx.send(panic::catch_unwind(AssertUnwindSafe(f)));
         });
-        rx.recv().expect("worker panicked while running installed closure")
+        match rx.recv() {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(payload)) => Err(InstallError::Panicked(payload)),
+            // The sender was dropped without sending: the closure never finished on any
+            // worker — its panic would have been caught and sent, so the thread itself
+            // must have died (injected death / crash) with the job in hand.
+            Err(mpsc::RecvError) => Err(InstallError::Lost),
+        }
     }
 }
+
+/// Why [`ThreadPool::try_install`] failed.
+pub enum InstallError {
+    /// The installed closure panicked; the original payload is carried here.
+    Panicked(Box<dyn Any + Send + 'static>),
+    /// The worker executing the closure died before delivering a result (the closure may
+    /// have partially run). Distinct from [`InstallError::Panicked`]: closure panics are
+    /// always caught and transported.
+    Lost,
+}
+
+impl fmt::Debug for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Panicked(_) => f.write_str("InstallError::Panicked(..)"),
+            InstallError::Lost => f.write_str("InstallError::Lost"),
+        }
+    }
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Panicked(_) => f.write_str("installed closure panicked"),
+            InstallError::Lost => {
+                f.write_str("worker died before delivering the installed closure's result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.sleep.notify_all_now();
-        for h in self.handles.drain(..) {
+        let mut handles = self.handles.lock().unwrap_or_else(|e| e.into_inner());
+        for h in handles.drain(..).flatten() {
             let _ = h.join();
         }
     }
@@ -456,6 +716,10 @@ where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
 {
+    // Cooperative cancellation point: every fork observes the current job's token (a TLS
+    // read and a `None` test when no service-mode token is installed), which is what makes
+    // deadlines bite at `join`/`scope`/`par_iter` grain boundaries.
+    cancel::check_cancel();
     let worker = CURRENT_WORKER.with(|w| w.borrow().clone());
     let worker = match worker {
         Some(w) => w,

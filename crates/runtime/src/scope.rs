@@ -48,6 +48,7 @@
 // for the completion latch before returning — even when its body unwinds.
 #![allow(unsafe_code)]
 
+use crate::cancel::{self, CancelToken};
 use crate::job::{CountLatch, Job, JobRef};
 use crate::pool::{current_worker, Shared, WorkerHandle};
 use std::any::Any;
@@ -105,6 +106,10 @@ pub struct Scope<'scope> {
     latch: CountLatch,
     /// First panic from a spawned task, rethrown when the scope closes.
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// The opening thread's cancellation token, re-installed around every spawned task so
+    /// deadlines follow the work onto whichever worker runs it (`None` outside service
+    /// mode).
+    cancel: Option<CancelToken>,
     slots: [InlineSlot; INLINE_SLOTS],
     /// `'scope` is invariant: it must be exactly the lifetime the closures were checked
     /// against, never shortened or lengthened by variance.
@@ -134,6 +139,7 @@ impl<'scope> Scope<'scope> {
             pool,
             latch,
             panic: Mutex::new(None),
+            cancel: cancel::current_token(),
             slots: [InlineSlot::new(), InlineSlot::new(), InlineSlot::new(), InlineSlot::new()],
             marker: PhantomData,
         }
@@ -160,6 +166,10 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
+        // Fork point: observe the current job's cancellation (deadline) before queueing
+        // more work — the unwind is aggregated by the enclosing scope like any panic and
+        // re-extracted by the service's root wrapper.
+        cancel::check_cancel();
         let Some(pool) = &self.pool else {
             // Sequential degradation: no pool anywhere, run it now. Panic semantics stay
             // scope-exit, matching the parallel path.
@@ -227,6 +237,9 @@ where
     F: FnOnce(&Scope<'scope>) + Send + 'scope,
 {
     let scope = &*(scope as *const Scope<'scope>);
+    // The scope's fork-time token rides along to whichever worker runs the task, so a
+    // deadline set on the submitting job cancels its scoped fan-out too.
+    let _token = cancel::enter(scope.cancel.clone());
     let result = panic::catch_unwind(AssertUnwindSafe(|| f(scope)));
     if let Err(payload) = result {
         scope.record_panic(payload);

@@ -1,0 +1,1033 @@
+//! Supervised persistent job-server mode: a long-lived [`JobServer`] wrapping a
+//! [`ThreadPool`] that accepts streamed root jobs and keeps the paper's runtime healthy
+//! under faults and overload.
+//!
+//! Three concerns layer on top of the pool, all off the fork hot path:
+//!
+//! * **Supervision** — every worker sweeps a heartbeat epoch and lowers an alive flag when
+//!   its thread exits; a supervisor thread joins dead workers, drains the orphaned jobs
+//!   from their deques back into the MPMC injector (no accepted work is lost), and
+//!   respawns a replacement in the same slot. Job panics are quarantined where they run
+//!   and health-tracked per worker.
+//! * **Per-job deadlines + cancellation** — a submission may carry a budget; the
+//!   supervisor keeps a deadline min-heap and flips the job's [`CancelToken`] when the
+//!   budget expires. The running job observes the token cooperatively at fork points
+//!   (`join` / `scope` / `par_iter` grain boundaries) and terminates with
+//!   [`JobOutcome::Deadline`]; a job still queued when its deadline fires never runs.
+//! * **Admission control** — a bounded occupancy gate with a [`Block`], [`Shed`], or
+//!   [`ShedOldest`] policy, plus queue-latency and service-latency histograms
+//!   (p50/p99/p999) and shed counters in the pool's stats.
+//!
+//! **Exactly-one-terminal-outcome contract**: every submission — admitted, shed at the
+//! door, or evicted from the queue — settles to exactly one [`JobOutcome`], arbitrated by
+//! a single compare-and-swap. Execution is claimed the same way (`started`), so a job is
+//! run exactly once or not at all, never both run and shed. The chaos harness in `rws-lab`
+//! drives these invariants under injected panics, worker deaths, stalls, and contention
+//! storms (see [`crate::faults`]).
+//!
+//! [`Block`]: AdmissionPolicy::Block
+//! [`Shed`]: AdmissionPolicy::Shed
+//! [`ShedOldest`]: AdmissionPolicy::ShedOldest
+
+use crate::cancel::{self, CancelPayload, CancelReason, CancelToken};
+use crate::deque::DequeBackend;
+use crate::faults::FaultPlan;
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::pool::{current_worker, ThreadPool, ThreadPoolBuilder};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What happens when a submission arrives and the bounded queue is at capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// The submitting thread waits for a slot (backpressure).
+    #[default]
+    Block,
+    /// The new submission is refused immediately with [`JobOutcome::Shed`].
+    Shed,
+    /// The oldest still-queued job is evicted (settling as [`JobOutcome::Shed`]) and its
+    /// slot is handed to the new submission; if nothing is evictable the submitter waits.
+    ShedOldest,
+}
+
+/// The terminal state of a submission. Exactly one of these is assigned to every
+/// submission, exactly once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    Completed = 1,
+    /// The job's closure panicked (or a fault-plan panic was injected); the panic was
+    /// quarantined on the worker that ran it.
+    Panicked = 2,
+    /// The job's deadline expired — either before it started (it never runs) or mid-run at
+    /// a cooperative cancellation point.
+    Deadline = 3,
+    /// The job's token was cancelled explicitly and it stopped at a cancellation point.
+    Cancelled = 4,
+    /// Admission refused the job (queue full under [`AdmissionPolicy::Shed`]), evicted it
+    /// ([`AdmissionPolicy::ShedOldest`]), or the server was shutting down. The closure
+    /// never ran.
+    Shed = 5,
+}
+
+const PENDING: u8 = 0;
+
+fn outcome_from_u8(v: u8) -> Option<JobOutcome> {
+    match v {
+        1 => Some(JobOutcome::Completed),
+        2 => Some(JobOutcome::Panicked),
+        3 => Some(JobOutcome::Deadline),
+        4 => Some(JobOutcome::Cancelled),
+        5 => Some(JobOutcome::Shed),
+        _ => None,
+    }
+}
+
+/// Shared per-submission state: the outcome CAS cell, the run claim, the slot-accounting
+/// flag, and the completion signal the handle waits on.
+#[derive(Debug)]
+struct JobState {
+    seq: u64,
+    outcome: AtomicU8,
+    token: CancelToken,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
+    /// Execution claim: set by whichever side gets there first — the worker about to run
+    /// the closure, or an evictor/deadline-sweeper proving the job will never run.
+    started: AtomicBool,
+    /// Occupancy-slot accounting: set by whoever disposes of this job's admission slot
+    /// (the runner releasing it, or a `ShedOldest` evictor transferring it).
+    slot_released: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl JobState {
+    fn new(seq: u64, deadline: Option<Instant>) -> Self {
+        JobState {
+            seq,
+            outcome: AtomicU8::new(PENDING),
+            token: CancelToken::new(),
+            submitted_at: Instant::now(),
+            deadline,
+            started: AtomicBool::new(false),
+            slot_released: AtomicBool::new(false),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn outcome(&self) -> Option<JobOutcome> {
+        outcome_from_u8(self.outcome.load(Ordering::Acquire))
+    }
+
+    /// Claim the right to be this job's executor (or, for an evictor, the proof that
+    /// nobody will be). At most one caller ever wins.
+    fn claim_run(&self) -> bool {
+        self.started.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+}
+
+/// A caller's handle to one submission: await it, read its outcome, cancel it.
+#[derive(Clone, Debug)]
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// The submission's server-assigned sequence number.
+    pub fn seq(&self) -> u64 {
+        self.state.seq
+    }
+
+    /// The job's terminal outcome, if it has settled.
+    pub fn outcome(&self) -> Option<JobOutcome> {
+        self.state.outcome()
+    }
+
+    /// This job's cancellation token (flip it with [`CancelToken::cancel`] to request an
+    /// explicit cooperative cancellation).
+    pub fn token(&self) -> &CancelToken {
+        &self.state.token
+    }
+
+    /// Block until the job settles, returning its outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let mut done = self.state.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            let (guard, _) = self
+                .state
+                .cv
+                .wait_timeout(done, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            done = guard;
+            if !*done {
+                // The condvar wait is belt-and-braces re-checked against the atomic: the
+                // settle path sets the atomic first, so a lost wakeup costs one timeout.
+                if self.state.outcome().is_some() {
+                    break;
+                }
+            }
+        }
+        self.state.outcome().expect("a signalled job has settled")
+    }
+
+    /// Block until the job settles or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.state.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *done || self.state.outcome().is_some() {
+                return self.state.outcome();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return self.state.outcome();
+            }
+            let (guard, _) = self
+                .state
+                .cv
+                .wait_timeout(done, (deadline - now).min(Duration::from_millis(50)))
+                .unwrap_or_else(|e| e.into_inner());
+            done = guard;
+        }
+    }
+}
+
+/// Configuration for a [`JobServer`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (0 = the machine's available parallelism).
+    pub threads: usize,
+    /// Deque backend for the wrapped pool.
+    pub backend: DequeBackend,
+    /// Admission capacity: maximum submissions admitted but not yet started.
+    pub queue_capacity: usize,
+    /// What to do when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Budget applied to submissions that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Supervisor sweep cadence (respawn checks, deadline sweeps, storm launches).
+    pub heartbeat_interval: Duration,
+    /// Optional fault-injection schedule (chaos testing; default off).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 0,
+            backend: DequeBackend::Crossbeam,
+            queue_capacity: 1024,
+            admission: AdmissionPolicy::Block,
+            default_deadline: None,
+            heartbeat_interval: Duration::from_millis(5),
+            faults: None,
+        }
+    }
+}
+
+/// Deadline min-heap entry (BinaryHeap is a max-heap; `Ord` is reversed).
+struct DeadlineEntry {
+    at: Instant,
+    seq: u64,
+    job: Weak<JobState>,
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for DeadlineEntry {}
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed: the heap's max is the earliest deadline.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Server-side shared state. Job closures capture this (never the `ThreadPool` itself —
+/// an `Arc<ThreadPool>` inside a queued job would create a reference cycle through the
+/// pool's own injector).
+struct ServerState {
+    capacity: usize,
+    policy: AdmissionPolicy,
+    default_deadline: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
+
+    seq: AtomicU64,
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    in_flight: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+    deadline: AtomicU64,
+    cancelled: AtomicU64,
+    shed: AtomicU64,
+
+    /// Admitted-but-not-started submissions currently holding a slot.
+    occupancy: AtomicUsize,
+    admission_lock: Mutex<()>,
+    admission_cv: Condvar,
+
+    /// FIFO of admitted jobs, maintained only under `ShedOldest` (eviction candidates).
+    pending: Mutex<VecDeque<Arc<JobState>>>,
+    /// Deadline min-heap the supervisor sweeps.
+    deadlines: Mutex<BinaryHeap<DeadlineEntry>>,
+    supervisor_lock: Mutex<()>,
+    supervisor_cv: Condvar,
+    supervisor_stop: AtomicBool,
+
+    shutdown: AtomicBool,
+
+    /// Submission → execution-start latency.
+    queue_hist: LatencyHistogram,
+    /// Execution-start → settle latency.
+    service_hist: LatencyHistogram,
+}
+
+impl ServerState {
+    /// Settle `job` to `outcome` — the single arbitration point for the
+    /// exactly-one-terminal-outcome contract. Returns whether this call won.
+    fn settle(&self, job: &JobState, outcome: JobOutcome) -> bool {
+        if job
+            .outcome
+            .compare_exchange(PENDING, outcome as u8, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        match outcome {
+            JobOutcome::Completed => &self.completed,
+            JobOutcome::Panicked => &self.panicked,
+            JobOutcome::Deadline => &self.deadline,
+            JobOutcome::Cancelled => &self.cancelled,
+            JobOutcome::Shed => &self.shed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        job.cv.notify_all();
+        true
+    }
+
+    /// Dispose of `job`'s admission slot exactly once. Returns true when this call freed
+    /// it (as opposed to an evictor having transferred it already).
+    fn release_slot(&self, job: &JobState) -> bool {
+        if job.slot_released.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        self.occupancy.fetch_sub(1, Ordering::AcqRel);
+        let _lock = self.admission_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.admission_cv.notify_one();
+        true
+    }
+
+    /// Pop the oldest evictable pending job: admitted, unstarted, unsettled — and claim
+    /// its execution so it provably never runs.
+    fn claim_oldest_pending(&self) -> Option<Arc<JobState>> {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        while let Some(job) = pending.pop_front() {
+            if job.claim_run() {
+                return Some(job);
+            }
+            // Stale entry (already running or settled): drop it and keep scanning — this
+            // is also what keeps the deque from accumulating finished jobs.
+        }
+        None
+    }
+
+    fn wake_supervisor(&self) {
+        let _lock = self.supervisor_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.supervisor_cv.notify_one();
+    }
+}
+
+/// Point-in-time accounting of everything a [`JobServer`] has done. The outcome counters
+/// partition `submitted` once the server has drained (`shutdown` returns exactly such a
+/// snapshot): `submitted == completed + panicked + deadline + cancelled + shed`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceSnapshot {
+    /// Total submissions (admitted or not).
+    pub submitted: u64,
+    /// Submissions that passed admission.
+    pub accepted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs that panicked (including fault-injected panics).
+    pub panicked: u64,
+    /// Jobs terminated by their deadline.
+    pub deadline: u64,
+    /// Jobs terminated by explicit cancellation.
+    pub cancelled: u64,
+    /// Submissions shed (refused, evicted, or arriving during shutdown).
+    pub shed: u64,
+    /// Workers respawned by the supervisor.
+    pub respawns: u64,
+    /// Orphaned jobs drained from dead workers' deques back to the injector.
+    pub jobs_drained: u64,
+    /// Panics quarantined by workers (pool-wide, includes non-service `spawn`s).
+    pub panics_caught: u64,
+    /// Submission → execution-start latency distribution.
+    pub queue: HistogramSnapshot,
+    /// Execution-start → settle latency distribution.
+    pub service: HistogramSnapshot,
+}
+
+/// A supervised, long-lived job server over a [`ThreadPool`]. See the module docs.
+pub struct JobServer {
+    state: Arc<ServerState>,
+    pool: Arc<ThreadPool>,
+    supervisor: Option<thread::JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Start a server (pool workers + one supervisor thread).
+    pub fn new(config: ServiceConfig) -> Self {
+        let mut builder = ThreadPoolBuilder::new().backend(config.backend);
+        if config.threads > 0 {
+            builder = builder.threads(config.threads);
+        }
+        if let Some(plan) = &config.faults {
+            builder = builder.fault_plan(Arc::clone(plan));
+        }
+        let pool = Arc::new(builder.build());
+        let state = Arc::new(ServerState {
+            capacity: config.queue_capacity.max(1),
+            policy: config.admission,
+            default_deadline: config.default_deadline,
+            faults: config.faults,
+            seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            deadline: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            occupancy: AtomicUsize::new(0),
+            admission_lock: Mutex::new(()),
+            admission_cv: Condvar::new(),
+            pending: Mutex::new(VecDeque::new()),
+            deadlines: Mutex::new(BinaryHeap::new()),
+            supervisor_lock: Mutex::new(()),
+            supervisor_cv: Condvar::new(),
+            supervisor_stop: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            queue_hist: LatencyHistogram::new(),
+            service_hist: LatencyHistogram::new(),
+        });
+        let supervisor = {
+            let state = Arc::clone(&state);
+            let pool = Arc::clone(&pool);
+            let interval = config.heartbeat_interval;
+            thread::Builder::new()
+                .name("rws-supervisor".into())
+                .spawn(move || supervisor_loop(state, pool, interval))
+                .expect("failed to spawn supervisor thread")
+        };
+        JobServer { state, pool, supervisor: Some(supervisor) }
+    }
+
+    /// The wrapped pool (stats, worker liveness).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Submit a root job under the server's default deadline (if any).
+    pub fn submit(&self, f: impl FnOnce() + Send + 'static) -> JobHandle {
+        self.submit_inner(Box::new(f), self.state.default_deadline)
+    }
+
+    /// Submit a root job with an explicit budget, overriding the server default.
+    pub fn submit_with_deadline(
+        &self,
+        f: impl FnOnce() + Send + 'static,
+        budget: Duration,
+    ) -> JobHandle {
+        self.submit_inner(Box::new(f), Some(budget))
+    }
+
+    fn submit_inner(
+        &self,
+        f: Box<dyn FnOnce() + Send + 'static>,
+        budget: Option<Duration>,
+    ) -> JobHandle {
+        let state = &self.state;
+        let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+        state.submitted.fetch_add(1, Ordering::Relaxed);
+        let deadline = budget.map(|b| Instant::now() + b);
+        let job = Arc::new(JobState::new(seq, deadline));
+        let handle = JobHandle { state: Arc::clone(&job) };
+        // `settle` decrements in_flight; count every submission in so the counter nets to
+        // the number of genuinely unsettled submissions even for shed-at-the-door ones.
+        state.in_flight.fetch_add(1, Ordering::AcqRel);
+
+        // ---- Admission ----
+        loop {
+            if state.shutdown.load(Ordering::Acquire) {
+                job.claim_run(); // never runs
+                state.settle(&job, JobOutcome::Shed);
+                self.pool.stats().record_shed();
+                return handle;
+            }
+            let occ = state.occupancy.load(Ordering::Acquire);
+            if occ < state.capacity {
+                if state
+                    .occupancy
+                    .compare_exchange(occ, occ + 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break;
+                }
+                continue;
+            }
+            match state.policy {
+                AdmissionPolicy::Block => {
+                    let lock = state.admission_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    // Re-check under the lock, then wait with a bounded timeout: the
+                    // notify in `release_slot` plus this backstop make lost wakeups cost
+                    // at most one tick.
+                    if state.occupancy.load(Ordering::Acquire) >= state.capacity
+                        && !state.shutdown.load(Ordering::Acquire)
+                    {
+                        let _ = state
+                            .admission_cv
+                            .wait_timeout(lock, Duration::from_millis(1))
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+                AdmissionPolicy::Shed => {
+                    job.claim_run();
+                    state.settle(&job, JobOutcome::Shed);
+                    self.pool.stats().record_shed();
+                    return handle;
+                }
+                AdmissionPolicy::ShedOldest => {
+                    if let Some(victim) = state.claim_oldest_pending() {
+                        state.settle(&victim, JobOutcome::Shed);
+                        self.pool.stats().record_shed_oldest();
+                        // Transfer the victim's slot to this submission. An unstarted
+                        // victim still holds its slot, so the swap always wins here; the
+                        // defensive branch covers the (unreachable today) case of racing
+                        // an already-released slot.
+                        if !victim.slot_released.swap(true, Ordering::AcqRel) {
+                            break;
+                        }
+                    } else {
+                        // Everything admitted is already running: nothing to evict, so
+                        // behave like Block for a beat.
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+
+        // ---- Admitted ----
+        state.accepted.fetch_add(1, Ordering::Relaxed);
+        if state.policy == AdmissionPolicy::ShedOldest {
+            let mut pending = state.pending.lock().unwrap_or_else(|e| e.into_inner());
+            // Amortized cleanup: drop already-started/settled heads so the deque tracks
+            // the (capacity-bounded) set of evictable jobs instead of growing forever.
+            while pending
+                .front()
+                .is_some_and(|j| j.started.load(Ordering::Acquire) || j.outcome().is_some())
+            {
+                pending.pop_front();
+            }
+            pending.push_back(Arc::clone(&job));
+        }
+        if let Some(at) = deadline {
+            state.deadlines.lock().unwrap_or_else(|e| e.into_inner()).push(DeadlineEntry {
+                at,
+                seq,
+                job: Arc::downgrade(&job),
+            });
+            state.wake_supervisor();
+        }
+        let inject_panic = state.faults.as_ref().is_some_and(|p| p.should_panic_job(seq));
+        let server = Arc::clone(state);
+        let job_for_run = Arc::clone(&job);
+        self.pool.spawn(move || run_root_job(&server, &job_for_run, f, inject_panic));
+        handle
+    }
+
+    /// Ask a running/queued job to stop at its next cancellation point.
+    pub fn cancel(&self, handle: &JobHandle) {
+        handle.state.token.cancel(CancelReason::Explicit);
+        // A still-queued job can settle right now.
+        if handle.state.claim_run() {
+            self.state.settle(&handle.state, JobOutcome::Cancelled);
+            self.state.release_slot(&handle.state);
+        }
+    }
+
+    /// Current accounting (counters are racy snapshots while jobs are in flight).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let s = &self.state;
+        let stats = self.pool.stats();
+        ServiceSnapshot {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            accepted: s.accepted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            panicked: s.panicked.load(Ordering::Relaxed),
+            deadline: s.deadline.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            respawns: stats.total_respawns(),
+            jobs_drained: stats.total_jobs_drained(),
+            panics_caught: stats.total_panics_caught(),
+            queue: s.queue_hist.snapshot(),
+            service: s.service_hist.snapshot(),
+        }
+    }
+
+    /// Submissions not yet settled.
+    pub fn in_flight(&self) -> u64 {
+        self.state.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting work, drain every in-flight submission to a terminal outcome
+    /// (respawning dead workers as needed so queued jobs always find an executor), heal
+    /// any remaining dead workers, stop the supervisor, and return the final accounting.
+    pub fn shutdown(mut self) -> ServiceSnapshot {
+        let state = &self.state;
+        state.shutdown.store(true, Ordering::Release);
+        {
+            let _lock = state.admission_lock.lock().unwrap_or_else(|e| e.into_inner());
+            state.admission_cv.notify_all();
+        }
+        // Drain: every accepted job must settle. Workers only die at sweep boundaries
+        // (never mid-job), so respawn sweeps guarantee queued jobs find an executor.
+        while state.in_flight.load(Ordering::Acquire) > 0 {
+            self.pool.respawn_dead_workers();
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Heal the pool: afterwards respawns == injected deaths, deterministically, which
+        // the chaos harness asserts.
+        while self.pool.dead_workers() > 0 {
+            self.pool.respawn_dead_workers();
+        }
+        state.supervisor_stop.store(true, Ordering::Release);
+        state.wake_supervisor();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        self.snapshot()
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        // `shutdown(self)` consumes the server and takes the supervisor; this covers a
+        // server dropped without an explicit shutdown.
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.supervisor_stop.store(true, Ordering::Release);
+        self.state.wake_supervisor();
+        {
+            let _lock = self.state.admission_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.state.admission_cv.notify_all();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The root wrapper every admitted job runs under: claims execution, does the latency
+/// accounting, installs the cancellation token, quarantines panics, and settles the
+/// outcome.
+fn run_root_job(
+    server: &Arc<ServerState>,
+    job: &Arc<JobState>,
+    f: Box<dyn FnOnce() + Send + 'static>,
+    inject_panic: bool,
+) {
+    if !job.claim_run() {
+        // An evictor or deadline sweep claimed this job first: it has settled (or is
+        // settling) without running. Slot accounting belongs to whoever claimed it.
+        server.release_slot(job);
+        return;
+    }
+    let started_at = Instant::now();
+    server.queue_hist.record(started_at.duration_since(job.submitted_at).as_nanos() as u64);
+    server.release_slot(job);
+    // Expired while queued: flip the token so the very first cancellation point (below,
+    // before the closure runs) converts this into a no-work Deadline outcome.
+    if let Some(at) = job.deadline {
+        if started_at >= at {
+            job.token.cancel(CancelReason::Deadline);
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let _token = cancel::enter(Some(job.token.clone()));
+        cancel::check_cancel();
+        if inject_panic {
+            // `resume_unwind`, not `panic!`: the unwind takes the same quarantine path a
+            // real panic would, but skips the panic hook — a chaos run injects hundreds
+            // of these and must not flood stderr with backtraces.
+            panic::resume_unwind(Box::new("injected job panic (fault plan)"));
+        }
+        f();
+    }));
+    server.service_hist.record(started_at.elapsed().as_nanos() as u64);
+    match result {
+        Ok(()) => {
+            server.settle(job, JobOutcome::Completed);
+        }
+        Err(payload) => match payload.downcast::<CancelPayload>() {
+            Ok(cp) => {
+                let outcome = match cp.0 {
+                    CancelReason::Deadline => JobOutcome::Deadline,
+                    CancelReason::Explicit => JobOutcome::Cancelled,
+                };
+                if outcome == JobOutcome::Deadline {
+                    // Pool-stats view of expirations (the server's own counter is bumped
+                    // by settle's outcome partition).
+                    if let Some(w) = current_worker() {
+                        w.shared.stats().record_deadline_expired();
+                    }
+                }
+                server.settle(job, outcome);
+            }
+            Err(payload) => {
+                // A genuine panic: quarantined here (this catch is inside Job::execute's,
+                // so the pool-level catch never sees it) — health-track it like the pool
+                // would.
+                if let Some(w) = current_worker() {
+                    w.shared.stats().record_panic_caught(w.index());
+                }
+                server.settle(job, JobOutcome::Panicked);
+                drop(payload);
+            }
+        },
+    }
+}
+
+/// The supervisor: deadline sweeps, dead-worker respawns, and contention-storm launches,
+/// all on one thread woken by deadline registrations or its heartbeat interval.
+fn supervisor_loop(state: Arc<ServerState>, pool: Arc<ThreadPool>, interval: Duration) {
+    while !state.supervisor_stop.load(Ordering::Acquire) {
+        pool.respawn_dead_workers();
+
+        // Launch a due contention storm: OS threads hammering the pool's MPMC injector
+        // with no-op jobs, concurrently with real traffic.
+        if let Some(plan) = &state.faults {
+            if let Some(spec) = plan.storm_due(state.accepted.load(Ordering::Relaxed)) {
+                let threads: Vec<_> = (0..spec.threads)
+                    .map(|_| {
+                        let pool = Arc::clone(&pool);
+                        let pushes = spec.pushes_per_thread;
+                        thread::spawn(move || {
+                            for _ in 0..pushes {
+                                pool.spawn(|| {});
+                            }
+                        })
+                    })
+                    .collect();
+                for t in threads {
+                    let _ = t.join();
+                }
+            }
+        }
+
+        // Deadline sweep: pop everything due, cancel the tokens, and settle jobs that
+        // provably never started.
+        let now = Instant::now();
+        let mut next_deadline: Option<Instant> = None;
+        {
+            let mut heap = state.deadlines.lock().unwrap_or_else(|e| e.into_inner());
+            while let Some(entry) = heap.peek() {
+                if entry.at > now {
+                    next_deadline = Some(entry.at);
+                    break;
+                }
+                let entry = heap.pop().expect("peeked entry");
+                if let Some(job) = entry.job.upgrade() {
+                    if job.outcome().is_none() {
+                        job.token.cancel(CancelReason::Deadline);
+                        if job.claim_run() {
+                            // Still queued: it never runs; settle and free its slot.
+                            state.settle(&job, JobOutcome::Deadline);
+                            state.release_slot(&job);
+                            pool.stats().record_deadline_expired();
+                        }
+                        // Else: running — the token does the work at the next fork point.
+                    }
+                }
+            }
+        }
+
+        let timeout = match next_deadline {
+            Some(at) => at.saturating_duration_since(now).min(interval),
+            None => interval,
+        };
+        let lock = state.supervisor_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.supervisor_stop.load(Ordering::Acquire) {
+            let _ = state
+                .supervisor_cv
+                .wait_timeout(lock, timeout.max(Duration::from_micros(100)))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultSpec;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn quick_server(threads: usize, capacity: usize, policy: AdmissionPolicy) -> JobServer {
+        JobServer::new(ServiceConfig {
+            threads,
+            queue_capacity: capacity,
+            admission: policy,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn jobs_complete_and_counters_partition_submissions() {
+        let server = quick_server(2, 64, AdmissionPolicy::Block);
+        let ran = Arc::new(TestCounter::new(0));
+        let handles: Vec<_> = (0..50)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                server.submit(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in &handles {
+            assert_eq!(h.wait(), JobOutcome::Completed);
+        }
+        let snap = server.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 50);
+        assert_eq!(snap.submitted, 50);
+        assert_eq!(snap.completed, 50);
+        assert_eq!(
+            snap.completed + snap.panicked + snap.deadline + snap.cancelled + snap.shed,
+            snap.submitted,
+            "outcomes partition submissions"
+        );
+        assert_eq!(snap.queue.count, 50, "every started job records queue latency");
+    }
+
+    #[test]
+    fn panicking_jobs_settle_as_panicked_and_the_server_survives() {
+        let server = quick_server(1, 16, AdmissionPolicy::Block);
+        let bad = server.submit(|| panic!("job goes down"));
+        assert_eq!(bad.wait(), JobOutcome::Panicked);
+        let good = server.submit(|| {});
+        assert_eq!(good.wait(), JobOutcome::Completed);
+        let snap = server.shutdown();
+        assert_eq!(snap.panicked, 1);
+        assert_eq!(snap.completed, 1);
+        assert!(snap.panics_caught >= 1, "the panic is health-tracked per worker");
+    }
+
+    #[test]
+    fn shed_policy_refuses_overflow_without_running_it() {
+        // One worker wedged on a gate keeps the queue full deterministically.
+        let server = quick_server(1, 1, AdmissionPolicy::Shed);
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = server.submit(move || {
+            while !g.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
+        // Wait until the blocker holds the worker (slot released once it starts).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.state.occupancy.load(Ordering::Acquire) > 0 {
+            assert!(Instant::now() < deadline, "blocker never started");
+            thread::yield_now();
+        }
+        // Now fill the single admission slot with a queued job...
+        let queued = server.submit(|| {});
+        // ...and overflow: must shed, closure must never run.
+        let ran = Arc::new(TestCounter::new(0));
+        let r = Arc::clone(&ran);
+        let shed = server.submit(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(shed.outcome(), Some(JobOutcome::Shed), "settled synchronously");
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), JobOutcome::Completed);
+        assert_eq!(queued.wait(), JobOutcome::Completed);
+        let snap = server.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "a shed job's closure never runs");
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.completed, 2);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_queued_victim_and_admits_the_newcomer() {
+        let server = quick_server(1, 1, AdmissionPolicy::ShedOldest);
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = server.submit(move || {
+            while !g.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.state.occupancy.load(Ordering::Acquire) > 0 {
+            assert!(Instant::now() < deadline, "blocker never started");
+            thread::yield_now();
+        }
+        let victim_ran = Arc::new(TestCounter::new(0));
+        let v = Arc::clone(&victim_ran);
+        let victim = server.submit(move || {
+            v.fetch_add(1, Ordering::Relaxed);
+        });
+        let newcomer = server.submit(|| {});
+        assert_eq!(victim.outcome(), Some(JobOutcome::Shed), "oldest queued job evicted");
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), JobOutcome::Completed);
+        assert_eq!(newcomer.wait(), JobOutcome::Completed);
+        let snap = server.shutdown();
+        assert_eq!(victim_ran.load(Ordering::Relaxed), 0, "evicted job never runs");
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.completed, 2);
+    }
+
+    #[test]
+    fn queued_job_whose_deadline_expires_never_runs() {
+        let server = quick_server(1, 4, AdmissionPolicy::Block);
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = server.submit(move || {
+            while !g.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let ran = Arc::new(TestCounter::new(0));
+        let r = Arc::clone(&ran);
+        let doomed = server.submit_with_deadline(
+            move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            },
+            Duration::from_millis(10),
+        );
+        // The supervisor (or the worker's own pre-run check) must expire it while queued.
+        let outcome = doomed.wait_timeout(Duration::from_secs(20));
+        assert_eq!(outcome, Some(JobOutcome::Deadline));
+        gate.store(true, Ordering::Release);
+        assert_eq!(blocker.wait(), JobOutcome::Completed);
+        let snap = server.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "an expired queued job never runs");
+        assert_eq!(snap.deadline, 1);
+    }
+
+    #[test]
+    fn running_job_observes_its_deadline_at_fork_points() {
+        let server = quick_server(2, 16, AdmissionPolicy::Block);
+        let handle = server.submit_with_deadline(
+            || {
+                // Keep forking until the deadline bites at a `join` entry.
+                loop {
+                    crate::pool::join(
+                        || thread::sleep(Duration::from_millis(1)),
+                        || thread::sleep(Duration::from_millis(1)),
+                    );
+                }
+            },
+            Duration::from_millis(20),
+        );
+        assert_eq!(handle.wait_timeout(Duration::from_secs(30)), Some(JobOutcome::Deadline));
+        let snap = server.shutdown();
+        assert_eq!(snap.deadline, 1);
+    }
+
+    #[test]
+    fn explicit_cancellation_beats_completion_of_a_forking_job() {
+        let server = quick_server(2, 16, AdmissionPolicy::Block);
+        let stop = Arc::new(AtomicBool::new(false));
+        let s = Arc::clone(&stop);
+        let handle = server.submit(move || loop {
+            if s.load(Ordering::Acquire) {
+                // The cancel below must land via the token, not this escape hatch — it
+                // exists only to bound the test if cancellation were broken.
+                break;
+            }
+            crate::pool::join(|| {}, || {});
+            thread::sleep(Duration::from_millis(1));
+        });
+        server.cancel(&handle);
+        let outcome = handle.wait_timeout(Duration::from_secs(30));
+        stop.store(true, Ordering::Release);
+        assert_eq!(outcome, Some(JobOutcome::Cancelled));
+        let snap = server.shutdown();
+        assert_eq!(snap.cancelled, 1);
+    }
+
+    #[test]
+    fn injected_worker_deaths_are_respawned_and_no_job_is_lost() {
+        let plan = Arc::new(FaultPlan::new(FaultSpec {
+            seed: 11,
+            death_sweeps: vec![10, 40, 80],
+            ..FaultSpec::default()
+        }));
+        let server = JobServer::new(ServiceConfig {
+            threads: 2,
+            queue_capacity: 256,
+            heartbeat_interval: Duration::from_millis(1),
+            faults: Some(Arc::clone(&plan)),
+            ..ServiceConfig::default()
+        });
+        let ran = Arc::new(TestCounter::new(0));
+        let handles: Vec<_> = (0..200)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                server.submit(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in &handles {
+            assert_eq!(h.wait(), JobOutcome::Completed, "no job lost to a worker death");
+        }
+        let snap = server.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 200);
+        assert_eq!(snap.completed, 200);
+        assert_eq!(plan.deaths_injected(), 3, "every planned death fired");
+        assert_eq!(snap.respawns, 3, "shutdown heals the pool: respawns == deaths");
+    }
+
+    #[test]
+    fn shutdown_snapshot_partitions_under_mixed_outcomes() {
+        let plan =
+            Arc::new(FaultPlan::new(FaultSpec { seed: 3, panic_every: 5, ..FaultSpec::default() }));
+        let server = JobServer::new(ServiceConfig {
+            threads: 2,
+            queue_capacity: 64,
+            faults: Some(plan),
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<_> = (0..100).map(|_| server.submit(|| {})).collect();
+        for h in &handles {
+            let o = h.wait();
+            assert!(matches!(o, JobOutcome::Completed | JobOutcome::Panicked));
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.submitted, 100);
+        assert!(snap.panicked > 0, "the fault plan injected panics");
+        assert_eq!(snap.completed + snap.panicked, 100);
+    }
+}

@@ -25,18 +25,41 @@ struct WorkerCounters {
     /// (`batch_steals`, `jobs_stolen`) pair stays self-describing — their ratio is the
     /// average batch size.
     jobs_stolen: AtomicU64,
+    /// Scheduling-sweep heartbeat epoch: bumped once per `worker_loop` iteration. A
+    /// supervisor that sees the epoch frozen while the worker's alive flag is down knows
+    /// the thread is gone (vs. merely busy inside one long job).
+    heartbeats: AtomicU64,
+    /// Panics this worker caught and quarantined while executing heap jobs — the per-job
+    /// quarantine was always there; this makes it *health-tracked* per worker.
+    panics_caught: AtomicU64,
+}
+
+/// Pool-level service counters (one padded line, not per-worker: these are recorded on the
+/// cold submission/supervision paths — sheds, expired deadlines, worker respawns — never
+/// on the fork hot path).
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    shed: AtomicU64,
+    shed_oldest: AtomicU64,
+    deadlines_expired: AtomicU64,
+    respawns: AtomicU64,
+    jobs_drained: AtomicU64,
 }
 
 /// Counters collected by the thread pool.
 #[derive(Debug)]
 pub struct PoolStats {
     workers: Vec<CachePadded<WorkerCounters>>,
+    service: CachePadded<ServiceCounters>,
 }
 
 impl PoolStats {
     /// Zeroed statistics for `workers` workers.
     pub fn new(workers: usize) -> Self {
-        PoolStats { workers: (0..workers).map(|_| CachePadded::default()).collect() }
+        PoolStats {
+            workers: (0..workers).map(|_| CachePadded::default()).collect(),
+            service: CachePadded::default(),
+        }
     }
 
     /// Record a successful steal by worker `w` (a batch of one).
@@ -73,6 +96,39 @@ impl PoolStats {
     /// Record worker `w` parking after finding no work.
     pub fn record_park(&self, w: usize) {
         self.workers[w].0.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump worker `w`'s scheduling-sweep heartbeat epoch (one relaxed add on the worker's
+    /// own padded line per `worker_loop` iteration).
+    pub fn record_heartbeat(&self, w: usize) {
+        self.workers[w].0.heartbeats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a panic caught (quarantined) while worker `w` executed a job.
+    pub fn record_panic_caught(&self, w: usize) {
+        self.workers[w].0.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a submission shed at admission (queue full, `Shed` policy).
+    pub fn record_shed(&self) {
+        self.service.0.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a queued job evicted to admit a newer one (`ShedOldest` policy).
+    pub fn record_shed_oldest(&self) {
+        self.service.0.shed_oldest.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a job whose deadline expired before it completed.
+    pub fn record_deadline_expired(&self) {
+        self.service.0.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a dead worker respawned by the supervisor, with the number of orphaned jobs
+    /// drained from its deque back to the injector.
+    pub fn record_respawn(&self, drained_jobs: u64) {
+        self.service.0.respawns.fetch_add(1, Ordering::Relaxed);
+        self.service.0.jobs_drained.fetch_add(drained_jobs, Ordering::Relaxed);
     }
 
     /// Total successful steals.
@@ -119,9 +175,50 @@ impl PoolStats {
         self.workers.iter().map(|c| c.0.parks.load(Ordering::Relaxed)).sum()
     }
 
+    /// Total panics caught (quarantined) across all workers.
+    pub fn total_panics_caught(&self) -> u64 {
+        self.workers.iter().map(|c| c.0.panics_caught.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Submissions shed at admission (`Shed` policy refusals plus `ShedOldest` evictions'
+    /// admitted replacements are *not* counted here — this is refused work only).
+    pub fn total_shed(&self) -> u64 {
+        self.service.0.shed.load(Ordering::Relaxed)
+    }
+
+    /// Queued jobs evicted by the `ShedOldest` policy.
+    pub fn total_shed_oldest(&self) -> u64 {
+        self.service.0.shed_oldest.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose deadline expired before completion.
+    pub fn total_deadlines_expired(&self) -> u64 {
+        self.service.0.deadlines_expired.load(Ordering::Relaxed)
+    }
+
+    /// Dead workers respawned by a supervisor.
+    pub fn total_respawns(&self) -> u64 {
+        self.service.0.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Orphaned jobs drained from dead workers' deques back to the injector.
+    pub fn total_jobs_drained(&self) -> u64 {
+        self.service.0.jobs_drained.load(Ordering::Relaxed)
+    }
+
     /// Steals performed by worker `w`.
     pub fn steals_of(&self, w: usize) -> u64 {
         self.workers[w].0.steals.load(Ordering::Relaxed)
+    }
+
+    /// Worker `w`'s heartbeat epoch (scheduling sweeps completed).
+    pub fn heartbeat_of(&self, w: usize) -> u64 {
+        self.workers[w].0.heartbeats.load(Ordering::Relaxed)
+    }
+
+    /// Panics caught while worker `w` executed jobs.
+    pub fn panics_caught_of(&self, w: usize) -> u64 {
+        self.workers[w].0.panics_caught.load(Ordering::Relaxed)
     }
 
     /// Jobs executed by worker `w`.
@@ -170,6 +267,30 @@ mod tests {
         assert_eq!(s.total_steals(), 6, "paper view: one event per migrated task");
         assert_eq!(s.total_batch_steals(), 2, "CAS-traffic view: one per victim visit");
         assert_eq!(s.total_jobs_stolen(), 6);
+    }
+
+    #[test]
+    fn health_and_service_counters_accumulate() {
+        let s = PoolStats::new(2);
+        s.record_heartbeat(0);
+        s.record_heartbeat(0);
+        s.record_heartbeat(1);
+        s.record_panic_caught(1);
+        s.record_shed();
+        s.record_shed();
+        s.record_shed_oldest();
+        s.record_deadline_expired();
+        s.record_respawn(3);
+        s.record_respawn(0);
+        assert_eq!(s.heartbeat_of(0), 2);
+        assert_eq!(s.heartbeat_of(1), 1);
+        assert_eq!(s.panics_caught_of(1), 1);
+        assert_eq!(s.total_panics_caught(), 1);
+        assert_eq!(s.total_shed(), 2);
+        assert_eq!(s.total_shed_oldest(), 1);
+        assert_eq!(s.total_deadlines_expired(), 1);
+        assert_eq!(s.total_respawns(), 2);
+        assert_eq!(s.total_jobs_drained(), 3);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Supervision integration: structured `install` errors, worker liveness and respawn,
+//! and panic quarantine accounting — the runtime-level half of the chaos story (the
+//! full streamed-traffic harness lives in `rws-lab`).
+
+use rws_runtime::{
+    AdmissionPolicy, FaultPlan, FaultSpec, InstallError, JobOutcome, JobServer, ServiceConfig,
+    ThreadPool, ThreadPoolBuilder,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[test]
+fn try_install_reports_a_panicking_closure_with_its_original_payload() {
+    let pool = ThreadPool::new(2);
+    match pool.try_install(|| -> u64 { panic!("the real reason") }) {
+        Err(InstallError::Panicked(payload)) => {
+            let msg = payload.downcast::<&'static str>().expect("the original payload type");
+            assert_eq!(*msg, "the real reason");
+        }
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    // And the happy path still returns values.
+    assert_eq!(pool.try_install(|| 6 * 7).unwrap(), 42);
+}
+
+#[test]
+fn install_resumes_the_original_panic_payload_not_a_recv_error() {
+    let pool = ThreadPool::new(2);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| -> u64 { panic!("original message") })
+    }))
+    .expect_err("install must panic");
+    let msg = caught.downcast::<&'static str>().expect("payload must be the closure's own");
+    assert_eq!(*msg, "original message", "no misleading secondary recv panic");
+}
+
+#[test]
+fn try_install_inline_path_catches_panics_too() {
+    // From inside one of the pool's own workers, try_install runs inline — the error
+    // contract must be identical.
+    let pool = Arc::new(ThreadPool::new(1));
+    let inner = Arc::clone(&pool);
+    let got = pool.install(move || {
+        matches!(inner.try_install(|| panic!("inline")), Err(InstallError::Panicked(_)))
+    });
+    assert!(got, "the inline path must report Panicked, not unwind the worker");
+}
+
+#[test]
+fn dead_workers_are_detected_and_respawned_with_their_jobs_drained() {
+    // Kill both workers almost immediately; the supervisor sweep must heal the pool and
+    // requeue whatever was stranded in the dead workers' deques.
+    let plan = Arc::new(FaultPlan::new(FaultSpec {
+        seed: 5,
+        death_sweeps: vec![0, 1],
+        ..FaultSpec::default()
+    }));
+    let pool = ThreadPoolBuilder::new().threads(2).fault_plan(Arc::clone(&plan)).build();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while plan.deaths_injected() < 2 {
+        assert!(Instant::now() < deadline, "planned deaths never fired");
+        thread::sleep(Duration::from_millis(1));
+    }
+    while pool.dead_workers() < 2 {
+        assert!(Instant::now() < deadline, "alive flags never dropped");
+        thread::sleep(Duration::from_millis(1));
+    }
+    assert!(!pool.worker_alive(0) || !pool.worker_alive(1));
+    let report = pool.respawn_dead_workers();
+    assert_eq!(report.respawned, 2, "both dead slots respawned in one sweep");
+    assert_eq!(pool.dead_workers(), 0);
+    assert!(pool.worker_alive(0) && pool.worker_alive(1));
+    assert_eq!(pool.stats().total_respawns(), 2);
+    // The healed pool serves work (the plan has no deaths left to inject).
+    assert_eq!(pool.install(|| 21 * 2), 42);
+}
+
+#[test]
+fn heartbeats_advance_on_live_workers() {
+    let pool = ThreadPool::new(2);
+    let _ = pool.install(|| 1 + 1);
+    // 1-CPU host: a worker may not have been scheduled yet — wait, bounded.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while pool.stats().heartbeat_of(0) == 0 || pool.stats().heartbeat_of(1) == 0 {
+        assert!(Instant::now() < deadline, "every worker sweeps its heartbeat epoch");
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn panic_quarantine_is_health_tracked_per_worker() {
+    let pool = ThreadPool::new(1);
+    for _ in 0..3 {
+        pool.spawn(|| panic!("quarantine me"));
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while pool.stats().total_panics_caught() < 3 {
+        assert!(Instant::now() < deadline, "panics never recorded");
+        thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(pool.stats().panics_caught_of(0), 3);
+    assert_eq!(pool.install(|| 5), 5, "the worker survives its quarantined panics");
+}
+
+#[test]
+fn server_survives_sustained_panic_storm_with_deaths_and_overload() {
+    // A miniature of the lab's chaos scenario: injected job panics + worker deaths +
+    // a Shed admission gate under a burst, all settling to terminal outcomes.
+    let plan = Arc::new(FaultPlan::new(FaultSpec {
+        seed: 99,
+        panic_every: 7,
+        death_sweeps: vec![50, 500],
+        ..FaultSpec::default()
+    }));
+    let server = JobServer::new(ServiceConfig {
+        threads: 2,
+        queue_capacity: 32,
+        admission: AdmissionPolicy::Shed,
+        heartbeat_interval: Duration::from_millis(1),
+        faults: Some(Arc::clone(&plan)),
+        ..ServiceConfig::default()
+    });
+    let executions = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..300)
+        .map(|_| {
+            let e = Arc::clone(&executions);
+            server.submit(move || {
+                e.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in &handles {
+        let outcome = h.wait_timeout(Duration::from_secs(120)).expect("every job settles");
+        assert!(matches!(outcome, JobOutcome::Completed | JobOutcome::Panicked | JobOutcome::Shed));
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 300);
+    assert_eq!(snap.completed + snap.panicked + snap.shed, 300, "outcome conservation");
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        snap.completed,
+        "exactly the completed jobs ran their closures — none lost, none twice"
+    );
+    assert!(snap.panicked > 0, "the plan injected panics");
+    assert_eq!(snap.respawns as usize, plan.deaths_injected(), "every death was healed");
+}

@@ -15,18 +15,25 @@
 //! buffer pointer can always complete its (failed) read. The retired buffers' total size is
 //! bounded by the final buffer's size, so this costs at most 2x the peak buffer memory.
 //!
-//! The [`Injector`] is the pool's *submission* queue — it sees one push per external
-//! `spawn`/`install`, never the per-fork traffic — so it remains a mutex-protected `VecDeque`
-//! off the hot path. `rws-runtime`'s `DequeBackend` abstraction means the real crates.io
-//! `crossbeam-deque` can be swapped back in without source changes.
+//! The [`Injector`] is a **lock-free MPMC segment queue**: producers claim monotone tickets
+//! with one fetch-add on `tail`, write into the ticket's slot in a linked chain of
+//! fixed-size blocks, and publish with a per-slot `ready` flag; consumers read the slot and
+//! claim it with one CAS on `head`, reporting [`Steal::Retry`] on a lost race or an
+//! in-flight producer. Since job-server mode routes *every* root submission through the
+//! injector, submissions from many client threads scale without a lock, and the empty probe
+//! every idle worker runs per scan stays two relaxed loads. Like the deque's grown buffers,
+//! consumed blocks are retired rather than freed (reclaimed when the injector drops), so a
+//! stalled producer or consumer holding a stale block pointer can always finish its walk;
+//! see [`Injector`] for the memory bound this trades away. `rws-runtime`'s `DequeBackend`
+//! abstraction means the real crates.io `crossbeam-deque` can be swapped back in without
+//! source changes.
 
 use std::cell::{Cell, UnsafeCell};
-use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The result of a steal attempt.
@@ -568,61 +575,267 @@ impl<T> Stealer<T> {
     }
 }
 
-/// A FIFO queue every worker can push to and steal from (the pool's submission queue).
-///
-/// This is the *cold* entry point — one push per external `spawn`/`install`, none per fork —
-/// so it stays a mutex-protected `VecDeque` rather than a segmented lock-free queue; its
-/// `steal` never returns [`Steal::Retry`]. What is **not** cold is the empty probe: every
-/// idle worker polls the injector on each work-finding scan, so emptiness is tracked in an
-/// atomic length and the common empty case takes no lock at all.
-#[derive(Debug, Default)]
-pub struct Injector<T> {
-    queue: Mutex<VecDeque<T>>,
-    /// Queue length, maintained inside the critical sections; lets `steal`/`is_empty`
-    /// answer "empty" without touching the mutex.
-    len: std::sync::atomic::AtomicUsize,
+/// Tasks per injector block. Big enough to amortize block linking to one CAS per 32
+/// pushes; small enough that a mostly-empty injector costs one block.
+const SEG: usize = 32;
+
+/// One slot of an injector block: a publish flag plus the task bits. A slot is written by
+/// exactly one producer (the ticket owner) and consumed by exactly one consumer (the
+/// winner of the `head` CAS); `ready` is the release/acquire edge between them.
+struct InjSlot<T> {
+    ready: AtomicBool,
+    value: UnsafeCell<MaybeUninit<T>>,
 }
 
-fn lock<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
-    q.lock().unwrap_or_else(|e| e.into_inner())
+/// A fixed run of [`SEG`] consecutive tickets `[base, base + SEG)` in the injector's chain.
+struct InjBlock<T> {
+    base: isize,
+    next: AtomicPtr<InjBlock<T>>,
+    slots: [InjSlot<T>; SEG],
+}
+
+impl<T> InjBlock<T> {
+    fn alloc(base: isize) -> *mut InjBlock<T> {
+        Box::into_raw(Box::new(InjBlock {
+            base,
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: std::array::from_fn(|_| InjSlot {
+                ready: AtomicBool::new(false),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            }),
+        }))
+    }
+}
+
+/// A lock-free MPMC FIFO queue every thread can push to and steal from (the pool's
+/// submission queue, and in job-server mode the path every root job takes).
+///
+/// Producers claim a unique monotone ticket with one `fetch_add` on `tail`, locate the
+/// ticket's slot in a linked chain of [`SEG`]-slot blocks (the producer that owns a new
+/// block's first ticket allocates and CAS-links it), write the task, and flip the slot's
+/// `ready` flag (release). Consumers read `head`'s slot after an acquire of `ready` and
+/// claim it with one CAS on `head`; a lost CAS or a claimed-but-unwritten slot reports
+/// [`Steal::Retry`]. Per operation that is one uncontended atomic RMW plus one flag store
+/// or one CAS — no mutex, no allocation except once per [`SEG`] pushes.
+///
+/// **Reclamation / memory bound:** consumed blocks stay allocated (their `next` links
+/// intact) until the injector itself drops, the same retire-until-drop scheme the deque
+/// uses for grown buffers — a stalled producer or consumer that loaded a block pointer
+/// before being preempted can always complete its chain walk. The trade-off is memory
+/// proportional to the queue's *lifetime* throughput (~`size_of::<T>() + 9` bytes per push,
+/// amortized) rather than its peak depth; at this workspace's lab scale (10^4–10^6 jobs per
+/// server) that is a few MB, and the `DequeBackend` seam means the epoch-reclaiming
+/// crates.io implementation can be swapped in unchanged if a deployment outlives that.
+///
+/// The empty probe — run by every idle worker on every work-finding scan — is two `Relaxed`
+/// loads: a stale "empty" (missing a racing push) is indistinguishable from probing a
+/// moment earlier, and the pool's sleep protocol already covers that race with its 1ms park
+/// backstop (`sleep.rs`); the seeded `injector_is_empty_probe_misses_are_transient` stress
+/// test pins down the bounded-latency contract.
+pub struct Injector<T> {
+    /// Next ticket to consume. `head <= tail` always; slot `head` is consumable once its
+    /// producer's `ready` flag is up.
+    head: Padded<AtomicIsize>,
+    /// Next ticket to produce.
+    tail: Padded<AtomicIsize>,
+    /// Hint: a block at or before the one containing `head` (never past it, so any walk
+    /// for a live ticket can start here). Advanced opportunistically by consumers.
+    head_block: AtomicPtr<InjBlock<T>>,
+    /// Hint: a block at or before the one containing the newest claimed ticket. Advanced
+    /// opportunistically by producers; a producer whose ticket predates the hint falls
+    /// back to `head_block`.
+    tail_block: AtomicPtr<InjBlock<T>>,
+    /// Start of the block chain, for `Drop`'s full walk. Never changes after `new`.
+    first_block: *mut InjBlock<T>,
+}
+
+// Safety: tasks cross threads (producer writes, a different consumer reads after the
+// `ready` acquire edge), which is exactly `T: Send`; the queue's own state is all atomics.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Injector").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T> Injector<T> {
     /// An empty injector.
     pub fn new() -> Self {
-        Injector { queue: Mutex::new(VecDeque::new()), len: std::sync::atomic::AtomicUsize::new(0) }
+        let first = InjBlock::alloc(0);
+        Injector {
+            head: Padded(AtomicIsize::new(0)),
+            tail: Padded(AtomicIsize::new(0)),
+            head_block: AtomicPtr::new(first),
+            tail_block: AtomicPtr::new(first),
+            first_block: first,
+        }
     }
 
-    /// Push a task onto the queue.
+    /// Producer-side chain walk: the block containing `ticket`, linking new blocks as
+    /// needed. Walking forward from either hint is always safe because blocks are never
+    /// freed before the injector drops; the hints only bound how far the walk starts back.
+    fn block_for_produce(&self, ticket: isize) -> *mut InjBlock<T> {
+        let mut b = self.tail_block.load(Ordering::Acquire);
+        unsafe {
+            if ticket < (*b).base {
+                // The tail hint has been advanced past this (slow) producer's ticket.
+                // `head_block` can never pass a ticket that is still unwritten — a
+                // consumer cannot claim past an un-`ready` slot — so it is a safe floor.
+                b = self.head_block.load(Ordering::Acquire);
+            }
+            debug_assert!(ticket >= (*b).base, "walk start overshot ticket {ticket}");
+            while ticket >= (*b).base + SEG as isize {
+                let mut next = (*b).next.load(Ordering::Acquire);
+                if next.is_null() {
+                    // First producer past this block's end allocates the successor; a
+                    // lost link race frees the candidate and takes the winner's block.
+                    let candidate = InjBlock::alloc((*b).base + SEG as isize);
+                    match (*b).next.compare_exchange(
+                        ptr::null_mut(),
+                        candidate,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => next = candidate,
+                        Err(winner) => {
+                            drop(Box::from_raw(candidate));
+                            next = winner;
+                        }
+                    }
+                }
+                b = next;
+            }
+            // Advance the hint if we got further than it (monotone; losing the race to a
+            // fellow producer that advanced it even further is fine).
+            let hint = self.tail_block.load(Ordering::Relaxed);
+            if (*hint).base < (*b).base {
+                let _ =
+                    self.tail_block.compare_exchange(hint, b, Ordering::AcqRel, Ordering::Acquire);
+            }
+            b
+        }
+    }
+
+    /// Consumer-side chain walk: the block containing `ticket`, or `None` when the claim
+    /// is already doomed (`head` moved past the ticket) or the producer that owns the
+    /// block has not linked it yet — both map to [`Steal::Retry`].
+    fn block_for_consume(&self, ticket: isize) -> Option<*mut InjBlock<T>> {
+        let mut b = self.head_block.load(Ordering::Acquire);
+        unsafe {
+            if ticket < (*b).base {
+                // The hint only advances to blocks at or before `head`'s block, so this
+                // ticket has already been consumed; our CAS would fail anyway.
+                return None;
+            }
+            while ticket >= (*b).base + SEG as isize {
+                let next = (*b).next.load(Ordering::Acquire);
+                if next.is_null() {
+                    return None;
+                }
+                b = next;
+            }
+            let hint = self.head_block.load(Ordering::Relaxed);
+            if (*hint).base < (*b).base {
+                let _ =
+                    self.head_block.compare_exchange(hint, b, Ordering::AcqRel, Ordering::Acquire);
+            }
+            Some(b)
+        }
+    }
+
+    /// Push a task onto the queue. Lock-free: one `fetch_add`, a slot write, one release
+    /// store (plus one block allocation per [`SEG`] pushes, amortized).
     pub fn push(&self, task: T) {
-        let mut q = lock(&self.queue);
-        q.push_back(task);
-        self.len.store(q.len(), Ordering::Release);
+        let t = self.tail.0.fetch_add(1, Ordering::SeqCst);
+        let block = self.block_for_produce(t);
+        unsafe {
+            let slot = &(*block).slots[(t - (*block).base) as usize];
+            (*slot.value.get()).write(task);
+            slot.ready.store(true, Ordering::Release);
+        }
     }
 
     /// Steal the oldest task from the queue.
+    ///
+    /// Returns [`Steal::Retry`] when the attempt lost the `head` CAS to another consumer
+    /// or caught the head slot's producer mid-write (ticket claimed, task not yet
+    /// published); the caller decides whether to spin or move on.
     pub fn steal(&self) -> Steal<T> {
-        // A `Relaxed` probe suffices: task contents are published by the mutex on the path
-        // that actually pops, and a stale `0` (missing a racing push) is indistinguishable
-        // from probing a moment earlier — the pool's sleep protocol already tolerates that
-        // race via its park backstop. Acquire here bought nothing but a fence on every
-        // idle-worker scan.
-        if self.len.load(Ordering::Relaxed) == 0 {
+        // Relaxed probe: a stale reading that misses a racing push reports Empty exactly
+        // as probing a moment earlier would, and the sleep protocol's park backstop
+        // bounds how long such a miss can persist. The CAS below validates any claim.
+        let h = self.head.0.load(Ordering::Relaxed);
+        let t = self.tail.0.load(Ordering::Relaxed);
+        if h >= t {
             return Steal::Empty;
         }
-        let mut q = lock(&self.queue);
-        let out = q.pop_front();
-        self.len.store(q.len(), Ordering::Release);
-        match out {
-            Some(t) => Steal::Success(t),
-            None => Steal::Empty,
+        let block = match self.block_for_consume(h) {
+            Some(b) => b,
+            None => return Steal::Retry,
+        };
+        unsafe {
+            let slot = &(*block).slots[(h - (*block).base) as usize];
+            if !slot.ready.load(Ordering::Acquire) {
+                return Steal::Retry;
+            }
+            // Read the bits before claiming; a failed CAS discards them un-materialized
+            // (the slot is written exactly once, so unlike the deque the bits can never
+            // be torn — this is only about not taking ownership we did not win).
+            let value = ptr::read(slot.value.get());
+            if self.head.0.compare_exchange(h, h + 1, Ordering::SeqCst, Ordering::Relaxed).is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(value.assume_init())
         }
     }
 
-    /// Whether the queue is currently empty (a racy estimate; see [`Injector::steal`] on
-    /// why the probe is `Relaxed`).
+    /// Whether the queue is currently empty (racy estimate; see [`Injector::steal`] on the
+    /// relaxed probe and the bounded-latency contract it leans on).
     pub fn is_empty(&self) -> bool {
-        self.len.load(Ordering::Relaxed) == 0
+        self.head.0.load(Ordering::Relaxed) >= self.tail.0.load(Ordering::Relaxed)
+    }
+
+    /// Number of queued tasks (racy estimate).
+    pub fn len(&self) -> usize {
+        let h = self.head.0.load(Ordering::Relaxed);
+        let t = self.tail.0.load(Ordering::Relaxed);
+        (t - h).max(0) as usize
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the unconsumed window [head, tail), then free the whole
+        // chain (consumed blocks included — they were retired, not freed).
+        let h = *self.head.0.get_mut();
+        let t = *self.tail.0.get_mut();
+        unsafe {
+            let mut b = self.first_block;
+            while !b.is_null() {
+                for i in 0..SEG as isize {
+                    let ticket = (*b).base + i;
+                    let slot = &mut (*b).slots[i as usize];
+                    // `ready` guards against a ticket claimed by a producer that never
+                    // completed its write (impossible for in-process producers, which
+                    // cannot unwind between claim and publish — but cheap to be exact).
+                    if ticket >= h && ticket < t && *slot.ready.get_mut() {
+                        drop((*slot.value.get()).assume_init_read());
+                    }
+                }
+                let next = *(*b).next.get_mut();
+                drop(Box::from_raw(b));
+                b = next;
+            }
+        }
     }
 }
 
@@ -699,6 +912,60 @@ mod tests {
         assert_eq!(inj.steal().success(), Some('a'));
         assert_eq!(inj.steal().success(), Some('b'));
         assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_stays_fifo_across_many_blocks() {
+        let inj = Injector::new();
+        let n = 10 * SEG + 7; // force block links mid-stream, end mid-block
+        for i in 0..n {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), n);
+        for i in 0..n {
+            assert_eq!(inj.steal().success(), Some(i), "tickets must come out in order");
+        }
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn injector_interleaved_push_steal_reuses_nothing() {
+        // Alternate pushes and steals so head chases tail across block boundaries.
+        let inj = Injector::new();
+        let mut expect = 0usize;
+        for i in 0..(4 * SEG) {
+            inj.push(2 * i);
+            inj.push(2 * i + 1);
+            assert_eq!(inj.steal().success(), Some(expect));
+            expect += 1;
+        }
+        while let Steal::Success(v) = inj.steal() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 8 * SEG);
+    }
+
+    #[test]
+    fn injector_drop_releases_queued_values() {
+        let live = Arc::new(AtomicUsize::new(0));
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let inj = Injector::new();
+        for _ in 0..(3 * SEG + 5) {
+            live.fetch_add(1, Ordering::Relaxed);
+            inj.push(Tracked(Arc::clone(&live)));
+        }
+        for _ in 0..SEG {
+            drop(inj.steal().success());
+        }
+        drop(inj);
+        assert_eq!(live.load(Ordering::Relaxed), 0, "all queued values must be dropped");
     }
 
     #[test]
