@@ -1,7 +1,9 @@
 //! Emit `BENCH_native.json`: the native hot-path benchmark comparing the lock-free
 //! Chase–Lev deque backend against the mutex-protected `SimpleDeque` across workloads and
 //! thread counts, plus the service-mode rows (job-server throughput, shed rate, and p99
-//! queue latency — see `run_service_suite`).
+//! queue latency — see `run_service_suite`) and the flight-recorder overhead row
+//! (`run_trace_overhead`: the same workload with tracing off and on, so the gate can prove
+//! the always-compiled recorder stays free when it is off).
 //!
 //! ```text
 //! native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N]
@@ -16,9 +18,11 @@
 //! JSON, a panicking backend — exits nonzero, which is what the CI smoke step checks.
 //!
 //! `--check-against BASELINE.json` additionally diffs the freshly written document's
-//! *structure* against a committed baseline (same record field set, every
+//! *structure* against a committed baseline (every baseline record field present, every
 //! workload/backend combination present, uniform per-combination row counts), so a
 //! silently dropped workload row fails the build instead of shrinking the file unnoticed.
+//! The diff is forward-compatible: a run from a newer binary may carry extra sections and
+//! fields, but anything the baseline promises must still be there.
 //!
 //! `--gate BASELINE.json` runs the perf-regression gate: the run document is compared to
 //! the baseline under the `GateConfig` tolerances (`--tolerance` overrides the t=1 wall
@@ -32,8 +36,9 @@
 //! creating the file on first use.
 
 use rws_bench::native_bench::{
-    append_trajectory, check_against, gate_against, run_service_suite, run_suite, to_json,
-    trajectory_row, validate_json, BenchConfig, GateConfig, SizeClass,
+    append_trajectory, check_against, gate_against, run_service_suite, run_suite,
+    run_trace_overhead, to_json_full, trajectory_row, validate_json, BenchConfig, GateConfig,
+    SizeClass,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -223,7 +228,18 @@ fn main() -> ExitCode {
                 r.p99_queue_ns
             );
         }
-        let doc = to_json(&cfg, &records, &service);
+        let trace = run_trace_overhead(&cfg);
+        eprintln!(
+            "  trace-overhead {} t={}  off {:>12} ns  on {:>12} ns  ({:+.1}%)  \
+             {} events recorded",
+            trace.workload,
+            trace.threads,
+            trace.wall_ns_off_median,
+            trace.wall_ns_on_median,
+            100.0 * trace.overhead_rel,
+            trace.events_recorded
+        );
+        let doc = to_json_full(&cfg, &records, &service, Some(&trace));
         if let Err(e) = std::fs::write(&out, &doc) {
             eprintln!("native_bench: failed to write {out}: {e}");
             return ExitCode::FAILURE;

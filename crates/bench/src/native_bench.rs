@@ -551,6 +551,129 @@ pub fn run_service_suite(cfg: &BenchConfig) -> Vec<ServiceBenchRecord> {
     records
 }
 
+// ------------------------------------------------------------------------------------------
+// Flight-recorder overhead row
+// ------------------------------------------------------------------------------------------
+
+/// Ring capacity (events per lane) used by the trace-overhead measurement — the same
+/// default `lab --trace` uses, so the measured cost matches what observability users pay.
+pub const TRACE_BENCH_CAPACITY: usize = 1 << 16;
+
+/// The flight-recorder overhead measurement: one deterministic workload run twice — on a
+/// plain pool and on a pool built with [`ThreadPoolBuilder::trace`] — so the document
+/// records what turning tracing on actually costs, and the gate can prove the *off*
+/// configuration (the default every other row measures) never pays for the subsystem.
+#[derive(Clone, Debug)]
+pub struct TraceBenchRecord {
+    /// Workload name (`recursive-sum`: the purest fork/join hot path in the suite, where
+    /// per-event cost is least diluted by leaf compute).
+    pub workload: String,
+    /// Worker threads (1: deterministic jobs, wall gateable like the other t=1 rows).
+    pub threads: usize,
+    /// Ring capacity per recorder lane during the traced runs.
+    pub capacity: usize,
+    /// Median wall time with tracing off (the gated number), nanoseconds.
+    pub wall_ns_off_median: u64,
+    /// Median wall time with tracing on (reported, not gated — the cost of opting in).
+    pub wall_ns_on_median: u64,
+    /// `(on - off) / off`: the relative cost of the flight recorder on this workload.
+    pub overhead_rel: f64,
+    /// Fork branches per repeat — identical off and on (asserted), gated exactly.
+    pub jobs: u64,
+    /// Events the recorder accepted across the traced warm-up + repeats.
+    pub events_recorded: u64,
+    /// Events overwritten before the final snapshot (bounded-ring semantics).
+    pub events_dropped: u64,
+    /// Fraction of the traced span attributed to running jobs.
+    pub busy_frac: f64,
+    /// Fraction attributed to steal attempts.
+    pub steal_frac: f64,
+    /// Fraction attributed to parked waiting.
+    pub park_frac: f64,
+    /// Residual fraction (scheduler bookkeeping between attributed intervals).
+    pub overhead_frac: f64,
+}
+
+/// One timed pass of the overhead workload: wall time and the pool's fork-count delta.
+fn trace_one_run(pool: &ThreadPool, sum_n: u64, expect: u64) -> (u64, u64) {
+    let jobs0 = pool.stats().total_jobs();
+    let start = Instant::now();
+    let check = pool.install(move || recursive_sum(0, sum_n));
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    assert_eq!(check, expect, "trace-overhead: nondeterministic checksum");
+    (wall_ns, pool.stats().total_jobs() - jobs0)
+}
+
+/// Measure the flight recorder's cost: `recursive-sum` on a 1-thread chaselev pool with
+/// tracing off, then on a pool built with `.trace(TRACE_BENCH_CAPACITY)`, medians over
+/// `cfg.repeats`. The fork count must be identical in both modes — tracing observes the
+/// schedule, it must not change it.
+pub fn run_trace_overhead(cfg: &BenchConfig) -> TraceBenchRecord {
+    let sum_n: u64 = match cfg.size {
+        SizeClass::Smoke => 1 << 18,
+        SizeClass::Full => 1 << 23,
+    };
+    let expect: u64 = (0..sum_n).sum();
+    let threads = 1usize;
+
+    let measure = |pool: &ThreadPool| -> (u64, u64) {
+        for _ in 0..cfg.warmup.max(1) {
+            trace_one_run(pool, sum_n, expect);
+        }
+        let mut runs: Vec<(u64, u64)> =
+            (0..cfg.repeats.max(1)).map(|_| trace_one_run(pool, sum_n, expect)).collect();
+        let jobs = runs[0].1;
+        assert!(
+            runs.iter().all(|&(_, j)| j == jobs),
+            "trace-overhead: fork count must be deterministic at t=1"
+        );
+        runs.sort_by_key(|r| r.0);
+        (runs[runs.len() / 2].0, jobs)
+    };
+
+    let off_pool =
+        ThreadPoolBuilder::new().threads(threads).backend(DequeBackend::Crossbeam).build();
+    let (off_median, off_jobs) = measure(&off_pool);
+
+    let on_pool = ThreadPoolBuilder::new()
+        .threads(threads)
+        .backend(DequeBackend::Crossbeam)
+        .trace(TRACE_BENCH_CAPACITY)
+        .build();
+    let (on_median, on_jobs) = measure(&on_pool);
+    assert_eq!(off_jobs, on_jobs, "tracing must not change the fork count");
+
+    let snap = on_pool.trace_snapshot().expect("traced pool must yield a snapshot");
+    let profile = snap.profile();
+    let span: u64 = profile.workers.iter().map(|w| w.span_ns).sum();
+    let attributed = |f: fn(&rws_runtime::trace::WorkerProfile) -> u64| -> f64 {
+        if span == 0 {
+            0.0
+        } else {
+            profile.workers.iter().map(f).sum::<u64>() as f64 / span as f64
+        }
+    };
+    TraceBenchRecord {
+        workload: "recursive-sum".into(),
+        threads,
+        capacity: TRACE_BENCH_CAPACITY,
+        wall_ns_off_median: off_median,
+        wall_ns_on_median: on_median,
+        overhead_rel: if off_median == 0 {
+            0.0
+        } else {
+            (on_median as f64 - off_median as f64) / off_median as f64
+        },
+        jobs: off_jobs,
+        events_recorded: snap.total_recorded(),
+        events_dropped: snap.total_dropped(),
+        busy_frac: attributed(|w| w.busy_ns),
+        steal_frac: attributed(|w| w.steal_ns),
+        park_frac: attributed(|w| w.park_ns),
+        overhead_frac: attributed(|w| w.overhead_ns),
+    }
+}
+
 /// Head-to-head comparison derived from the records: for each (workload, threads), the
 /// chaselev-vs-simple speedup on median wall time.
 pub fn comparisons(records: &[BenchRecord]) -> Vec<(String, usize, u64, u64, f64)> {
@@ -573,10 +696,42 @@ pub fn comparisons(records: &[BenchRecord]) -> Vec<(String, usize, u64, u64, f64
 
 /// Serialize the suite results as the `BENCH_native.json` document (rendered through the
 /// shared [`rws_lab::json`] writer — one escaping and number-formatting path workspace-wide).
+/// The `trace` key is emitted as `null`; the binary's full emission path goes through
+/// [`to_json_full`], which includes the measured [`TraceBenchRecord`].
 pub fn to_json(
     cfg: &BenchConfig,
     records: &[BenchRecord],
     service: &[ServiceBenchRecord],
+) -> String {
+    to_json_full(cfg, records, service, None)
+}
+
+/// Render the trace-overhead measurement as the document's `trace` object.
+fn trace_json(t: &TraceBenchRecord) -> Json {
+    obj([
+        ("workload", t.workload.as_str().into()),
+        ("threads", t.threads.into()),
+        ("capacity", t.capacity.into()),
+        ("wall_ns_off_median", t.wall_ns_off_median.into()),
+        ("wall_ns_on_median", t.wall_ns_on_median.into()),
+        ("overhead_rel", t.overhead_rel.into()),
+        ("jobs", t.jobs.into()),
+        ("events_recorded", t.events_recorded.into()),
+        ("events_dropped", t.events_dropped.into()),
+        ("busy_frac", t.busy_frac.into()),
+        ("steal_frac", t.steal_frac.into()),
+        ("park_frac", t.park_frac.into()),
+        ("overhead_frac", t.overhead_frac.into()),
+    ])
+}
+
+/// [`to_json`] plus the flight-recorder overhead row (`trace`: an object when measured,
+/// `null` when not — the key is always present, so consumers need no probing).
+pub fn to_json_full(
+    cfg: &BenchConfig,
+    records: &[BenchRecord],
+    service: &[ServiceBenchRecord],
+    trace: Option<&TraceBenchRecord>,
 ) -> String {
     let recs: Vec<Json> = records
         .iter()
@@ -650,6 +805,7 @@ pub fn to_json(
         ("caveat", caveat.into()),
         ("records", recs.into()),
         ("service", svc.into()),
+        ("trace", trace.map(trace_json).unwrap_or(Json::Null)),
         ("chaselev_vs_simple", cmps.into()),
     ])
     .render()
@@ -661,16 +817,29 @@ pub fn to_json(
 pub fn validate_json(doc: &str) -> Result<(), String> {
     json::validate_with_keys(
         doc,
-        &["schema", "records", "service", "chaselev_vs_simple", "wall_ns_median", "caveat"],
+        &[
+            "schema",
+            "records",
+            "service",
+            "trace",
+            "chaselev_vs_simple",
+            "wall_ns_median",
+            "caveat",
+        ],
     )
 }
 
 /// Structurally diff a (smoke) run's document against the committed baseline — the CI gate
 /// that catches a silently dropped row or a drifted record schema, which plain
-/// [`validate_json`] cannot see. Checks:
+/// [`validate_json`] cannot see. The comparison is **forward-compatible**: the baseline's
+/// structure must be a *subset* of the run's, so a run emitted by a newer binary (extra
+/// top-level keys, extra per-record fields) still checks cleanly against an older committed
+/// baseline, while anything the baseline promises that the run dropped fails. Checks:
 ///
-/// 1. both documents carry the same top-level key set and the same `schema` tag;
-/// 2. every record in both documents carries exactly the baseline's per-record field set;
+/// 1. every baseline top-level key appears in the run (run-only extras are ignored), and
+///    the `schema` tags are identical;
+/// 2. every record in both documents carries at least the baseline's per-record field set
+///    (a field *missing* from a run record still fails; run-only extra fields pass);
 /// 3. every `(workload, backend)` combination in the baseline appears in the run;
 /// 4. the run's per-combination record count is uniform (each combination measured at
 ///    every swept thread count — a single dropped row breaks the uniformity).
@@ -680,12 +849,14 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
     let run = json::parse(run_doc).map_err(|e| format!("run document: {e}"))?;
     let base = json::parse(baseline_doc).map_err(|e| format!("baseline document: {e}"))?;
 
-    if run.keys() != base.keys() {
-        return Err(format!(
-            "top-level key sets differ: run has {:?}, baseline has {:?}",
-            run.keys(),
-            base.keys()
-        ));
+    for key in base.keys() {
+        if !run.keys().contains(&key) {
+            return Err(format!(
+                "baseline top-level key `{key}` is missing from the run (run has {:?}) — \
+                 a section was silently dropped",
+                run.keys()
+            ));
+        }
     }
     if run.get("schema") != base.get("schema") {
         return Err(format!(
@@ -712,9 +883,11 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
         .collect::<Vec<_>>();
     for (which, recs) in [("run", &run_records), ("baseline", &base_records)] {
         for (i, rec) in recs.iter().enumerate() {
-            if rec.keys() != reference_fields.iter().map(String::as_str).collect::<Vec<_>>() {
+            if let Some(lost) = reference_fields.iter().find(|f| !rec.keys().contains(&f.as_str()))
+            {
                 return Err(format!(
-                    "{which} record {i} field set {:?} differs from the baseline schema {:?}",
+                    "{which} record {i} field set {:?} lacks `{lost}` from the baseline \
+                     schema {:?}",
                     rec.keys(),
                     reference_fields
                 ));
@@ -773,9 +946,9 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
         let fields = reference.keys();
         for (which, recs) in [("run", &run_service), ("baseline", &base_service)] {
             for (i, rec) in recs.iter().enumerate() {
-                if rec.keys() != fields {
+                if let Some(lost) = fields.iter().find(|f| !rec.keys().contains(f)) {
                     return Err(format!(
-                        "{which} service record {i} field set {:?} differs from the \
+                        "{which} service record {i} field set {:?} lacks `{lost}` from the \
                          baseline schema {fields:?}",
                         rec.keys()
                     ));
@@ -824,6 +997,9 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
 ///   *less* is the good direction, so no lower bound). `jobs_per_sec` is derived from the
 ///   gated wall and the p99 latencies are scheduling-noise-bound, so neither is gated
 ///   directly.
+/// * **The trace-overhead row** (when both documents carry one): the *tracing-off* wall is
+///   gated with `wall_rel_tol` and `jobs` exactly — proof the always-compiled flight
+///   recorder stays free when it is off. The tracing-on wall is reported, not gated.
 #[derive(Clone, Copy, Debug)]
 pub struct GateConfig {
     /// Relative tolerance on `threads = 1` median wall times (0.35 = +35%).
@@ -1054,6 +1230,54 @@ pub fn gate_against(
         ]));
     }
 
+    // The trace-overhead row, when both documents carry one. The *off* wall is the gated
+    // number — it is what every untraced row pays, so a regression there means the
+    // flight recorder leaked cost into the default path. The on-wall and the attribution
+    // fractions are reported in the delta but not gated (opting in is allowed to cost).
+    // A `null`/absent trace on either side skips the row, so a pre-trace baseline still
+    // gates cleanly until it is regenerated.
+    let trace_row = match (run.get("trace"), base.get("trace")) {
+        (Some(run_tr @ Json::Obj(_)), Some(base_tr @ Json::Obj(_))) => {
+            let mut ok = true;
+            let id = "trace-overhead";
+            let wall_run = num(run_tr, "wall_ns_off_median")?;
+            let wall_base = num(base_tr, "wall_ns_off_median")?;
+            let wall_rel = if wall_base == 0 {
+                0.0
+            } else {
+                (wall_run as f64 - wall_base as f64) / wall_base as f64
+            };
+            if wall_rel > gate.wall_rel_tol {
+                ok = false;
+                regressions.push(format!(
+                    "{id}: tracing-off wall_ns_off_median {wall_run} vs baseline {wall_base} \
+                     ({:+.1}% > +{:.0}%)",
+                    100.0 * wall_rel,
+                    100.0 * gate.wall_rel_tol
+                ));
+            }
+            let (jobs_run, jobs_base) = (num(run_tr, "jobs")?, num(base_tr, "jobs")?);
+            if jobs_run != jobs_base {
+                ok = false;
+                regressions
+                    .push(format!("{id}: jobs {jobs_run} vs baseline {jobs_base} (gated exact)"));
+            }
+            obj([
+                ("workload", run_tr.get("workload").cloned().unwrap_or(Json::Null)),
+                ("wall_ns_off_median_run", wall_run.into()),
+                ("wall_ns_off_median_base", wall_base.into()),
+                ("wall_rel_delta", wall_rel.into()),
+                ("wall_ns_on_median_run", num(run_tr, "wall_ns_on_median")?.into()),
+                ("overhead_rel_run", run_tr.get("overhead_rel").cloned().unwrap_or(Json::Null)),
+                ("overhead_rel_base", base_tr.get("overhead_rel").cloned().unwrap_or(Json::Null)),
+                ("jobs_run", jobs_run.into()),
+                ("jobs_base", jobs_base.into()),
+                ("ok", ok.into()),
+            ])
+        }
+        _ => Json::Null,
+    };
+
     let pass = regressions.is_empty();
     let delta = obj([
         ("schema", "rws-bench-delta/v1".into()),
@@ -1069,6 +1293,7 @@ pub fn gate_against(
         ),
         ("rows", rows.into()),
         ("service_rows", service_rows.into()),
+        ("trace_row", trace_row),
     ])
     .render();
     Ok((delta, pass))
@@ -1078,7 +1303,7 @@ pub fn gate_against(
 pub fn validate_delta(doc: &str) -> Result<(), String> {
     json::validate_with_keys(
         doc,
-        &["schema", "pass", "regressions", "rows", "service_rows", "wall_rel_tol"],
+        &["schema", "pass", "regressions", "rows", "service_rows", "trace_row", "wall_rel_tol"],
     )
 }
 
@@ -1293,6 +1518,104 @@ mod tests {
         rws_lab::json::validate(&missing).expect("still well-formed JSON");
         let err = check_against(&missing, &baseline).unwrap_err();
         assert!(err.contains("service record") && err.contains("field set"), "{err}");
+    }
+
+    fn trace_record(off: u64, on: u64) -> TraceBenchRecord {
+        TraceBenchRecord {
+            workload: "recursive-sum".into(),
+            threads: 1,
+            capacity: TRACE_BENCH_CAPACITY,
+            wall_ns_off_median: off,
+            wall_ns_on_median: on,
+            overhead_rel: (on as f64 - off as f64) / off as f64,
+            jobs: 511,
+            events_recorded: 1022,
+            events_dropped: 0,
+            busy_frac: 0.95,
+            steal_frac: 0.0,
+            park_frac: 0.0,
+            overhead_frac: 0.05,
+        }
+    }
+
+    #[test]
+    fn check_against_is_forward_compatible_with_extended_runs() {
+        let cfg = BenchConfig::for_size(SizeClass::Smoke);
+        let records = tiny_records();
+        let service = vec![service_record("service-steady", 1, 10_000, 0)];
+        let baseline = to_json(&cfg, &records, &service);
+
+        // A run emitted by a newer binary: an extra top-level section, an extra field on
+        // every record and service row, and a measured trace object where the baseline has
+        // null. All of it must be ignored — the baseline's structure is still fully there.
+        let extended = to_json_full(&cfg, &records, &service, Some(&trace_record(1000, 1100)))
+            .replacen(
+                "\"schema\": \"rws-bench-native/v2\",",
+                "\"schema\": \"rws-bench-native/v2\",\n  \"future_section\": 1,",
+                1,
+            )
+            .replace("\"parks\": 2,", "\"parks\": 2,\n      \"future_counter\": 7,")
+            .replace("\"p99_queue_ns\": 500,", "\"p99_queue_ns\": 500,\n      \"p99_spare\": 1,");
+        rws_lab::json::validate(&extended).expect("still well-formed JSON");
+        check_against(&extended, &baseline).expect("run-side extras are forward-compatible");
+
+        // The reverse direction is NOT tolerated: a baseline promising more than the run
+        // delivers means the run dropped something.
+        let err = check_against(&baseline, &extended).unwrap_err();
+        assert!(err.contains("future_section") && err.contains("missing from the run"), "{err}");
+    }
+
+    #[test]
+    fn trace_overhead_row_measures_both_modes() {
+        let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![1], repeats: 1, warmup: 1 };
+        let t = run_trace_overhead(&cfg);
+        assert_eq!(t.threads, 1);
+        assert!(t.jobs > 0, "the workload must fork");
+        assert!(t.wall_ns_off_median > 0 && t.wall_ns_on_median > 0);
+        assert!(t.events_recorded > 0, "the traced pool must record events");
+        for frac in [t.busy_frac, t.steal_frac, t.park_frac, t.overhead_frac] {
+            assert!((0.0..=1.0).contains(&frac), "attribution fraction out of range: {frac}");
+        }
+        let doc = to_json_full(&cfg, &tiny_records(), &[], Some(&t));
+        validate_json(&doc).expect("document with a trace row must validate");
+        assert!(doc.contains("\"wall_ns_off_median\""), "{doc}");
+    }
+
+    #[test]
+    fn gate_covers_the_trace_row() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let baseline = to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1000, 1100)));
+
+        // Identical documents pass and the delta carries the populated trace row.
+        let (delta, pass) = gate_against(&baseline, &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "identical trace rows must pass:\n{delta}");
+        assert!(delta.contains("\"trace_row\"") && delta.contains("overhead_rel_run"), "{delta}");
+
+        // A tracing-off wall regression past the tolerance trips the gate: the flight
+        // recorder leaked cost into the default path.
+        let slow = to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1500, 1600)));
+        let (delta, pass) = gate_against(&slow, &baseline, &GateConfig::default()).unwrap();
+        assert!(!pass, "a tracing-off slowdown must trip the gate");
+        assert!(delta.contains("trace-overhead: tracing-off wall_ns_off_median 1500"), "{delta}");
+
+        // A fork-count drift under tracing trips the gate exactly.
+        let mut drifted = trace_record(1000, 1100);
+        drifted.jobs += 1;
+        let doc = to_json_full(&cfg, &gate_records(), &[], Some(&drifted));
+        let (delta, pass) = gate_against(&doc, &baseline, &GateConfig::default()).unwrap();
+        assert!(!pass, "a traced jobs drift must trip the gate");
+        assert!(delta.contains("trace-overhead: jobs 512"), "{delta}");
+
+        // A slower tracing-ON wall alone is reported, not gated: opting in may cost.
+        let pricier = to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1000, 3000)));
+        let (_, pass) = gate_against(&pricier, &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "the tracing-on wall is not gated");
+
+        // A pre-trace baseline (trace: null) skips the row instead of failing.
+        let old_baseline = to_json(&cfg, &gate_records(), &[]);
+        let (delta, pass) = gate_against(&baseline, &old_baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "a null baseline trace skips the row");
+        assert!(delta.contains("\"trace_row\": null"), "{delta}");
     }
 
     #[test]

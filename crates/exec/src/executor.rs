@@ -122,11 +122,11 @@ impl Executor for SimExecutor {
 /// The native backend: runs a workload's fork-join implementation on the `rws-runtime`
 /// work-stealing thread pool and reports wall time plus the pool's steal counters.
 ///
-/// Steal and job counts in the report are **pool-global counter deltas** over the run: they
-/// attribute correctly as long as nothing else executes on the pool concurrently. Run one
-/// workload at a time per executor (and keep [`NativeExecutor::pool`] side traffic outside
-/// measured runs) when the counters matter — this is why `rws-lab`'s parallel sweep
-/// (`lab --jobs N`) serializes its native runs while fanning simulated runs out.
+/// Steal and job counts in the report are **per-worker snapshot deltas** bracketing the
+/// run ([`rws_runtime::PoolStats::snapshot_delta`]), so counter attribution is race-free
+/// even when other work shares the pool. Wall time is the one column that still needs
+/// exclusive use of the pool — `rws-lab`'s parallel sweep (`lab --jobs N`) serializes its
+/// native runs for timing only.
 pub struct NativeExecutor {
     pool: Arc<ThreadPool>,
     backend_kind: DequeBackend,
@@ -140,13 +140,29 @@ impl NativeExecutor {
 
     /// A pool with `threads` workers on the chosen deque backend.
     pub fn with_backend(threads: usize, backend: DequeBackend) -> Self {
-        let pool = ThreadPoolBuilder::new().threads(threads).backend(backend).build();
-        NativeExecutor { pool: Arc::new(pool), backend_kind: backend }
+        Self::with_options(threads, backend, None)
+    }
+
+    /// A pool with `threads` workers, the chosen deque backend, and (optionally) the
+    /// flight recorder enabled with `trace` event slots per lane (see
+    /// [`rws_runtime::pool::ThreadPoolBuilder::trace`]).
+    pub fn with_options(threads: usize, backend: DequeBackend, trace: Option<usize>) -> Self {
+        let mut builder = ThreadPoolBuilder::new().threads(threads).backend(backend);
+        if let Some(capacity) = trace {
+            builder = builder.trace(capacity);
+        }
+        NativeExecutor { pool: Arc::new(builder.build()), backend_kind: backend }
     }
 
     /// The underlying pool.
     pub fn pool(&self) -> &ThreadPool {
         &self.pool
+    }
+
+    /// Drain the pool's flight recorder into a time-ordered snapshot (`None` when the
+    /// executor was built without tracing).
+    pub fn trace_snapshot(&self) -> Option<rws_runtime::trace::TraceSnapshot> {
+        self.pool.trace_snapshot()
     }
 }
 
@@ -168,21 +184,20 @@ impl Executor for NativeExecutor {
     }
 
     fn execute(&self, workload: SharedWorkload) -> ExecOutcome {
-        let steals_before = self.pool.stats().total_steals();
-        let jobs_before = self.pool.stats().total_jobs();
-        let failed_before = self.pool.stats().total_failed_steals();
+        let before = self.pool.stats().snapshot();
         let start = Instant::now();
         let on_pool = Arc::clone(&workload);
         let output = self.pool.install(move || on_pool.run_native());
         let wall = start.elapsed();
+        let delta = self.pool.stats().snapshot_delta(&before);
         let report = ExecReport {
             backend: Backend::Native,
             executor: self.name(),
             workload: workload.name(),
             procs: self.procs(),
-            steals: self.pool.stats().total_steals() - steals_before,
-            failed_steals: self.pool.stats().total_failed_steals() - failed_before,
-            work_items: self.pool.stats().total_jobs() - jobs_before,
+            steals: delta.total_steals(),
+            failed_steals: delta.total_failed_steals(),
+            work_items: delta.total_jobs(),
             cache_misses: 0,
             block_misses: 0,
             false_sharing_misses: 0,

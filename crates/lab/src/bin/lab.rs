@@ -3,8 +3,8 @@
 //! error, a malformed emission, or a bound-check verdict of `Fail` — is wrong.
 //!
 //! ```text
-//! lab <scenario file> [--out PATH] [--jobs N] [--timing]
-//! lab <chaos scenario> [--out PATH] [--sabotage]
+//! lab <scenario file> [--out PATH] [--jobs N] [--timing] [--trace DIR]
+//! lab <chaos scenario> [--out PATH] [--sabotage] [--trace DIR]
 //! ```
 //!
 //! A scenario declaring `mode = chaos` runs the fault-injection harness instead of the
@@ -15,13 +15,19 @@
 //! apply to chaos runs and are rejected).
 //!
 //! `--jobs N` fans independent **simulated** runs out across an `N`-worker driver pool
-//! (native runs stay serialized so their pool-counter deltas attribute correctly); the
-//! emitted document is byte-identical whatever `N` is. On a 1-CPU host, jobs above 1
-//! merely time-slice — correctness and output are unaffected, wall time is not improved.
+//! (native runs stay serialized so their wall clocks don't contend); the emitted document
+//! is byte-identical whatever `N` is. On a 1-CPU host, jobs above 1 merely time-slice —
+//! correctness and output are unaffected, wall time is not improved.
 //!
 //! `--timing` additionally populates the volatile `timing` sidecar (wall clocks, native
 //! steal counters). Without it the document is fully deterministic: rerunning the same
 //! scenario emits the same bytes.
+//!
+//! `--trace DIR` turns on the runtime's flight recorder and writes, per native run (or
+//! per chaos run), a full `rws-trace/v1` document plus a Chrome `trace_event` file into
+//! `DIR` (`<scenario>_native_<i>.trace.json` / `..._chrome.json`, or `<scenario>.trace.json`
+//! for chaos). The trace files are a **sidecar**: the lab report itself stays byte-identical
+//! to an untraced run's, and every trace document is validated as it landed on disk.
 //!
 //! Without `--out` the JSON goes to stdout (the summary always goes to stderr); with
 //! `--out` the document is written, re-read from disk, and validated as it landed.
@@ -29,15 +35,66 @@
 //! Exit codes: `0` all checks passed, `1` a check failed or the report was invalid,
 //! `2` usage or scenario-parse error.
 
-use rws_lab::{chaos, report, Scenario};
+use rws_lab::sweep::NativeTraceCapture;
+use rws_lab::{chaos, report, trace_export, Scenario};
 use std::process::ExitCode;
+
+/// Events per recorder lane under `--trace` (power of two; 16-byte slots, so ~3 MiB per
+/// lane — bounded however long the run is, overwrite-oldest beyond that).
+const TRACE_CAPACITY: usize = 1 << 16;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lab <scenario file> [--out PATH] [--jobs N] [--timing]\n\
-                lab <chaos scenario> [--out PATH] [--sabotage]"
+        "usage: lab <scenario file> [--out PATH] [--jobs N] [--timing] [--trace DIR]\n\
+                lab <chaos scenario> [--out PATH] [--sabotage] [--trace DIR]"
     );
     std::process::exit(2);
+}
+
+/// Write one trace snapshot's pair of files (`rws-trace/v1` + Chrome) into `dir`,
+/// validating each as it landed on disk. Returns `false` on any failure.
+fn write_trace_pair(
+    dir: &str,
+    stem: &str,
+    label: &str,
+    snap: &rws_runtime::trace::TraceSnapshot,
+) -> bool {
+    let pairs = [
+        (
+            format!("{dir}/{stem}.trace.json"),
+            trace_export::trace_document(snap, label).render(),
+            true,
+        ),
+        (
+            format!("{dir}/{stem}_chrome.json"),
+            trace_export::chrome_trace(snap, label).render(),
+            false,
+        ),
+    ];
+    for (path, doc, is_trace_doc) in pairs {
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("lab: failed to write {path}: {e}");
+            return false;
+        }
+        let written = match std::fs::read_to_string(&path) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("lab: failed to re-read {path}: {e}");
+                return false;
+            }
+        };
+        let checked = if is_trace_doc {
+            trace_export::validate_trace_document(&written)
+        } else {
+            trace_export::validate_chrome_trace(&written)
+        };
+        if let Err(e) = checked {
+            eprintln!("lab: {path} is malformed: {e}");
+            return false;
+        }
+        eprintln!("lab: wrote {path}");
+    }
+    true
 }
 
 fn main() -> ExitCode {
@@ -47,6 +104,7 @@ fn main() -> ExitCode {
     let mut jobs_given = false;
     let mut timing = false;
     let mut sabotage = false;
+    let mut trace_dir: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -63,6 +121,7 @@ fn main() -> ExitCode {
             }
             "--timing" => timing = true,
             "--sabotage" => sabotage = true,
+            "--trace" => trace_dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if scenario_path.is_none() && !other.starts_with('-') => {
                 scenario_path = Some(other.to_string())
@@ -80,12 +139,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("lab: cannot create trace directory {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
     if chaos::is_chaos_scenario(&text) {
         if jobs_given || timing {
             eprintln!("lab: --jobs/--timing do not apply to chaos scenarios");
             return ExitCode::from(2);
         }
-        return run_chaos(&scenario_path, &text, out.as_deref(), sabotage);
+        return run_chaos(&scenario_path, &text, out.as_deref(), sabotage, trace_dir.as_deref());
     }
     if sabotage {
         eprintln!("lab: --sabotage only applies to chaos scenarios (mode = chaos)");
@@ -101,15 +167,35 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "lab: running scenario `{}` ({} on {:?}, {} seed(s), jobs={jobs})",
+        "lab: running scenario `{}` ({} on {:?}, {} seed(s), jobs={jobs}{})",
         scenario.name,
         scenario.workload.name(),
         scenario.backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
-        scenario.seeds.len()
+        scenario.seeds.len(),
+        if trace_dir.is_some() { ", traced" } else { "" }
     );
-    let result = report::run_with_jobs(&scenario, jobs);
+    let (result, captures): (report::LabReport, Vec<NativeTraceCapture>) = match &trace_dir {
+        Some(_) => report::run_with_jobs_traced(&scenario, jobs, TRACE_CAPACITY),
+        None => (report::run_with_jobs(&scenario, jobs), Vec::new()),
+    };
     for line in result.summary_lines() {
         eprintln!("{line}");
+    }
+
+    if let Some(dir) = &trace_dir {
+        for (i, capture) in captures.iter().enumerate() {
+            let stem = format!("{}_native_{i}", scenario.name);
+            let label = format!(
+                "{} native t={} seed={}",
+                scenario.name, capture.spec.procs, capture.spec.seed
+            );
+            if !write_trace_pair(dir, &stem, &label, &capture.snapshot) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if captures.is_empty() {
+            eprintln!("lab: --trace had nothing to record (no native runs in this scenario)");
+        }
     }
 
     let doc = if timing { result.to_json_timed() } else { result.to_json() };
@@ -152,7 +238,13 @@ fn main() -> ExitCode {
 
 /// The chaos path: run the fault-injection harness, emit `rws-chaos-report/v1`, exit
 /// nonzero on any failed recovery invariant (or malformed emission).
-fn run_chaos(path: &str, text: &str, out: Option<&str>, sabotage: bool) -> ExitCode {
+fn run_chaos(
+    path: &str,
+    text: &str,
+    out: Option<&str>,
+    sabotage: bool,
+    trace_dir: Option<&str>,
+) -> ExitCode {
     let scenario = match chaos::ChaosScenario::parse(text) {
         Ok(sc) => sc,
         Err(e) => {
@@ -162,18 +254,28 @@ fn run_chaos(path: &str, text: &str, out: Option<&str>, sabotage: bool) -> ExitC
     };
     eprintln!(
         "lab: running chaos scenario `{}` ({} jobs on {} threads, capacity {}, {} planned \
-         death(s), panic_every = {}{})",
+         death(s), panic_every = {}{}{})",
         scenario.name,
         scenario.total_jobs(),
         scenario.threads,
         scenario.queue_capacity,
         scenario.death_sweeps.len(),
         scenario.panic_every,
-        if sabotage { ", SABOTAGE self-test" } else { "" }
+        if sabotage { ", SABOTAGE self-test" } else { "" },
+        if trace_dir.is_some() { ", traced" } else { "" }
     );
-    let result = chaos::run(&scenario, sabotage);
+    let trace = trace_dir.map(|_| TRACE_CAPACITY);
+    let result = chaos::run_traced(&scenario, sabotage, trace);
     for line in result.summary_lines() {
         eprintln!("{line}");
+    }
+
+    if let Some(dir) = trace_dir {
+        let snap = result.trace.as_ref().expect("traced chaos run carries a snapshot");
+        let label = format!("{} chaos t={}", scenario.name, scenario.threads);
+        if !write_trace_pair(dir, &scenario.name, &label, snap) {
+            return ExitCode::FAILURE;
+        }
     }
 
     let doc = result.to_json();

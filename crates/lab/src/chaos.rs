@@ -46,6 +46,8 @@
 
 use crate::json::{self, obj, Json};
 use crate::scenario::ScenarioError;
+use crate::trace_export;
+use rws_runtime::trace::TraceSnapshot;
 use rws_runtime::{
     AdmissionPolicy, FaultPlan, FaultSpec, HistogramSnapshot, JobHandle, JobOutcome, JobServer,
     ServiceConfig, ServiceSnapshot, StormSpec,
@@ -365,6 +367,9 @@ pub struct ChaosReport {
     pub verdicts: Vec<Verdict>,
     /// Whether the evidence was deliberately doctored (the harness self-test).
     pub sabotaged: bool,
+    /// The server pool's drained flight recorder, when the run was traced
+    /// ([`run_traced`]); `None` on plain [`run`]s.
+    pub trace: Option<TraceSnapshot>,
 }
 
 impl ChaosReport {
@@ -404,6 +409,14 @@ impl ChaosReport {
             s.service.p50_ns / 1_000,
             s.service.p99_ns / 1_000,
         ));
+        if let Some(trace) = &self.trace {
+            lines.push(format!(
+                "  trace: {} events recorded, {} dropped across {} lanes",
+                trace.total_recorded(),
+                trace.total_dropped(),
+                trace.lanes.len()
+            ));
+        }
         for v in &self.verdicts {
             lines.push(format!(
                 "  {} {}: {}",
@@ -482,6 +495,14 @@ impl ChaosReport {
             ("latency", obj([("queue", hist(&s.queue)), ("service", hist(&s.service))])),
             ("shed_rate", shed_rate.into()),
             ("sabotaged", self.sabotaged.into()),
+            // Always present so consumers need no key probing: `null` on untraced runs.
+            (
+                "trace_summary",
+                match &self.trace {
+                    Some(snap) => trace_export::trace_summary(snap),
+                    None => Json::Null,
+                },
+            ),
             (
                 "invariants",
                 Json::Arr(
@@ -537,6 +558,15 @@ fn busy(d: Duration) {
 /// self-test proving the harness can trip; it is not a fault *injection* knob (those live
 /// in the scenario's fault plan).
 pub fn run(sc: &ChaosScenario, sabotage: bool) -> ChaosReport {
+    run_traced(sc, sabotage, None)
+}
+
+/// [`run`] with the server pool's flight recorder optionally enabled: `trace =
+/// Some(capacity)` records `capacity` events per lane and returns the drained snapshot in
+/// [`ChaosReport::trace`] (rendered into the report's `trace_summary` key, and written as
+/// full `rws-trace/v1` / Chrome documents by `lab --trace DIR`). The verdicts and every
+/// other observable are unaffected by tracing.
+pub fn run_traced(sc: &ChaosScenario, sabotage: bool, trace: Option<usize>) -> ChaosReport {
     let plan = Arc::new(FaultPlan::new(FaultSpec {
         seed: sc.seed,
         death_sweeps: sc.death_sweeps.clone(),
@@ -552,8 +582,12 @@ pub fn run(sc: &ChaosScenario, sabotage: bool) -> ChaosReport {
         admission: sc.admission,
         heartbeat_interval: sc.heartbeat,
         faults: Some(Arc::clone(&plan)),
+        trace,
         ..ServiceConfig::default()
     });
+    // The recorder outlives the pool (it is an `Arc`), so the snapshot can be drained
+    // after shutdown and still include the shutdown-path events (final settles, respawns).
+    let recorder = server.pool().trace_recorder();
 
     let total = sc.total_jobs() as usize;
     let counts: Arc<Vec<AtomicU32>> = Arc::new((0..total).map(|_| AtomicU32::new(0)).collect());
@@ -645,6 +679,7 @@ pub fn run(sc: &ChaosScenario, sabotage: bool) -> ChaosReport {
         executions,
         verdicts,
         sabotaged: sabotage,
+        trace: recorder.map(|r| r.snapshot()),
     }
 }
 
@@ -818,6 +853,35 @@ mod tests {
             assert!(doc.contains(key), "missing {key} in\n{doc}");
         }
         assert!(doc.contains("\"sabotaged\": false"));
+        assert!(doc.contains("\"trace_summary\": null"), "untraced runs carry an explicit null");
+    }
+
+    #[test]
+    fn traced_chaos_run_embeds_a_consistent_trace_summary() {
+        let sc = ChaosScenario::parse(
+            "mode = chaos\nname = traced\nthreads = 2\nqueue_capacity = 8\nsteady_jobs = 12\n\
+             burst_jobs = 4\nprobe_jobs = 4\njob_work_us = 50\nsteady_pace_us = 50",
+        )
+        .unwrap();
+        let report = run_traced(&sc, false, Some(1 << 14));
+        assert!(report.all_passed(), "{:?}", report.summary_lines());
+        let trace = report.trace.as_ref().expect("traced run must carry a snapshot");
+        assert!(trace.total_recorded() > 0);
+        let doc = report.to_json();
+        validate_chaos_report(&doc).expect("traced chaos report must validate");
+        let parsed = json::parse(&doc).unwrap();
+        let summary = parsed.get("trace_summary").expect("trace_summary key");
+        assert!(summary.get("schema").is_some(), "summary is an object, not null: {doc}");
+        // Two accounting paths, one truth: every submission settles exactly once, and the
+        // trace saw each settle (capacity is far above this scenario's event volume).
+        let settled = summary.get("service").and_then(|s| s.get("settled")).and_then(Json::as_u64);
+        assert_eq!(settled, Some(report.snapshot.submitted));
+        assert_eq!(
+            summary.get("respawns").and_then(Json::as_u64),
+            Some(report.snapshot.respawns),
+            "trace-observed respawns agree with the supervisor counter"
+        );
+        assert!(report.summary_lines().iter().any(|l| l.contains("trace:")));
     }
 
     #[test]

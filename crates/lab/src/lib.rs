@@ -11,7 +11,10 @@
 //! document.
 //!
 //! The [`json`] module is the workspace's single hand-rolled JSON writer/validator
-//! (`rws-bench`'s `BENCH_native.json` emitter renders through it too).
+//! (`rws-bench`'s `BENCH_native.json` emitter renders through it too), and
+//! [`trace_export`] renders the runtime's flight-recorder snapshots as `rws-trace/v1`
+//! documents and Chrome `trace_event` files (`lab --trace DIR` captures one per native
+//! run and per chaos run).
 //!
 //! The `lab` binary runs a scenario file end to end and exits nonzero on any `Fail`
 //! verdict, which is what the CI smoke step gates on:
@@ -27,7 +30,9 @@
 //! `--sabotage` is the self-test proving the harness trips on doctored evidence).
 //!
 //! `--jobs N` fans independent simulated runs out across an `N`-worker `rws-runtime` pool
-//! (native runs stay serialized so their steal-counter deltas attribute correctly); the
+//! (native runs stay serialized for timing only — counter attribution is race-free via
+//! `PoolStats::snapshot_delta`, but concurrent native runs would contend for cores and
+//! distort each other's wall clocks); the
 //! emitted document is byte-identical whatever `N` is, because the volatile measurements
 //! (wall clocks, native steal counters) live in an opt-in `--timing` sidecar.
 //!
@@ -53,9 +58,11 @@ pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
+pub mod trace_export;
 
 pub use chaos::{ChaosReport, ChaosScenario};
 pub use checks::CheckRecord;
 pub use report::{LabReport, SCHEMA};
 pub use scenario::{BackendChoice, CheckKind, Scenario, ScenarioError, SweepAxis, WorkloadKind};
-pub use sweep::{LabRun, RunRecord, RunSpec};
+pub use sweep::{LabRun, NativeTraceCapture, RunRecord, RunSpec};
+pub use trace_export::{chrome_trace, trace_document, trace_summary, validate_trace_document};

@@ -6,7 +6,8 @@ use crate::scenario::{BackendChoice, Scenario, SweepAxis};
 use rws_core::SimConfig;
 use rws_exec::{ExecReport, Executor, NativeExecutor, SharedWorkload, SimExecutor};
 use rws_machine::MachineConfig;
-use rws_runtime::{scope, ThreadPool};
+use rws_runtime::trace::TraceSnapshot;
+use rws_runtime::{scope, DequeBackend, ThreadPool};
 
 /// One expanded run: the backend, the concrete machine/pool shape, and the seed.
 #[derive(Clone, Debug)]
@@ -32,6 +33,16 @@ pub struct RunRecord {
     pub spec: RunSpec,
     /// The backend's normalized report.
     pub report: ExecReport,
+}
+
+/// One native run's drained flight recorder (the `lab --trace` path): which expanded run
+/// it belongs to plus the time-ordered event snapshot.
+#[derive(Clone, Debug)]
+pub struct NativeTraceCapture {
+    /// The expanded spec of the traced native run.
+    pub spec: RunSpec,
+    /// The drained, merged event snapshot of that run's (fresh, private) pool.
+    pub snapshot: TraceSnapshot,
 }
 
 /// All results of one scenario execution.
@@ -117,35 +128,57 @@ fn run_sim(spec: &RunSpec, workload: SharedWorkload) -> ExecReport {
 /// With `jobs = 1` no driver pool is built and everything runs inline on the caller,
 /// exactly as before this entry point existed.
 pub fn run_scenario_jobs(sc: &Scenario, jobs: usize) -> LabRun {
+    run_scenario_jobs_traced(sc, jobs, None).0
+}
+
+/// [`run_scenario_jobs`] with the native flight recorder optionally enabled: when `trace`
+/// is `Some(capacity)`, every native run executes on a **fresh** traced pool (no reuse
+/// across seeds — each capture is one run's events, and the recorder epoch restarts) and
+/// its drained snapshot is returned alongside the run records, in native execution order.
+/// Simulated runs are unaffected; the [`LabRun`] is identical to an untraced sweep's.
+pub fn run_scenario_jobs_traced(
+    sc: &Scenario,
+    jobs: usize,
+    trace: Option<usize>,
+) -> (LabRun, Vec<NativeTraceCapture>) {
     let jobs = jobs.max(1);
     let workload = sc.instantiate();
     let comp = workload.computation();
     let (work, t_inf) = (comp.dag.work(), comp.dag.span_nodes());
 
-    let records = if jobs == 1 {
-        execute_specs(expand(sc), workload.clone())
+    let (records, captures) = if jobs == 1 {
+        execute_specs(expand(sc), workload.clone(), trace)
     } else {
         // `install` needs an owned closure; move clones in and get the records back out.
         let (sc, workload) = (sc.clone(), workload.clone());
         let driver = ThreadPool::new(jobs);
-        driver.install(move || execute_specs(expand(&sc), workload))
+        driver.install(move || execute_specs(expand(&sc), workload, trace))
     };
 
-    LabRun {
+    let lab = LabRun {
         scenario: sc.name.clone(),
         workload: workload.name(),
         native_fallback: workload.native_support().is_fallback(),
         work,
         t_inf,
         records,
-    }
+    };
+    (lab, captures)
 }
 
 /// Run every spec, simulated runs through scoped spawns (concurrent when the caller is a
 /// pool worker, inline otherwise), native runs serialized in the scope body. Each run
 /// writes its expansion-order slot, so the returned order never depends on scheduling.
-fn execute_specs(specs: Vec<RunSpec>, workload: SharedWorkload) -> Vec<RunRecord> {
+///
+/// With `trace = Some(capacity)` every native run gets a fresh traced pool and contributes
+/// one [`NativeTraceCapture`]; untraced sweeps keep reusing one pool per thread count.
+fn execute_specs(
+    specs: Vec<RunSpec>,
+    workload: SharedWorkload,
+    trace: Option<usize>,
+) -> (Vec<RunRecord>, Vec<NativeTraceCapture>) {
     let mut slots: Vec<Option<RunRecord>> = specs.iter().map(|_| None).collect();
+    let mut captures: Vec<NativeTraceCapture> = Vec::new();
     scope(|s| {
         let mut native = Vec::new();
         for (spec, slot) in specs.into_iter().zip(slots.iter_mut()) {
@@ -162,6 +195,20 @@ fn execute_specs(specs: Vec<RunSpec>, workload: SharedWorkload) -> Vec<RunRecord
         }
         let mut native_pool: Option<NativeExecutor> = None;
         for (spec, slot) in native {
+            if let Some(capacity) = trace {
+                // A traced native run owns its pool: the capture is exactly this run's
+                // events, with nothing bled in from sibling seeds.
+                let exec = NativeExecutor::with_options(
+                    spec.procs,
+                    DequeBackend::Crossbeam,
+                    Some(capacity),
+                );
+                let report = exec.execute(workload.clone()).report;
+                let snapshot = exec.trace_snapshot().expect("executor was built with tracing on");
+                captures.push(NativeTraceCapture { spec: spec.clone(), snapshot });
+                *slot = Some(RunRecord { spec, report });
+                continue;
+            }
             let reusable = native_pool.as_ref().is_some_and(|p| p.procs() == spec.procs);
             if !reusable {
                 native_pool = Some(NativeExecutor::new(spec.procs));
@@ -170,7 +217,9 @@ fn execute_specs(specs: Vec<RunSpec>, workload: SharedWorkload) -> Vec<RunRecord
             *slot = Some(RunRecord { spec, report });
         }
     });
-    slots.into_iter().map(|r| r.expect("every run slot is filled inside the scope")).collect()
+    let records =
+        slots.into_iter().map(|r| r.expect("every run slot is filled inside the scope")).collect();
+    (records, captures)
 }
 
 #[cfg(test)]
@@ -259,6 +308,35 @@ mod tests {
                 assert_eq!(a.report.time_units, b.report.time_units);
                 assert_eq!(a.report.block_misses, b.report.block_misses);
             }
+        }
+    }
+
+    #[test]
+    fn traced_sweep_captures_agree_with_the_pool_counters() {
+        // Two accounting paths, one truth: a traced native run's event-derived profile
+        // must report exactly the jobs/steals the run record got from its PoolStats
+        // snapshot delta (capacity is large enough that nothing is overwritten).
+        let sc = parse(
+            "name = traced\nworkload = prefix-sums\nn = 4096\nbackends = native\n\
+             seeds = 3, 5\nprocs = 2",
+        );
+        let (lab, captures) = run_scenario_jobs_traced(&sc, 1, Some(1 << 16));
+        let native: Vec<_> =
+            lab.records.iter().filter(|r| r.spec.backend == BackendChoice::Native).collect();
+        assert_eq!(captures.len(), native.len(), "one capture per native run");
+        for (record, capture) in native.iter().zip(&captures) {
+            assert_eq!(capture.spec.seed, record.spec.seed, "captures ride in execution order");
+            assert_eq!(capture.snapshot.total_dropped(), 0, "capacity must hold the whole run");
+            let profile = capture.snapshot.profile();
+            let jobs: u64 = profile.workers.iter().map(|w| w.jobs).sum();
+            let steals: u64 = profile.workers.iter().map(|w| w.steals).sum();
+            assert_eq!(jobs, record.report.work_items, "trace jobs == PoolStats delta jobs");
+            assert_eq!(steals, record.report.steals, "trace steals == PoolStats delta steals");
+        }
+        // Tracing must not change what the sweep itself reports.
+        let untraced = run_scenario(&sc);
+        for (a, b) in lab.records.iter().zip(&untraced.records) {
+            assert_eq!(a.report.work_items, b.report.work_items);
         }
     }
 

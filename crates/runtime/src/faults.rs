@@ -79,6 +79,9 @@ pub struct FaultPlan {
     sweeps: AtomicU64,
     storm: Option<StormSpec>,
     storm_fired: AtomicBool,
+    /// Once raised, polls inject nothing more. A draining server disarms its plan so a
+    /// death threshold crossed mid-shutdown can't fire after the pool was healed.
+    disarmed: AtomicBool,
 }
 
 /// splitmix64: a tiny, high-quality mixing function — the standard way to turn a counter
@@ -107,7 +110,14 @@ impl FaultPlan {
             sweeps: AtomicU64::new(0),
             storm: spec.storm,
             storm_fired: AtomicBool::new(false),
+            disarmed: AtomicBool::new(false),
         }
+    }
+
+    /// Permanently stop injecting faults. Already-claimed deaths still play out (the
+    /// claiming worker is mid-exit); counters keep reporting what actually fired.
+    pub fn disarm(&self) {
+        self.disarmed.store(true, Ordering::Release);
     }
 
     /// The plan's seed (echoed into chaos reports).
@@ -120,6 +130,9 @@ impl FaultPlan {
     /// death cursor), so `death_sweeps.len()` deaths total are injected no matter how many
     /// workers race past the thresholds.
     pub fn poll_worker_sweep(&self) -> WorkerFault {
+        if self.disarmed.load(Ordering::Acquire) {
+            return WorkerFault::None;
+        }
         let sweep = self.sweeps.fetch_add(1, Ordering::Relaxed);
         let done = self.deaths_done.load(Ordering::Relaxed);
         if done < self.death_sweeps.len()

@@ -14,6 +14,7 @@
 
 use crate::cancel::{self, CancelToken};
 use crate::sleep::Sleep;
+use rws_trace::JobKind;
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
@@ -62,6 +63,15 @@ impl Job {
             Job::Stack(mine) => std::ptr::eq(mine.data, r.data),
         }
     }
+
+    /// The flight-recorder job-kind tag: heap jobs are injected roots; stack jobs carry
+    /// the tag their creator stamped on the ref (join branch or scoped spawn).
+    pub(crate) fn kind(&self) -> JobKind {
+        match self {
+            Job::Heap(_) => JobKind::InjectedRoot,
+            Job::Stack(r) => r.kind,
+        }
+    }
 }
 
 /// A type-erased pointer to a [`StackJob`] plus its execute function: the two-word queue
@@ -71,6 +81,9 @@ impl Job {
 pub(crate) struct JobRef {
     data: *const (),
     execute_fn: unsafe fn(*const ()),
+    /// Flight-recorder tag: what kind of work this ref points at. One byte riding along
+    /// so `run_job` can label its trace events without a virtual call.
+    kind: JobKind,
 }
 
 // Safety: a JobRef only travels from the owner's push to exactly one executor (owner or
@@ -86,8 +99,12 @@ impl JobRef {
     /// # Safety
     /// Whatever `data` points to must stay alive until `execute_fn` consumes it, and the
     /// ref must be executed exactly once (the deque's pop/steal discipline).
-    pub(crate) unsafe fn from_raw(data: *const (), execute_fn: unsafe fn(*const ())) -> JobRef {
-        JobRef { data, execute_fn }
+    pub(crate) unsafe fn from_raw(
+        data: *const (),
+        execute_fn: unsafe fn(*const ()),
+        kind: JobKind,
+    ) -> JobRef {
+        JobRef { data, execute_fn, kind }
     }
 
     /// Run the referenced stack job.
@@ -253,7 +270,11 @@ where
     /// reclaimed by popping it back off the deque — `join` guarantees this by not returning
     /// until one of the two has happened.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
-        JobRef { data: self as *const Self as *const (), execute_fn: Self::execute_from_ref }
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: Self::execute_from_ref,
+            kind: JobKind::JoinBranch,
+        }
     }
 
     unsafe fn execute_from_ref(data: *const ()) {

@@ -78,4 +78,9 @@ pub use service::{
     AdmissionPolicy, JobHandle, JobOutcome, JobServer, ServiceConfig, ServiceSnapshot,
 };
 pub use sleep::SleepBackoff;
-pub use stats::PoolStats;
+pub use stats::{PoolStats, PoolStatsSnapshot, WorkerSnapshot};
+
+/// The flight-recorder crate, re-exported so downstream users can consume
+/// [`trace::TraceSnapshot`]s from [`pool::ThreadPool::trace_snapshot`] without naming
+/// `rws-trace` as a direct dependency.
+pub use rws_trace as trace;

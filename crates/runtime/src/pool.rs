@@ -23,6 +23,9 @@ use crate::sleep::{Sleep, SleepBackoff};
 use crate::stats::PoolStats;
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as CbWorker, MAX_BATCH};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rws_trace::{
+    EventKind, JobKind, TraceRecorder, TraceSnapshot, INJECTOR_ARG, LADDER_STAGE_PARK,
+};
 use std::any::Any;
 use std::cell::RefCell;
 use std::fmt;
@@ -53,6 +56,9 @@ pub(crate) struct Shared {
     alive: Vec<AtomicBool>,
     /// Optional compiled-in fault schedule (default off; see [`crate::faults`]).
     faults: Option<Arc<FaultPlan>>,
+    /// Optional flight recorder (default off; see [`rws_trace`]). Every hook site below
+    /// pays one never-taken branch when this is `None`.
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Shared {
@@ -82,6 +88,11 @@ impl Shared {
     /// The pool's statistics (service-layer access path).
     pub(crate) fn stats(&self) -> &PoolStats {
         &self.stats
+    }
+
+    /// The attached flight recorder, if tracing was enabled at build time.
+    pub(crate) fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_deref()
     }
 }
 
@@ -191,6 +202,9 @@ impl WorkerHandle {
                 Steal::Retry => {
                     if record_failures {
                         self.shared.stats.record_retry(self.index);
+                        if let Some(t) = self.shared.trace() {
+                            t.record(self.index, EventKind::StealRetry, 0, INJECTOR_ARG);
+                        }
                     }
                     retries += 1;
                     if retries >= STEAL_RETRIES {
@@ -217,6 +231,14 @@ impl WorkerHandle {
                     match self.steal_from(victim) {
                         Steal::Success((job, k)) => {
                             self.shared.stats.record_steal_batch(self.index, k);
+                            if let Some(t) = self.shared.trace() {
+                                t.record(
+                                    self.index,
+                                    EventKind::StealOk,
+                                    k.min(u8::MAX as u64) as u8,
+                                    victim as u64,
+                                );
+                            }
                             if k > 1 {
                                 // Freshly stealable surplus sits in our deque now; one
                                 // wake (the usual single relaxed load when nobody is
@@ -228,12 +250,18 @@ impl WorkerHandle {
                         Steal::Empty => {
                             if record_failures {
                                 self.shared.stats.record_failed_steal(self.index);
+                                if let Some(t) = self.shared.trace() {
+                                    t.record(self.index, EventKind::StealEmpty, 0, victim as u64);
+                                }
                             }
                             break;
                         }
                         Steal::Retry => {
                             if record_failures {
                                 self.shared.stats.record_retry(self.index);
+                                if let Some(t) = self.shared.trace() {
+                                    t.record(self.index, EventKind::StealRetry, 0, victim as u64);
+                                }
                             }
                             retries += 1;
                             if retries >= STEAL_RETRIES {
@@ -250,10 +278,17 @@ impl WorkerHandle {
 
     fn run_job(&self, job: Job) {
         self.shared.stats.record_job(self.index);
+        let kind = job.kind() as u8;
+        if let Some(t) = self.shared.trace() {
+            t.record(self.index, EventKind::JobStart, kind, 0);
+        }
         if job.execute() {
             // A heap job's panic was quarantined inside `execute`; health-track it against
             // this worker so a supervisor can tell a panic-storm from a healthy pool.
             self.shared.stats.record_panic_caught(self.index);
+        }
+        if let Some(t) = self.shared.trace() {
+            t.record(self.index, EventKind::JobEnd, kind, 0);
         }
     }
 
@@ -276,7 +311,13 @@ impl WorkerHandle {
             thread::yield_now();
         } else {
             self.shared.stats.record_park(self.index);
+            if let Some(t) = self.shared.trace() {
+                t.record(self.index, EventKind::Park, LADDER_STAGE_PARK, *idle as u64);
+            }
             let notified = self.shared.sleep.sleep_unless(ready);
+            if let Some(t) = self.shared.trace() {
+                t.record(self.index, EventKind::Unpark, notified as u8, 0);
+            }
             *idle = if notified { 0 } else { bk.rounds_before_park() };
         }
     }
@@ -315,6 +356,9 @@ struct AliveGuard {
 impl Drop for AliveGuard {
     fn drop(&mut self) {
         self.shared.alive[self.index].store(false, Ordering::Release);
+        if let Some(t) = self.shared.trace() {
+            t.record(self.index, EventKind::WorkerDead, 0, 0);
+        }
         CURRENT_WORKER.with(|w| *w.borrow_mut() = None);
         // A dying worker may strand queued jobs in its deque; make sure somebody is awake
         // to notice the work (the supervisor's respawn sweep drains the rest).
@@ -361,6 +405,7 @@ pub struct ThreadPoolBuilder {
     backend: DequeBackend,
     backoff: SleepBackoff,
     faults: Option<Arc<FaultPlan>>,
+    trace: Option<usize>,
 }
 
 impl Default for ThreadPoolBuilder {
@@ -370,6 +415,7 @@ impl Default for ThreadPoolBuilder {
             backend: DequeBackend::Crossbeam,
             backoff: SleepBackoff::default(),
             faults: None,
+            trace: None,
         }
     }
 }
@@ -411,9 +457,17 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Enable the flight recorder with `capacity` event slots per lane (rounded up to a
+    /// power of two, minimum 8). Default off: without this call every trace hook in the
+    /// scheduler is one never-taken branch. See [`rws_trace`] for the event model.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(capacity);
+        self
+    }
+
     /// Build and start the pool.
     pub fn build(self) -> ThreadPool {
-        ThreadPool::with_config(self.threads, self.backend, self.backoff, self.faults)
+        ThreadPool::with_config(self.threads, self.backend, self.backoff, self.faults, self.trace)
     }
 }
 
@@ -465,7 +519,7 @@ fn spawn_worker(
 impl ThreadPool {
     /// A pool with `threads` workers and the lock-free Chase–Lev deque backend.
     pub fn new(threads: usize) -> Self {
-        Self::with_config(threads, DequeBackend::Crossbeam, SleepBackoff::default(), None)
+        Self::with_config(threads, DequeBackend::Crossbeam, SleepBackoff::default(), None, None)
     }
 
     fn with_config(
@@ -473,6 +527,7 @@ impl ThreadPool {
         backend: DequeBackend,
         backoff: SleepBackoff,
         faults: Option<Arc<FaultPlan>>,
+        trace: Option<usize>,
     ) -> Self {
         let threads = threads.max(1);
         let cb_workers: Vec<CbWorker<Job>> = (0..threads).map(|_| CbWorker::new_lifo()).collect();
@@ -492,6 +547,7 @@ impl ThreadPool {
             workers: threads,
             alive: (0..threads).map(|_| AtomicBool::new(true)).collect(),
             faults,
+            trace: trace.map(|cap| TraceRecorder::new(threads, cap)),
         });
         let handles = cb_workers
             .into_iter()
@@ -572,6 +628,14 @@ impl ThreadPool {
             // respawn the same slot twice.
             self.shared.alive[index].store(true, Ordering::Release);
             handles[index] = Some(spawn_worker(&self.shared, index, cb_local));
+            if let Some(t) = self.shared.trace() {
+                // The supervisor runs off-pool; the shared external lane takes the event.
+                t.record_external(
+                    EventKind::WorkerRespawn,
+                    drained.min(u8::MAX as u64) as u8,
+                    index as u64,
+                );
+            }
             self.shared.stats.record_respawn(drained);
             report.respawned += 1;
             report.drained_jobs += drained;
@@ -587,6 +651,18 @@ impl ThreadPool {
     /// Pool statistics (steals, jobs, retries, parks).
     pub fn stats(&self) -> &PoolStats {
         &self.shared.stats
+    }
+
+    /// The pool's flight recorder, if [`ThreadPoolBuilder::trace`] enabled one.
+    pub fn trace_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.shared.trace.clone()
+    }
+
+    /// Drain and merge the flight recorder's rings into a time-ordered snapshot.
+    /// `None` when tracing is off. Non-destructive for concurrent writers: recording
+    /// continues while (and after) the snapshot is taken.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.shared.trace.as_ref().map(|t| t.snapshot())
     }
 
     /// Number of workers currently parked (an instantaneous, racy reading — useful for
@@ -740,6 +816,11 @@ where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
 {
+    // `join` already ran its cancellation probe; surface it in the trace so cancellation
+    // latency (deadline set → branch observes it) is measurable from a recording alone.
+    if let Some(t) = worker.shared.trace() {
+        t.record(worker.index, EventKind::CancelCheck, 0, 0);
+    }
     // The right branch lives in this frame; the queue holds only a reference to it. We must
     // not leave this function until the reference is out of the queue (reclaimed below) or
     // executed (latch set) — both paths below guarantee that before returning or unwinding.
@@ -767,7 +848,18 @@ where
                         // worker's own padded line) so job counts mean "branches executed"
                         // regardless of whether the branch was stolen.
                         worker.shared.stats.record_job(worker.index);
+                        if let Some(t) = worker.shared.trace() {
+                            t.record(
+                                worker.index,
+                                EventKind::JobStart,
+                                JobKind::JoinBranch as u8,
+                                0,
+                            );
+                        }
                         let rb = unsafe { job_b.run_inline() };
+                        if let Some(t) = worker.shared.trace() {
+                            t.record(worker.index, EventKind::JobEnd, JobKind::JoinBranch as u8, 0);
+                        }
                         return (ra, rb);
                     }
                     Err(payload) => {

@@ -51,6 +51,7 @@
 use crate::cancel::{self, CancelToken};
 use crate::job::{CountLatch, Job, JobRef};
 use crate::pool::{current_worker, Shared, WorkerHandle};
+use rws_trace::JobKind;
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
@@ -193,6 +194,7 @@ impl<'scope> Scope<'scope> {
                             JobRef::from_raw(
                                 slot as *const InlineSlot as *const (),
                                 execute_inline::<F>,
+                                JobKind::ScopedSpawn,
                             )
                         };
                         w.push_local(Job::Stack(job_ref));
@@ -205,8 +207,13 @@ impl<'scope> Scope<'scope> {
         // that is not a worker of this pool (which cannot push to a local deque anyway).
         let boxed = Box::new(HeapSpawn { scope: self as *const Self as *const (), func: f });
         // Safety: the box's ownership transfers into the ref; execute_heap reclaims it.
-        let job_ref =
-            unsafe { JobRef::from_raw(Box::into_raw(boxed) as *const (), execute_heap::<F>) };
+        let job_ref = unsafe {
+            JobRef::from_raw(
+                Box::into_raw(boxed) as *const (),
+                execute_heap::<F>,
+                JobKind::ScopedSpawn,
+            )
+        };
         match worker {
             Some(w) => w.push_local(Job::Stack(job_ref)),
             None => pool.inject(Job::Stack(job_ref)),

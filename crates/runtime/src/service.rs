@@ -34,6 +34,7 @@ use crate::deque::DequeBackend;
 use crate::faults::FaultPlan;
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
 use crate::pool::{current_worker, ThreadPool, ThreadPoolBuilder};
+use rws_trace::{EventKind, TraceRecorder};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
@@ -104,6 +105,9 @@ struct JobState {
     /// Occupancy-slot accounting: set by whoever disposes of this job's admission slot
     /// (the runner releasing it, or a `ShedOldest` evictor transferring it).
     slot_released: AtomicBool,
+    /// Nanoseconds from submission to the terminal outcome, stored by the winning
+    /// `settle`. Zero means "not settled yet" (a genuine zero-ns settle rounds up to 1).
+    settled_at_ns: AtomicU64,
     done: Mutex<bool>,
     cv: Condvar,
 }
@@ -118,6 +122,7 @@ impl JobState {
             deadline,
             started: AtomicBool::new(false),
             slot_released: AtomicBool::new(false),
+            settled_at_ns: AtomicU64::new(0),
             done: Mutex::new(false),
             cv: Condvar::new(),
         }
@@ -217,6 +222,11 @@ pub struct ServiceConfig {
     pub heartbeat_interval: Duration,
     /// Optional fault-injection schedule (chaos testing; default off).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Flight-recorder capacity per lane (None = tracing off; see
+    /// [`crate::pool::ThreadPoolBuilder::trace`]). Service-job lifecycle events
+    /// (enqueue → claim → settle, linked by sequence number) join the pool's scheduler
+    /// events in the same recording.
+    pub trace: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -229,6 +239,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             heartbeat_interval: Duration::from_millis(5),
             faults: None,
+            trace: None,
         }
     }
 }
@@ -292,10 +303,19 @@ struct ServerState {
 
     shutdown: AtomicBool,
 
-    /// Submission → execution-start latency.
+    /// Submission → execution-start latency (started jobs only).
     queue_hist: LatencyHistogram,
-    /// Execution-start → settle latency.
+    /// Execution-start → settle latency (started jobs only).
     service_hist: LatencyHistogram,
+    /// Submission → settle latency for jobs that never started (shed at the door,
+    /// evicted, cancelled or expired while queued, refused at shutdown). Together with
+    /// the pair above, every submission lands in exactly one accounting path:
+    /// `queue_hist.count == service_hist.count` (started) and
+    /// `queue_hist.count + terminal_hist.count == settled submissions`.
+    terminal_hist: LatencyHistogram,
+    /// The wrapped pool's flight recorder when tracing is on (shared lanes — service
+    /// events interleave with scheduler events in worker order).
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl ServerState {
@@ -317,11 +337,39 @@ impl ServerState {
             JobOutcome::Shed => &self.shed,
         }
         .fetch_add(1, Ordering::Relaxed);
+        let settled_ns = job.submitted_at.elapsed().as_nanos().max(1) as u64;
+        job.settled_at_ns.store(settled_ns, Ordering::Release);
+        self.trace_event(EventKind::ServiceSettle, outcome as u8, job.seq);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
         let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
         *done = true;
         job.cv.notify_all();
         true
+    }
+
+    /// [`ServerState::settle`] for a job that provably never ran (its execution was
+    /// claimed by a shed/evict/cancel/deadline path). The winner also records the
+    /// submission → settle latency in `terminal_hist`, the accounting lane for
+    /// never-started submissions — `queue_hist`/`service_hist` stay started-jobs-only,
+    /// so the three histograms partition cleanly by outcome path.
+    fn settle_never_ran(&self, job: &JobState, outcome: JobOutcome) -> bool {
+        if !self.settle(job, outcome) {
+            return false;
+        }
+        self.terminal_hist.record(job.settled_at_ns.load(Ordering::Acquire));
+        true
+    }
+
+    /// Record a service-lifecycle trace event: on a worker's own lane when called from
+    /// one (claim/settle on the run path), else on the shared external lane (submitters,
+    /// the supervisor, evictors).
+    fn trace_event(&self, kind: EventKind, aux: u8, seq: u64) {
+        if let Some(t) = &self.trace {
+            match current_worker() {
+                Some(w) => t.record(w.index(), kind, aux, seq),
+                None => t.record_external(kind, aux, seq),
+            }
+        }
     }
 
     /// Dispose of `job`'s admission slot exactly once. Returns true when this call freed
@@ -381,10 +429,15 @@ pub struct ServiceSnapshot {
     pub jobs_drained: u64,
     /// Panics quarantined by workers (pool-wide, includes non-service `spawn`s).
     pub panics_caught: u64,
-    /// Submission → execution-start latency distribution.
+    /// Submission → execution-start latency distribution (started jobs only).
     pub queue: HistogramSnapshot,
-    /// Execution-start → settle latency distribution.
+    /// Execution-start → settle latency distribution (started jobs only).
     pub service: HistogramSnapshot,
+    /// Submission → settle latency distribution for jobs that never started (shed,
+    /// evicted, cancelled/expired while queued). `queue.count == service.count`, and
+    /// `queue.count + terminal.count` equals settled submissions — the histograms
+    /// partition by outcome path instead of folding refusals into service latency.
+    pub terminal: HistogramSnapshot,
 }
 
 /// A supervised, long-lived job server over a [`ThreadPool`]. See the module docs.
@@ -404,7 +457,11 @@ impl JobServer {
         if let Some(plan) = &config.faults {
             builder = builder.fault_plan(Arc::clone(plan));
         }
+        if let Some(capacity) = config.trace {
+            builder = builder.trace(capacity);
+        }
         let pool = Arc::new(builder.build());
+        let trace = pool.trace_recorder();
         let state = Arc::new(ServerState {
             capacity: config.queue_capacity.max(1),
             policy: config.admission,
@@ -430,6 +487,8 @@ impl JobServer {
             shutdown: AtomicBool::new(false),
             queue_hist: LatencyHistogram::new(),
             service_hist: LatencyHistogram::new(),
+            terminal_hist: LatencyHistogram::new(),
+            trace,
         });
         let supervisor = {
             let state = Arc::clone(&state);
@@ -481,7 +540,7 @@ impl JobServer {
         loop {
             if state.shutdown.load(Ordering::Acquire) {
                 job.claim_run(); // never runs
-                state.settle(&job, JobOutcome::Shed);
+                state.settle_never_ran(&job, JobOutcome::Shed);
                 self.pool.stats().record_shed();
                 return handle;
             }
@@ -513,13 +572,13 @@ impl JobServer {
                 }
                 AdmissionPolicy::Shed => {
                     job.claim_run();
-                    state.settle(&job, JobOutcome::Shed);
+                    state.settle_never_ran(&job, JobOutcome::Shed);
                     self.pool.stats().record_shed();
                     return handle;
                 }
                 AdmissionPolicy::ShedOldest => {
                     if let Some(victim) = state.claim_oldest_pending() {
-                        state.settle(&victim, JobOutcome::Shed);
+                        state.settle_never_ran(&victim, JobOutcome::Shed);
                         self.pool.stats().record_shed_oldest();
                         // Transfer the victim's slot to this submission. An unstarted
                         // victim still holds its slot, so the swap always wins here; the
@@ -560,6 +619,7 @@ impl JobServer {
             state.wake_supervisor();
         }
         let inject_panic = state.faults.as_ref().is_some_and(|p| p.should_panic_job(seq));
+        state.trace_event(EventKind::ServiceEnqueue, 0, seq);
         let server = Arc::clone(state);
         let job_for_run = Arc::clone(&job);
         self.pool.spawn(move || run_root_job(&server, &job_for_run, f, inject_panic));
@@ -571,7 +631,7 @@ impl JobServer {
         handle.state.token.cancel(CancelReason::Explicit);
         // A still-queued job can settle right now.
         if handle.state.claim_run() {
-            self.state.settle(&handle.state, JobOutcome::Cancelled);
+            self.state.settle_never_ran(&handle.state, JobOutcome::Cancelled);
             self.state.release_slot(&handle.state);
         }
     }
@@ -593,6 +653,7 @@ impl JobServer {
             panics_caught: stats.total_panics_caught(),
             queue: s.queue_hist.snapshot(),
             service: s.service_hist.snapshot(),
+            terminal: s.terminal_hist.snapshot(),
         }
     }
 
@@ -607,6 +668,11 @@ impl JobServer {
     pub fn shutdown(mut self) -> ServiceSnapshot {
         let state = &self.state;
         state.shutdown.store(true, Ordering::Release);
+        // Stop fault injection first: a death threshold crossed while we drain below
+        // must not fire after the heal loop has already pronounced the pool healthy.
+        if let Some(plan) = &state.faults {
+            plan.disarm();
+        }
         {
             let _lock = state.admission_lock.lock().unwrap_or_else(|e| e.into_inner());
             state.admission_cv.notify_all();
@@ -621,6 +687,15 @@ impl JobServer {
         // the chaos harness asserts.
         while self.pool.dead_workers() > 0 {
             self.pool.respawn_dead_workers();
+        }
+        // A worker that claimed a death just before the disarm may not have lowered its
+        // alive flag yet; wait it out so the respawn count truthfully matches the claimed
+        // deaths (the plan is disarmed, so this set cannot grow).
+        if let Some(plan) = &state.faults {
+            while (self.pool.stats().total_respawns() as usize) < plan.deaths_injected() {
+                self.pool.respawn_dead_workers();
+                thread::sleep(Duration::from_micros(100));
+            }
         }
         state.supervisor_stop.store(true, Ordering::Release);
         state.wake_supervisor();
@@ -665,6 +740,7 @@ fn run_root_job(
     }
     let started_at = Instant::now();
     server.queue_hist.record(started_at.duration_since(job.submitted_at).as_nanos() as u64);
+    server.trace_event(EventKind::ServiceClaim, 0, job.seq);
     server.release_slot(job);
     // Expired while queued: flip the token so the very first cancellation point (below,
     // before the closure runs) converts this into a no-work Deadline outcome.
@@ -762,7 +838,7 @@ fn supervisor_loop(state: Arc<ServerState>, pool: Arc<ThreadPool>, interval: Dur
                         job.token.cancel(CancelReason::Deadline);
                         if job.claim_run() {
                             // Still queued: it never runs; settle and free its slot.
-                            state.settle(&job, JobOutcome::Deadline);
+                            state.settle_never_ran(&job, JobOutcome::Deadline);
                             state.release_slot(&job);
                             pool.stats().record_deadline_expired();
                         }
@@ -826,6 +902,8 @@ mod tests {
             "outcomes partition submissions"
         );
         assert_eq!(snap.queue.count, 50, "every started job records queue latency");
+        assert_eq!(snap.service.count, 50, "every started job records service latency");
+        assert_eq!(snap.terminal.count, 0, "nothing was refused, so no terminal-only path");
     }
 
     #[test]
@@ -874,6 +952,10 @@ mod tests {
         assert_eq!(ran.load(Ordering::Relaxed), 0, "a shed job's closure never runs");
         assert_eq!(snap.shed, 1);
         assert_eq!(snap.completed, 2);
+        assert_eq!(snap.queue.count, snap.service.count, "started jobs record both latencies");
+        assert_eq!(snap.queue.count, 2);
+        assert_eq!(snap.terminal.count, 1, "the refused submission lands in terminal only");
+        assert!(snap.terminal.max_ns >= 1, "terminal latency is a real submit->settle span");
     }
 
     #[test]
@@ -905,6 +987,9 @@ mod tests {
         assert_eq!(victim_ran.load(Ordering::Relaxed), 0, "evicted job never runs");
         assert_eq!(snap.shed, 1);
         assert_eq!(snap.completed, 2);
+        assert_eq!(snap.queue.count, 2, "the evicted job never pollutes queue latency");
+        assert_eq!(snap.service.count, 2);
+        assert_eq!(snap.terminal.count, 1, "the eviction records submit->settle latency");
     }
 
     #[test]
@@ -933,6 +1018,8 @@ mod tests {
         let snap = server.shutdown();
         assert_eq!(ran.load(Ordering::Relaxed), 0, "an expired queued job never runs");
         assert_eq!(snap.deadline, 1);
+        assert_eq!(snap.terminal.count, 1, "queued-expired jobs are terminal-path only");
+        assert_eq!(snap.queue.count, snap.service.count);
     }
 
     #[test]
@@ -1029,5 +1116,76 @@ mod tests {
         assert_eq!(snap.submitted, 100);
         assert!(snap.panicked > 0, "the fault plan injected panics");
         assert_eq!(snap.completed + snap.panicked, 100);
+        assert_eq!(snap.queue.count, 100, "panicked jobs still started (queue latency)");
+        assert_eq!(snap.service.count, 100, "panicked jobs record service latency too");
+        assert_eq!(snap.terminal.count, 0);
+    }
+
+    #[test]
+    fn histograms_partition_settled_submissions_by_outcome_path() {
+        // Shed policy + a wedged worker: a mix of started and never-started jobs.
+        let server = quick_server(1, 1, AdmissionPolicy::Shed);
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let blocker = server.submit(move || {
+            while !g.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.state.occupancy.load(Ordering::Acquire) > 0 {
+            assert!(Instant::now() < deadline, "blocker never started");
+            thread::yield_now();
+        }
+        let queued = server.submit(|| {});
+        let refused: Vec<_> = (0..5).map(|_| server.submit(|| {})).collect();
+        for h in &refused {
+            assert_eq!(h.outcome(), Some(JobOutcome::Shed));
+        }
+        gate.store(true, Ordering::Release);
+        blocker.wait();
+        queued.wait();
+        let snap = server.shutdown();
+        let started = snap.queue.count;
+        assert_eq!(started, snap.service.count, "queue and service pair up per started job");
+        assert_eq!(
+            started + snap.terminal.count,
+            snap.submitted,
+            "every settled submission is in exactly one accounting path"
+        );
+        assert_eq!(snap.terminal.count, 5);
+    }
+
+    #[test]
+    fn traced_server_records_the_service_lifecycle() {
+        let server = JobServer::new(ServiceConfig {
+            threads: 2,
+            queue_capacity: 32,
+            trace: Some(4096),
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<_> = (0..20).map(|_| server.submit(|| {})).collect();
+        for h in &handles {
+            assert_eq!(h.wait(), JobOutcome::Completed);
+        }
+        let trace = server.pool().trace_snapshot().expect("tracing is on");
+        let snap = server.shutdown();
+        let profile = trace.profile();
+        assert_eq!(profile.service.enqueued, 20, "one enqueue per submission");
+        assert_eq!(profile.service.claimed, 20, "one claim per started job");
+        assert_eq!(profile.service.settled, 20, "one settle per submission");
+        assert_eq!(
+            profile.service.outcomes[JobOutcome::Completed as usize],
+            20,
+            "settle events carry the outcome"
+        );
+        assert_eq!(profile.service.queue_pairs, 20, "enqueue->claim pairs by sequence number");
+        assert_eq!(profile.service.service_pairs, 20, "claim->settle pairs by sequence number");
+        // Two accounting paths, one truth: the trace's pairs and the histograms must
+        // agree on population, and on magnitude within the ring's timestamp resolution.
+        assert_eq!(snap.queue.count, profile.service.queue_pairs);
+        assert_eq!(snap.service.count, profile.service.service_pairs);
+        assert!(profile.service.queue_ns > 0);
+        assert!(profile.service.service_ns > 0);
     }
 }

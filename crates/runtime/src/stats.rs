@@ -53,6 +53,98 @@ pub struct PoolStats {
     service: CachePadded<ServiceCounters>,
 }
 
+/// A point-in-time copy of one worker's counters (see [`PoolStats::snapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Successful steals, one per migrated task (paper semantics).
+    pub steals: u64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Steal attempts that found the victim empty.
+    pub failed_steals: u64,
+    /// Steal attempts that lost a CAS race.
+    pub steal_retries: u64,
+    /// Times the worker parked.
+    pub parks: u64,
+    /// Successful steal operations (victim visits — a batch counts once).
+    pub batch_steals: u64,
+    /// Jobs moved by steal operations (batch sizes summed).
+    pub jobs_stolen: u64,
+    /// Scheduling-sweep heartbeat epoch.
+    pub heartbeats: u64,
+    /// Panics caught (quarantined) while executing jobs.
+    pub panics_caught: u64,
+}
+
+impl WorkerSnapshot {
+    /// Field-wise `self - prev`, saturating at zero so a snapshot pair taken across a
+    /// counter reset (a fresh pool reusing the struct) degrades to zeros, not huge wraps.
+    pub fn delta(&self, prev: &WorkerSnapshot) -> WorkerSnapshot {
+        WorkerSnapshot {
+            steals: self.steals.saturating_sub(prev.steals),
+            jobs: self.jobs.saturating_sub(prev.jobs),
+            failed_steals: self.failed_steals.saturating_sub(prev.failed_steals),
+            steal_retries: self.steal_retries.saturating_sub(prev.steal_retries),
+            parks: self.parks.saturating_sub(prev.parks),
+            batch_steals: self.batch_steals.saturating_sub(prev.batch_steals),
+            jobs_stolen: self.jobs_stolen.saturating_sub(prev.jobs_stolen),
+            heartbeats: self.heartbeats.saturating_sub(prev.heartbeats),
+            panics_caught: self.panics_caught.saturating_sub(prev.panics_caught),
+        }
+    }
+}
+
+/// A point-in-time copy of every worker's counters. Two snapshots bracket a region of
+/// interest; [`PoolStatsSnapshot::delta`] attributes exactly the activity between them to
+/// that region — which stays correct when other runs share the pool concurrently only if
+/// the caller serializes runs, but is always correct about *the pool as a whole*.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// One entry per worker, indexed by worker id.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl PoolStatsSnapshot {
+    /// Per-worker field-wise `self - prev` (saturating; see [`WorkerSnapshot::delta`]).
+    /// Workers present in only one snapshot (a pool rebuilt with a different size) are
+    /// ignored rather than misattributed.
+    pub fn delta(&self, prev: &PoolStatsSnapshot) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            workers: self
+                .workers
+                .iter()
+                .zip(prev.workers.iter())
+                .map(|(now, then)| now.delta(then))
+                .collect(),
+        }
+    }
+
+    /// Total successful steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total jobs executed across workers.
+    pub fn total_jobs(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs).sum()
+    }
+
+    /// Total fruitless steal attempts (empty probes plus CAS losses) across workers.
+    pub fn total_failed_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.failed_steals + w.steal_retries).sum()
+    }
+
+    /// Total parks across workers.
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+
+    /// Total successful steal operations (victim visits) across workers.
+    pub fn total_batch_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.batch_steals).sum()
+    }
+}
+
 impl PoolStats {
     /// Zeroed statistics for `workers` workers.
     pub fn new(workers: usize) -> Self {
@@ -230,6 +322,37 @@ impl PoolStats {
     pub fn workers(&self) -> usize {
         self.workers.len()
     }
+
+    /// Copy every worker's counters at one point in time (each load is relaxed; the copy
+    /// is per-counter atomic, not globally atomic — fine for attribution deltas).
+    pub fn snapshot(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            workers: self
+                .workers
+                .iter()
+                .map(|c| {
+                    let c = &c.0;
+                    WorkerSnapshot {
+                        steals: c.steals.load(Ordering::Relaxed),
+                        jobs: c.jobs.load(Ordering::Relaxed),
+                        failed_steals: c.failed_steals.load(Ordering::Relaxed),
+                        steal_retries: c.steal_retries.load(Ordering::Relaxed),
+                        parks: c.parks.load(Ordering::Relaxed),
+                        batch_steals: c.batch_steals.load(Ordering::Relaxed),
+                        jobs_stolen: c.jobs_stolen.load(Ordering::Relaxed),
+                        heartbeats: c.heartbeats.load(Ordering::Relaxed),
+                        panics_caught: c.panics_caught.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// [`PoolStats::snapshot`] minus an earlier snapshot: the activity since `prev`,
+    /// per worker. The race-free way to attribute counters to one run on a shared pool.
+    pub fn snapshot_delta(&self, prev: &PoolStatsSnapshot) -> PoolStatsSnapshot {
+        self.snapshot().delta(prev)
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +414,33 @@ mod tests {
         assert_eq!(s.total_deadlines_expired(), 1);
         assert_eq!(s.total_respawns(), 2);
         assert_eq!(s.total_jobs_drained(), 3);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_the_bracketed_region() {
+        let s = PoolStats::new(2);
+        s.record_steal(0);
+        s.record_job(1);
+        let before = s.snapshot();
+        s.record_steal_batch(0, 4);
+        s.record_job(0);
+        s.record_job(1);
+        s.record_park(1);
+        s.record_failed_steal(0);
+        s.record_retry(0);
+        let d = s.snapshot_delta(&before);
+        assert_eq!(d.total_steals(), 4, "only the bracketed batch counts");
+        assert_eq!(d.total_jobs(), 2);
+        assert_eq!(d.total_parks(), 1);
+        assert_eq!(d.total_failed_steals(), 2, "empty probe plus CAS loss");
+        assert_eq!(d.total_batch_steals(), 1);
+        assert_eq!(d.workers[0].jobs_stolen, 4);
+        assert_eq!(d.workers[1].jobs, 1);
+        // Deltas against a *later* snapshot saturate to zero instead of wrapping.
+        let after = s.snapshot();
+        let zero = before.delta(&after);
+        assert_eq!(zero.total_steals(), 0);
+        assert_eq!(zero.total_jobs(), 0);
     }
 
     #[test]

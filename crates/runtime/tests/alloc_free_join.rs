@@ -78,6 +78,38 @@ fn unstolen_join_fast_path_is_allocation_free() {
 }
 
 #[test]
+fn traced_unstolen_join_fast_path_is_allocation_free() {
+    // The flight recorder must not cost the fast path its zero-allocation property: ring
+    // slots are preallocated at pool build, and recording an event is two atomic stores
+    // into an existing slot. Same measurement as above, on a pool built with `.trace(..)` —
+    // and the recorder must actually have been on (events observed), or the assertion
+    // would vacuously measure an untraced pool.
+    for backend in [DequeBackend::Crossbeam, DequeBackend::Simple] {
+        let pool = ThreadPoolBuilder::new().threads(1).backend(backend).trace(1 << 12).build();
+        let n = 1 << 16;
+        // Warm up: first run pays any one-time lazy initialization.
+        assert_eq!(pool.install(move || recursive_sum(0, n)), n * (n - 1) / 2);
+        let (total, delta) = pool.install(move || {
+            let before = ALLOCATIONS.load(Ordering::SeqCst);
+            let total = recursive_sum(0, n);
+            let after = ALLOCATIONS.load(Ordering::SeqCst);
+            (total, after - before)
+        });
+        assert_eq!(total, n * (n - 1) / 2);
+        assert_eq!(
+            delta, 0,
+            "{backend:?}: the traced unstolen join fast path must not allocate \
+             (got {delta} allocations)"
+        );
+        let snap = pool.trace_snapshot().expect("traced pool must yield a snapshot");
+        assert!(
+            snap.total_recorded() > 0,
+            "{backend:?}: the recorder must have observed the measured run"
+        );
+    }
+}
+
+#[test]
 fn unstolen_single_spawn_scope_fast_path_is_allocation_free() {
     // The scoped-task analogue of the join assertion: a scope whose (small) spawns fit the
     // inline slots queues them as two-word refs in the scope's own stack frame — no Box,
