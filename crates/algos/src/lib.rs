@@ -27,17 +27,25 @@
 //! | [`sort`] | an HBP merge sort (stand-in for the sample sort of [7]; see DESIGN.md) | Type-2 HBP |
 //! | [`fft`] | FFT via the √n-decomposition (Theorem 7.1(iv)) | Type-2 HBP |
 //! | [`listrank`] | list ranking and connected components by iterated rounds (Section 7) | Type-3/4 |
+//! | [`taskgraph`] | arbitrary-dependency task graphs run natively by atomic indegree counting, plus the `dag-workflow` value semantics | irregular (measured-only) |
+//! | [`bfs`] | level-synchronized BFS on seeded random graphs | irregular (measured-only) |
+//! | [`spmv`] | CSR sparse matrix–vector multiply | BP |
+//! | [`samplesort`] | three-phase sample sort with data-dependent buckets | irregular (measured-only) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bfs;
 pub mod common;
 pub mod fft;
 pub mod layout;
 pub mod listrank;
 pub mod matmul;
 pub mod prefix;
+pub mod samplesort;
 pub mod sort;
+pub mod spmv;
+pub mod taskgraph;
 pub mod transpose;
 
 pub use common::{Dest, GlobalArena};

@@ -1,7 +1,10 @@
 //! The native hot-path benchmark suite behind the `native_bench` binary and
 //! `BENCH_native.json`.
 //!
-//! Runs a set of fork-join workloads on both deque backends of `rws-runtime` — the
+//! Runs a set of fork-join workloads — plus the DAG-structured family (task-graph
+//! workflow, BFS, SpMV, sample sort), whose sparse frontiers and dependency-released
+//! bursts stress the idle path the balanced trees never touch — on both deque backends of
+//! `rws-runtime` — the
 //! lock-free Chase–Lev deque (`chaselev`) and the mutex-protected `SimpleDeque`
 //! (`simple`) — across a thread sweep, and records per configuration the median wall time,
 //! the pool's steal/retry/park counter deltas, and (when the caller supplies an
@@ -25,10 +28,14 @@
 //! `native_bench --gate` path CI runs on every PR. [`trajectory_row`] /
 //! [`append_trajectory`] maintain the long-run `rws-bench-trajectory/v1` history.
 
+use rws_algos::bfs::{bfs_native, CsrGraph};
 use rws_algos::fft::fft_native;
 use rws_algos::listrank::list_ranking_native;
 use rws_algos::prefix::prefix_sums_native;
+use rws_algos::samplesort::sample_sort_native;
 use rws_algos::sort::merge_sort_native;
+use rws_algos::spmv::{spmv_native, CsrMatrix};
+use rws_algos::taskgraph::{layered_random, workflow_native};
 use rws_algos::transpose::{bi_to_rm_native, rm_to_bi_native, transpose_native_bi};
 use rws_lab::json::{self, obj, Json};
 use rws_runtime::{
@@ -213,6 +220,14 @@ fn suite(size: SizeClass) -> Vec<WorkloadSpec> {
         SizeClass::Smoke => (1usize << 12, 64usize, 1usize << 14),
         SizeClass::Full => (1usize << 16, 512usize, 1usize << 19),
     };
+    // The DAG-structured family: a layered task graph (the idle-path stressor — sparse
+    // frontiers, dependency-released bursts), level-synchronized BFS, CSR SpMV, and sample
+    // sort. These rows track the scheduler's cost on irregular dependence structure, the
+    // regime the fork-join rows above never enter.
+    let (dag_layers, dag_width, graph_n, ss_n) = match size {
+        SizeClass::Smoke => (5usize, 16usize, 1usize << 12, 1usize << 14),
+        SizeClass::Full => (12usize, 96usize, 1usize << 17, 1usize << 20),
+    };
     let mm_a: Arc<Vec<f64>> = Arc::new((0..mm_n * mm_n).map(|i| (i % 7) as f64).collect());
     // Stored transposed (see `mm_cols`); as bench input it is simply an arbitrary matrix.
     let mm_bt: Arc<Vec<f64>> = Arc::new((0..mm_n * mm_n).map(|i| (i % 5) as f64).collect());
@@ -225,6 +240,14 @@ fn suite(size: SizeClass) -> Vec<WorkloadSpec> {
             .collect(),
     );
     let tr_rm: Arc<Vec<f64>> = Arc::new((0..tr_n * tr_n).map(|i| (i % 11) as f64).collect());
+    let dag_graph = Arc::new(layered_random(0xDA6, dag_layers, dag_width));
+    let bfs_graph = Arc::new(CsrGraph::random(0xBF5, graph_n, 4));
+    let spmv_m = Arc::new(CsrMatrix::random(0x59A2, graph_n, 7));
+    let spmv_x: Arc<Vec<f64>> =
+        Arc::new((0..graph_n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect());
+    let ss_keys: Arc<Vec<u64>> =
+        Arc::new((0..ss_n as u64).map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D)).collect());
+    let ss_buckets = (ss_n as f64).sqrt() as usize;
     // A deterministic permutation chain: visit nodes in a bit-mixed order, self-loop tail.
     let lr_succ: Arc<Vec<usize>> = Arc::new({
         let mut order: Vec<usize> = (0..lr_n).collect();
@@ -299,6 +322,43 @@ fn suite(size: SizeClass) -> Vec<WorkloadSpec> {
                 let succ = Arc::clone(&lr_succ);
                 let ranks = pool.install(move || list_ranking_native(&succ));
                 ranks.iter().fold(0u64, |acc, &r| acc.wrapping_add(r))
+            }),
+        },
+        WorkloadSpec {
+            name: "dag-workflow",
+            run: Box::new(move |pool| {
+                let g = Arc::clone(&dag_graph);
+                let vals = pool.install(move || workflow_native(&g));
+                // Node values are schedule-independent (each predecessor contributes its
+                // wrapping sum exactly once), so the fold is a stable checksum.
+                vals.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
+            }),
+        },
+        WorkloadSpec {
+            name: "bfs",
+            run: Box::new(move |pool| {
+                let g = Arc::clone(&bfs_graph);
+                let dist = pool.install(move || bfs_native(&g, 0));
+                dist.iter().fold(0u64, |acc, &d| acc.wrapping_add(d as u64))
+            }),
+        },
+        WorkloadSpec {
+            name: "spmv",
+            run: Box::new(move |pool| {
+                let m = Arc::clone(&spmv_m);
+                let x = Arc::clone(&spmv_x);
+                let y = pool.install(move || spmv_native(&m, &x));
+                // Per-row accumulation is sequential in storage order: bit-identical on
+                // every schedule, so exact bit patterns are a safe checksum.
+                y.iter().map(|v| v.to_bits()).fold(0u64, u64::wrapping_add)
+            }),
+        },
+        WorkloadSpec {
+            name: "sample-sort",
+            run: Box::new(move |pool| {
+                let keys = Arc::clone(&ss_keys);
+                let sorted = pool.install(move || sample_sort_native(&keys, ss_buckets));
+                sorted[sorted.len() / 2] ^ sorted.iter().fold(0u64, |a, &k| a.wrapping_add(k))
             }),
         },
     ]
@@ -1623,7 +1683,7 @@ mod tests {
         // The CI smoke path in miniature: tiny sizes, one thread count, validated output.
         let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![2], repeats: 1, warmup: 1 };
         let records = run_suite(&cfg, || 0);
-        assert_eq!(records.len(), 7 * 2, "7 workloads x 2 backends");
+        assert_eq!(records.len(), 11 * 2, "11 workloads x 2 backends");
         assert!(records.iter().all(|r| r.jobs > 0), "every run must execute forks");
         let doc = to_json(&cfg, &records, &[]);
         validate_json(&doc).expect("smoke suite JSON must validate");

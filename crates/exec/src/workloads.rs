@@ -1,6 +1,6 @@
 //! Ready-made [`Workload`]s for the algorithm suite of `rws-algos`.
 //!
-//! All six workloads run a true fork-join decomposition on the native backend
+//! All workloads run a true fork-join decomposition on the native backend
 //! ([`Workload::native_support`] answers [`NativeSupport::Full`] across the suite): the
 //! native kernels in `rws-algos` mirror the work/span structure of the dags the simulator
 //! schedules, so a sim-vs-native comparison of any committed workload compares two
@@ -15,6 +15,7 @@
 
 use crate::workload::{AlgoOutput, NativeSupport, Workload};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rws_algos::bfs::{bfs_computation, bfs_native, bfs_reference, BfsConfig, CsrGraph};
 use rws_algos::fft::{
     dft_reference, fft_computation, fft_native, fft_reference, Complex, FftConfig,
 };
@@ -27,7 +28,14 @@ use rws_algos::matmul::{
 use rws_algos::prefix::{
     prefix_sums_computation, prefix_sums_native, prefix_sums_reference, PrefixConfig,
 };
+use rws_algos::samplesort::{
+    sample_sort_computation, sample_sort_native, sample_sort_reference, SampleSortConfig,
+};
 use rws_algos::sort::{merge_sort_native, sort_computation, sort_reference, SortConfig};
+use rws_algos::spmv::{spmv_computation, spmv_native, spmv_reference, CsrMatrix, SpmvConfig};
+use rws_algos::taskgraph::{
+    layered_random, workflow_computation, workflow_native, workflow_reference, TaskGraph,
+};
 use rws_algos::transpose::{
     bi_to_rm_native, rm_to_bi_native, transpose_bi_computation, transpose_native_bi,
     transpose_reference,
@@ -361,9 +369,216 @@ impl Workload for ListRankWorkload {
     }
 }
 
+// ------------------------------------------------------------------------------------------
+
+/// An arbitrary-dependency task graph run by atomic indegree counting (measured-only: no
+/// fork-join structure, so no paper bound applies).
+#[derive(Clone, Debug)]
+pub struct DagWorkflowWorkload {
+    graph: TaskGraph,
+    chunk: usize,
+}
+
+impl DagWorkflowWorkload {
+    /// A workload over the given acyclic task graph (acyclicity validated eagerly, so a
+    /// constructed workload runs — and terminates — on every backend).
+    pub fn new(graph: TaskGraph, chunk: usize) -> Self {
+        assert!(!graph.is_empty(), "dag-workflow needs at least one node");
+        assert!(graph.topo_order().is_some(), "dag-workflow graph must be acyclic");
+        DagWorkflowWorkload { graph, chunk: chunk.max(1) }
+    }
+
+    /// A deterministic demo instance with roughly `n` nodes: a layered random dag,
+    /// `log₂ n` layers wide enough to keep a frontier in flight.
+    pub fn demo(n: usize) -> Self {
+        let layers = (n.max(4).ilog2() as usize).max(2);
+        let width = (n / layers).max(1);
+        Self::new(layered_random(0xDA6, layers, width), 4)
+    }
+}
+
+impl Workload for DagWorkflowWorkload {
+    fn name(&self) -> String {
+        format!("dag-workflow(n={})", self.graph.len())
+    }
+
+    fn computation(&self) -> Computation {
+        workflow_computation(&self.graph, self.chunk)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        AlgoOutput::U64(workflow_native(&self.graph))
+    }
+
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::Full
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::U64(workflow_reference(&self.graph))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// Level-synchronized BFS on a seeded random graph (measured-only: the frontier is
+/// data-dependent, so the balanced fork-join analysis does not apply).
+#[derive(Clone, Debug)]
+pub struct BfsWorkload {
+    graph: CsrGraph,
+    cfg: BfsConfig,
+}
+
+impl BfsWorkload {
+    /// A workload searching `graph` from `src`.
+    pub fn new(graph: CsrGraph, src: usize) -> Self {
+        assert!(src < graph.vertices(), "bfs source must be a vertex of the graph");
+        BfsWorkload { graph, cfg: BfsConfig { src, ..BfsConfig::new() } }
+    }
+
+    /// A deterministic demo instance: `n` vertices, ring-connected plus up to 4 random
+    /// out-edges per vertex, searched from vertex 0.
+    pub fn demo(n: usize) -> Self {
+        Self::new(CsrGraph::random(0xBF5, n, 4), 0)
+    }
+}
+
+impl Workload for BfsWorkload {
+    fn name(&self) -> String {
+        format!("bfs(n={})", self.graph.vertices())
+    }
+
+    fn computation(&self) -> Computation {
+        bfs_computation(&self.graph, &self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        AlgoOutput::I64(bfs_native(&self.graph, self.cfg.src))
+    }
+
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::Full
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::I64(bfs_reference(&self.graph, self.cfg.src))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// CSR sparse matrix–vector multiply (irregular data, regular structure: one balanced BP
+/// pass, so the paper's bound checks still apply in the lab).
+#[derive(Clone, Debug)]
+pub struct SpmvWorkload {
+    matrix: CsrMatrix,
+    x: Vec<f64>,
+    cfg: SpmvConfig,
+}
+
+impl SpmvWorkload {
+    /// A workload multiplying `matrix` by `x` (dimension match validated eagerly).
+    pub fn new(matrix: CsrMatrix, x: Vec<f64>) -> Self {
+        assert_eq!(x.len(), matrix.ncols, "x must have one entry per matrix column");
+        SpmvWorkload { matrix, x, cfg: SpmvConfig::new() }
+    }
+
+    /// A deterministic demo instance: a seeded random `n × n` matrix (diagonal plus up to
+    /// 7 extras per row) against a seeded dense vector.
+    pub fn demo(n: usize) -> Self {
+        Self::new(CsrMatrix::random(0x59A2, n, 7), demo_f64(n, 0x59A3))
+    }
+}
+
+impl Workload for SpmvWorkload {
+    fn name(&self) -> String {
+        format!("spmv(n={})", self.matrix.nrows())
+    }
+
+    fn computation(&self) -> Computation {
+        spmv_computation(&self.matrix, &self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        AlgoOutput::F64(spmv_native(&self.matrix, &self.x))
+    }
+
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::Full
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::F64(spmv_reference(&self.matrix, &self.x))
+    }
+}
+
+// ------------------------------------------------------------------------------------------
+
+/// Three-phase sample sort (measured-only: bucket sizes are data-dependent, and the skewed
+/// per-bucket fan-out is exactly what the scheduler stress tests lean on).
+#[derive(Clone, Debug)]
+pub struct SampleSortWorkload {
+    keys: Vec<u64>,
+    cfg: SampleSortConfig,
+}
+
+impl SampleSortWorkload {
+    /// A workload sorting the given keys into `buckets` buckets.
+    pub fn new(keys: Vec<u64>, buckets: usize) -> Self {
+        assert!(!keys.is_empty(), "sample sort needs at least one key");
+        SampleSortWorkload { keys, cfg: SampleSortConfig::new(buckets) }
+    }
+
+    /// A deterministic demo instance over `n` seeded keys with `√n` buckets.
+    pub fn demo(n: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(0x5A3E);
+        let keys = (0..n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
+        Self::new(keys, (n as f64).sqrt() as usize)
+    }
+}
+
+impl Workload for SampleSortWorkload {
+    fn name(&self) -> String {
+        format!("sample-sort(n={})", self.keys.len())
+    }
+
+    fn computation(&self) -> Computation {
+        sample_sort_computation(&self.keys, &self.cfg)
+    }
+
+    fn run_native(&self) -> AlgoOutput {
+        AlgoOutput::U64(sample_sort_native(&self.keys, self.cfg.buckets))
+    }
+
+    fn native_support(&self) -> NativeSupport {
+        NativeSupport::Full
+    }
+
+    fn run_reference(&self) -> AlgoOutput {
+        AlgoOutput::U64(sample_sort_reference(&self.keys))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Every committed workload at a small demo size — the list each enumerating test
+    /// walks, so adding a workload without updating the suite fails loudly here.
+    fn full_suite() -> Vec<Box<dyn Workload>> {
+        vec![
+            Box::new(PrefixWorkload::demo(256)),
+            Box::new(MatMulWorkload::demo(8, 2)),
+            Box::new(SortWorkload::demo(256)),
+            Box::new(FftWorkload::demo(64)),
+            Box::new(TransposeWorkload::demo(8, 2)),
+            Box::new(ListRankWorkload::demo(64)),
+            Box::new(DagWorkflowWorkload::demo(64)),
+            Box::new(BfsWorkload::demo(64)),
+            Box::new(SpmvWorkload::demo(64)),
+            Box::new(SampleSortWorkload::demo(64)),
+        ]
+    }
 
     #[test]
     fn demo_inputs_are_deterministic() {
@@ -374,34 +589,21 @@ mod tests {
         let m2 = MatMulWorkload::demo(8, 2);
         assert_eq!(m1.a, m2.a);
         assert_eq!(m1.b, m2.b);
+        for (x, y) in full_suite().iter().zip(full_suite().iter()) {
+            assert_eq!(x.run_reference(), y.run_reference(), "{}", x.name());
+        }
     }
 
     #[test]
     fn native_matches_reference_for_all_workloads_outside_a_pool() {
-        let workloads: Vec<Box<dyn Workload>> = vec![
-            Box::new(PrefixWorkload::demo(512)),
-            Box::new(MatMulWorkload::demo(8, 2)),
-            Box::new(SortWorkload::demo(256)),
-            Box::new(FftWorkload::demo(64)),
-            Box::new(TransposeWorkload::demo(8, 2)),
-            Box::new(ListRankWorkload::demo(64)),
-        ];
-        for w in &workloads {
+        for w in &full_suite() {
             assert_eq!(w.run_native(), w.run_reference(), "{}", w.name());
         }
     }
 
     #[test]
     fn computations_build_and_validate() {
-        let workloads: Vec<Box<dyn Workload>> = vec![
-            Box::new(PrefixWorkload::demo(256)),
-            Box::new(MatMulWorkload::demo(8, 2)),
-            Box::new(SortWorkload::demo(256)),
-            Box::new(FftWorkload::demo(64)),
-            Box::new(TransposeWorkload::demo(8, 2)),
-            Box::new(ListRankWorkload::demo(64)),
-        ];
-        for w in &workloads {
+        for w in &full_suite() {
             let comp = w.computation();
             assert!(comp.check_properties().is_empty(), "{}", w.name());
             assert!(comp.dag.work() > 0);
@@ -410,22 +612,29 @@ mod tests {
 
     #[test]
     fn every_workload_declares_full_native_support() {
-        // The suite has no sequential stubs left: all six workloads run a real fork-join
-        // kernel natively and must say so. (The fallback variant still exists in
-        // `workload.rs` as the honesty label a future stub would be forced to wear; its
-        // own tests live there.)
-        let all: Vec<Box<dyn Workload>> = vec![
-            Box::new(PrefixWorkload::demo(256)),
-            Box::new(MatMulWorkload::demo(8, 2)),
-            Box::new(SortWorkload::demo(256)),
-            Box::new(FftWorkload::demo(64)),
-            Box::new(TransposeWorkload::demo(8, 2)),
-            Box::new(ListRankWorkload::demo(64)),
-        ];
-        for w in &all {
+        // The suite has no sequential stubs left: every workload runs a real fork-join
+        // (or task-graph) kernel natively and must say so. (The fallback variant still
+        // exists in `workload.rs` as the honesty label a future stub would be forced to
+        // wear; its own tests live there.)
+        for w in &full_suite() {
             assert_eq!(w.native_support(), NativeSupport::Full, "{}", w.name());
             assert!(!w.native_support().is_fallback());
             assert_eq!(w.native_support().label(), "full");
+        }
+    }
+
+    #[test]
+    fn new_workload_demos_construct_at_the_sweep_floor() {
+        // The lab's sweep test instantiates every workload kind at n = 16; the demo
+        // constructors must accept it.
+        for w in [
+            Box::new(DagWorkflowWorkload::demo(16)) as Box<dyn Workload>,
+            Box::new(BfsWorkload::demo(16)),
+            Box::new(SpmvWorkload::demo(16)),
+            Box::new(SampleSortWorkload::demo(16)),
+        ] {
+            assert_eq!(w.run_native(), w.run_reference(), "{}", w.name());
+            assert!(w.computation().check_properties().is_empty(), "{}", w.name());
         }
     }
 

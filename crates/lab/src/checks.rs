@@ -46,6 +46,14 @@ fn steal_prediction(kind: WorkloadKind, n: f64, params: &Params) -> f64 {
         WorkloadKind::Fft => analysis::sort_fft_steals(n, A, params),
         WorkloadKind::Transpose => analysis::transpose_steals(n, A, params),
         WorkloadKind::ListRank => analysis::list_ranking_steals(n, A, params),
+        // SpMV is a single balanced BP pass over row chunks, so the BP steal bound applies
+        // with `n` the row count.
+        WorkloadKind::Spmv => analysis::bp_steals(n, A, params),
+        // Measured-only workloads never reach here: scenario validation rejects any bound
+        // check on them, so `sc.checks` is empty for these kinds.
+        WorkloadKind::DagWorkflow | WorkloadKind::Bfs | WorkloadKind::SampleSort => {
+            unreachable!("measured-only workloads take no steal check")
+        }
     }
 }
 
@@ -163,6 +171,7 @@ mod tests {
             ("fft", 256),
             ("transpose", 32),
             ("list-ranking", 512),
+            ("spmv", 512),
         ] {
             let sc = Scenario::parse(&format!(
                 "name = c\nworkload = {workload}\nn = {n}\nbackends = sim\n\

@@ -7,7 +7,7 @@
 //! {
 //!   "schema": "rws-lab-report/v1",
 //!   "scenario": <name>, "workload": <full workload name>,
-//!   "work": W, "t_inf": T∞, "native_fallback": bool,
+//!   "work": W, "t_inf": T∞, "native_fallback": bool, "measured_only": bool,
 //!   "runs": [ { "backend", "executor", "procs", "seed", "axis", "axis_value",
 //!               "steals", "failed_steals", "work_items", "time_units", "time_unit",
 //!               "cache_misses", "block_misses", "false_sharing_misses",
@@ -96,12 +96,13 @@ impl LabReport {
     pub fn summary_lines(&self) -> Vec<String> {
         let mut lines = Vec::new();
         lines.push(format!(
-            "scenario {}: {} (W = {}, T_inf = {}){}",
+            "scenario {}: {} (W = {}, T_inf = {}){}{}",
             self.lab.scenario,
             self.lab.workload,
             self.lab.work,
             self.lab.t_inf,
-            if self.lab.native_fallback { " [native = sequential fallback]" } else { "" }
+            if self.lab.native_fallback { " [native = sequential fallback]" } else { "" },
+            if self.lab.measured_only { " [measured only: no paper bound applies]" } else { "" }
         ));
         for (i, r) in self.lab.records.iter().enumerate() {
             let axis = match r.spec.axis {
@@ -223,6 +224,7 @@ impl LabReport {
             ("work", self.lab.work.into()),
             ("t_inf", self.lab.t_inf.into()),
             ("native_fallback", self.lab.native_fallback.into()),
+            ("measured_only", self.lab.measured_only.into()),
             ("runs", runs.into()),
             ("checks", checks.into()),
             ("timing", timing),
@@ -286,6 +288,33 @@ mod tests {
         assert_eq!(lines.len(), 1 + 4 + 6 + 1);
         assert!(lines.last().unwrap().starts_with("PASS"));
         assert!(lines[1].contains("seed=11"));
+    }
+
+    #[test]
+    fn measured_only_workloads_are_labeled_not_vacuously_passed() {
+        // The honesty contract: a workload the paper's analysis does not cover says so in
+        // the summary header and the JSON, and carries zero checks rather than passing
+        // checks that were never evaluated.
+        let sc = Scenario::parse(
+            "name = m\nworkload = sample-sort\nn = 64\nbackends = sim, native\nseeds = 11",
+        )
+        .unwrap();
+        let report = run(&sc);
+        assert!(report.checks.is_empty(), "no bound checks on a measured-only workload");
+        assert!(report.all_passed(), "zero checks, zero failures");
+        let lines = report.summary_lines();
+        assert!(
+            lines[0].contains("[measured only: no paper bound applies]"),
+            "header must carry the label: {}",
+            lines[0]
+        );
+        let doc = report.to_json();
+        validate_report(&doc).expect("measured-only report must validate");
+        assert!(doc.contains("\"measured_only\": true"), "{doc}");
+        // And the covered workloads stay unlabeled.
+        let covered = tiny_report();
+        assert!(!covered.lab.measured_only);
+        assert!(covered.to_json().contains("\"measured_only\": false"));
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! do not apply to the workload) so a scenario that parses is runnable end to end.
 
 use rws_exec::workloads::{
-    FftWorkload, ListRankWorkload, MatMulWorkload, PrefixWorkload, SortWorkload, TransposeWorkload,
+    BfsWorkload, DagWorkflowWorkload, FftWorkload, ListRankWorkload, MatMulWorkload,
+    PrefixWorkload, SampleSortWorkload, SortWorkload, SpmvWorkload, TransposeWorkload,
 };
 use rws_exec::SharedWorkload;
 use rws_machine::MachineConfig;
@@ -45,6 +46,14 @@ pub enum WorkloadKind {
     Transpose,
     /// List ranking by round-synchronized pointer jumping.
     ListRank,
+    /// Arbitrary-dependency task graph by atomic indegree counting (measured-only).
+    DagWorkflow,
+    /// Level-synchronized BFS on a seeded random graph (measured-only).
+    Bfs,
+    /// CSR sparse matrix–vector multiply (a balanced BP pass; paper checks apply).
+    Spmv,
+    /// Three-phase sample sort with data-dependent buckets (measured-only).
+    SampleSort,
 }
 
 impl WorkloadKind {
@@ -57,6 +66,10 @@ impl WorkloadKind {
             "fft" => Some(WorkloadKind::Fft),
             "transpose" => Some(WorkloadKind::Transpose),
             "list-ranking" | "listrank" => Some(WorkloadKind::ListRank),
+            "dag-workflow" | "dag_workflow" | "taskgraph" => Some(WorkloadKind::DagWorkflow),
+            "bfs" => Some(WorkloadKind::Bfs),
+            "spmv" => Some(WorkloadKind::Spmv),
+            "sample-sort" | "samplesort" => Some(WorkloadKind::SampleSort),
             _ => None,
         }
     }
@@ -70,7 +83,19 @@ impl WorkloadKind {
             WorkloadKind::Fft => "fft",
             WorkloadKind::Transpose => "transpose",
             WorkloadKind::ListRank => "list-ranking",
+            WorkloadKind::DagWorkflow => "dag-workflow",
+            WorkloadKind::Bfs => "bfs",
+            WorkloadKind::Spmv => "spmv",
+            WorkloadKind::SampleSort => "sample-sort",
         }
+    }
+
+    /// Whether this workload's structure escapes the paper's fork-join analysis (data-
+    /// dependent task graphs, frontiers, or bucket sizes). Measured-only workloads take no
+    /// bound checks — requesting one is a parse error, and reports carry an explicit
+    /// `[measured only]` label instead of silently skipping the comparison.
+    pub fn measured_only(self) -> bool {
+        matches!(self, WorkloadKind::DagWorkflow | WorkloadKind::Bfs | WorkloadKind::SampleSort)
     }
 
     /// The default recursion-base parameter where the workload takes one.
@@ -90,6 +115,10 @@ impl WorkloadKind {
             WorkloadKind::Fft => Arc::new(FftWorkload::demo(n)),
             WorkloadKind::Transpose => Arc::new(TransposeWorkload::demo(n, base.min(n))),
             WorkloadKind::ListRank => Arc::new(ListRankWorkload::demo(n)),
+            WorkloadKind::DagWorkflow => Arc::new(DagWorkflowWorkload::demo(n)),
+            WorkloadKind::Bfs => Arc::new(BfsWorkload::demo(n)),
+            WorkloadKind::Spmv => Arc::new(SpmvWorkload::demo(n)),
+            WorkloadKind::SampleSort => Arc::new(SampleSortWorkload::demo(n)),
         }
     }
 }
@@ -284,7 +313,8 @@ impl Scenario {
                             ln,
                             format!(
                                 "unknown workload `{value}` (expected prefix-sums, matmul, \
-                                 merge-sort, fft, transpose, or list-ranking)"
+                                 merge-sort, fft, transpose, list-ranking, dag-workflow, \
+                                 bfs, spmv, or sample-sort)"
                             ),
                         )
                     }
@@ -442,9 +472,26 @@ impl Scenario {
                 return err(0, "sweep block_words values must be at least 1");
             }
         }
-        // Default: the three paper checks every workload supports.
-        let checks = checks
-            .unwrap_or_else(|| vec![CheckKind::Steals, CheckKind::BlockMisses, CheckKind::Runtime]);
+        // Default: the three paper checks for workloads the fork-join analysis covers;
+        // measured-only workloads default to no checks (and reject any, below) — an honest
+        // "no paper bound applies" rather than a vacuous pass.
+        let checks = checks.unwrap_or_else(|| {
+            if workload.measured_only() {
+                Vec::new()
+            } else {
+                vec![CheckKind::Steals, CheckKind::BlockMisses, CheckKind::Runtime]
+            }
+        });
+        if workload.measured_only() && !checks.is_empty() {
+            return err(
+                0,
+                format!(
+                    "workload `{}` is measured-only: its task structure is data-dependent, so \
+                     the paper's fork-join bounds do not apply — use `checks = none`",
+                    workload.name()
+                ),
+            );
+        }
         if checks.contains(&CheckKind::CacheMisses) && workload != WorkloadKind::MatMul {
             return err(
                 0,
@@ -595,6 +642,9 @@ mod tests {
             ("name = x\nworkload = fft\nn = 64\nseeds = 1, nope", "expects a number"),
             ("name = x\nworkload = fft\nn = 64\nsteal_cost = 1", "invalid machine"),
             ("name = x\nworkload = merge-sort\nn = 64\nbase = 2", "picks its own"),
+            ("name = x\nworkload = bfs\nn = 64\nchecks = steals", "measured-only"),
+            ("name = x\nworkload = dag-workflow\nn = 64\nchecks = runtime", "measured-only"),
+            ("name = x\nworkload = sample-sort\nn = 64\nchecks = block-misses", "measured-only"),
             (
                 "name = x\nworkload = fft\nn = 64\nsweep = block_words: 8, 8192",
                 "sweep block_words = 8192",
@@ -624,6 +674,20 @@ mod tests {
     }
 
     #[test]
+    fn measured_only_workloads_default_to_no_checks() {
+        for w in ["dag-workflow", "bfs", "sample-sort"] {
+            let sc =
+                Scenario::parse(&format!("name = x\nworkload = {w}\nn = 64")).expect("must parse");
+            assert!(sc.workload.measured_only());
+            assert!(sc.checks.is_empty(), "{w} takes no paper-bound checks");
+        }
+        // SpMV is irregular *data* but regular structure: the paper checks stay on.
+        let sc = Scenario::parse("name = x\nworkload = spmv\nn = 64").expect("must parse");
+        assert!(!sc.workload.measured_only());
+        assert_eq!(sc.checks.len(), 3, "spmv keeps the three default paper checks");
+    }
+
+    #[test]
     fn kind_names_round_trip() {
         for k in [
             WorkloadKind::PrefixSums,
@@ -632,6 +696,10 @@ mod tests {
             WorkloadKind::Fft,
             WorkloadKind::Transpose,
             WorkloadKind::ListRank,
+            WorkloadKind::DagWorkflow,
+            WorkloadKind::Bfs,
+            WorkloadKind::Spmv,
+            WorkloadKind::SampleSort,
         ] {
             assert_eq!(WorkloadKind::parse(k.name()), Some(k));
         }

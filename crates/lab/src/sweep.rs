@@ -54,6 +54,9 @@ pub struct LabRun {
     pub workload: String,
     /// Whether the workload's native leg is the sequential fallback.
     pub native_fallback: bool,
+    /// Whether the workload is measured-only: its task structure is data-dependent, so no
+    /// paper bound applies and the report carries an explicit label instead of checks.
+    pub measured_only: bool,
     /// The dag's work `W` (total operations).
     pub work: u64,
     /// The dag's span `T∞` in nodes (critical-path length the steal bounds use).
@@ -159,6 +162,7 @@ pub fn run_scenario_jobs_traced(
         scenario: sc.name.clone(),
         workload: workload.name(),
         native_fallback: workload.native_support().is_fallback(),
+        measured_only: sc.workload.measured_only(),
         work,
         t_inf,
         records,
@@ -344,8 +348,18 @@ mod tests {
     fn no_scenario_workload_is_a_native_fallback() {
         // Every workload a scenario can name has a real fork-join kernel, so the report's
         // honesty flags must stay clear across the whole suite.
-        for workload in ["prefix-sums", "matmul", "merge-sort", "fft", "transpose", "list-ranking"]
-        {
+        for workload in [
+            "prefix-sums",
+            "matmul",
+            "merge-sort",
+            "fft",
+            "transpose",
+            "list-ranking",
+            "dag-workflow",
+            "bfs",
+            "spmv",
+            "sample-sort",
+        ] {
             let sc = parse(&format!(
                 "name = f\nworkload = {workload}\nn = 16\nbackends = native\nseeds = 1"
             ));

@@ -95,6 +95,37 @@ fn ported_experiment_scenarios_pass_their_checks() {
 }
 
 #[test]
+fn dag_workload_scenarios_run_with_honest_labels() {
+    // The DAG-structured workload family: the three measured-only scenarios carry the
+    // explicit "no paper bound applies" label and zero vacuous verdicts; spmv — irregular
+    // data but regular BP structure — keeps the full paper checks and passes them.
+    for name in ["dag_workflow.scn", "bfs.scn", "samplesort.scn"] {
+        let sc = load(name);
+        assert!(sc.workload.measured_only(), "{name}");
+        assert!(sc.checks.is_empty(), "{name} must not claim paper bounds");
+        let result = report::run(&sc);
+        assert!(result.checks.is_empty(), "{name}: no verdicts on a measured-only workload");
+        assert!(result.all_passed());
+        assert!(!result.lab.native_fallback, "{name} must run a real parallel kernel");
+        assert!(result.lab.records.iter().all(|r| !r.report.sequential_fallback), "{name}");
+        let lines = result.summary_lines();
+        assert!(lines[0].contains("[measured only"), "{name}: {}", lines[0]);
+        let doc = result.to_json();
+        report::validate_report(&doc).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(doc.contains("\"measured_only\": true"), "{name}");
+    }
+    let sc = load("spmv.scn");
+    assert!(!sc.workload.measured_only());
+    let result = report::run(&sc);
+    assert!(!result.checks.is_empty(), "spmv keeps the paper checks");
+    for kind in ["steals", "block-misses", "runtime"] {
+        assert!(result.checks.iter().any(|c| c.check.name == kind), "missing `{kind}`");
+    }
+    assert!(result.all_passed(), "spmv failed:\n{}", result.summary_lines().join("\n"));
+    report::validate_report(&result.to_json()).unwrap();
+}
+
+#[test]
 fn native_sweep_scenario_mirrors_the_bench_thread_sweep() {
     // The native_bench-style thread sweep as a scenario: native-only, no sim checks, but
     // every run recorded with the honesty flag and the shared JSON schema.

@@ -1,0 +1,141 @@
+//! Deterministic waiting on supervision events.
+//!
+//! The supervision surface of the pool — alive flags, heartbeat epochs, quarantined-panic
+//! counters, respawn counts — is a set of atomics written by workers as a side effect of
+//! running. Anything that wants to *wait* for one of those to change (the supervision
+//! tests, the deaths-retire step of [`crate::service::JobServer::shutdown`]) used to poll
+//! them with `thread::sleep` loops: correct but timing-based, and a reliable source of
+//! slow flakes on a loaded 1-CPU CI host where a 1ms nap can stretch arbitrarily.
+//!
+//! [`HealthMonitor`] replaces the naps with a real rendezvous: every supervision event
+//! (worker death, respawn, quarantined panic, heartbeat) bumps a generation counter and
+//! notifies a condvar — but only after a waiter-count check, so the hot heartbeat path
+//! pays one uncontended atomic load per scheduling sweep while nobody is waiting, the
+//! same producer-side trick the sleep protocol uses for forks. Waiters re-check their
+//! predicate exactly when an event fires instead of on a timer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Condvar-backed monitor for the pool's supervision events. See the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct HealthMonitor {
+    /// Threads currently blocked in [`HealthMonitor::wait_until`]. Event sites skip all
+    /// locking while this is zero.
+    waiters: AtomicUsize,
+    /// Bumped on every supervision event; a waiter only sleeps while the generation holds
+    /// the value it read before its last predicate check.
+    generation: Mutex<u64>,
+    condvar: Condvar,
+}
+
+impl HealthMonitor {
+    pub(crate) fn new() -> Self {
+        HealthMonitor::default()
+    }
+
+    /// Record a supervision event: wake every waiter so it re-checks its predicate.
+    /// No-op (one `SeqCst` load, no lock) while nobody is waiting. `SeqCst`, not
+    /// `Relaxed`: a waiter registers before its predicate check, so an event published
+    /// after that check must observe the registration — this path is cold enough
+    /// (per sweep at worst, not per fork) to afford the fence that the fork-hot
+    /// [`crate::sleep::Sleep::notify`] deliberately omits.
+    pub(crate) fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let mut generation = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+            *generation = generation.wrapping_add(1);
+            drop(generation);
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Block until `pred` returns true, re-checking on every supervision event, for at
+    /// most `timeout`. Returns whether the predicate held before the deadline.
+    ///
+    /// The predicate is evaluated under the generation lock, which serializes it against
+    /// event-site bumps: an event that fires after a false check necessarily wakes the
+    /// subsequent wait. The lock also orders the relaxed supervision counters the
+    /// predicate typically reads behind the event that bumped them.
+    pub(crate) fn wait_until(&self, mut pred: impl FnMut() -> bool, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let held = loop {
+            let mut generation = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+            if pred() {
+                break true;
+            }
+            let observed = *generation;
+            let mut timed_out = false;
+            while *generation == observed && !timed_out {
+                let now = Instant::now();
+                if now >= deadline {
+                    timed_out = true;
+                    break;
+                }
+                let (guard, result) = self
+                    .condvar
+                    .wait_timeout(generation, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                generation = guard;
+                timed_out = result.timed_out();
+            }
+            if timed_out {
+                // Deadline reached: one final check so a predicate that turned true in
+                // the last instant still reports success.
+                break pred();
+            }
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        held
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn wait_until_returns_immediately_on_a_true_predicate() {
+        let m = HealthMonitor::new();
+        assert!(m.wait_until(|| true, Duration::from_secs(0)));
+        assert_eq!(m.waiters.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_until_times_out_on_a_false_predicate() {
+        let m = HealthMonitor::new();
+        let start = Instant::now();
+        assert!(!m.wait_until(|| false, Duration::from_millis(5)));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn a_notify_after_the_flag_flips_wakes_the_waiter() {
+        let m = Arc::new(HealthMonitor::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (m2, f2) = (Arc::clone(&m), Arc::clone(&flag));
+        let waiter = thread::spawn(move || {
+            m2.wait_until(|| f2.load(Ordering::Acquire), Duration::from_secs(30))
+        });
+        // Wait for registration so the notify below cannot be skipped as waiter-less.
+        while m.waiters.load(Ordering::SeqCst) == 0 {
+            thread::yield_now();
+        }
+        flag.store(true, Ordering::Release);
+        m.notify();
+        assert!(waiter.join().unwrap(), "the event must wake and satisfy the waiter");
+    }
+
+    #[test]
+    fn notify_without_waiters_is_cheap_and_harmless() {
+        let m = HealthMonitor::new();
+        for _ in 0..1000 {
+            m.notify();
+        }
+        assert_eq!(*m.generation.lock().unwrap(), 0, "no waiters, no generation bumps");
+    }
+}

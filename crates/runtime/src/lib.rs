@@ -54,6 +54,7 @@
 pub mod cancel;
 pub mod deque;
 pub mod faults;
+mod health;
 pub mod hist;
 mod job;
 pub mod padding;

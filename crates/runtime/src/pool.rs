@@ -18,6 +18,7 @@
 use crate::cancel;
 use crate::deque::{DequeBackend, SimpleDeque};
 use crate::faults::{FaultPlan, WorkerFault};
+use crate::health::HealthMonitor;
 use crate::job::{Job, JoinResult, Latch, StackJob};
 use crate::sleep::{Sleep, SleepBackoff};
 use crate::stats::PoolStats;
@@ -34,6 +35,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
+use std::time::Duration;
 
 /// Consecutive `Steal::Retry` results tolerated per victim before trying another.
 const STEAL_RETRIES: u32 = 4;
@@ -59,15 +61,26 @@ pub(crate) struct Shared {
     /// Optional flight recorder (default off; see [`rws_trace`]). Every hook site below
     /// pays one never-taken branch when this is `None`.
     trace: Option<Arc<TraceRecorder>>,
+    /// Rendezvous for threads waiting on supervision events (deaths, respawns, panics,
+    /// heartbeats) — see [`crate::health`]. Free while nobody waits.
+    health: HealthMonitor,
 }
 
 impl Shared {
-    /// Push a job into the global injector and wake a sleeper — the submission path for
+    /// Push a job into the global injector and wake the pool — the submission path for
     /// work arriving from outside a worker of this pool (`spawn`, cross-thread `install`,
     /// and scoped spawns issued off-pool).
+    ///
+    /// This path wakes **unconditionally** ([`Sleep::notify_all_now`]), unlike the
+    /// fork-hot `notify`: a submitter is an external thread, so its relaxed sleeper-count
+    /// load can race a worker's park registration (the StoreLoad hole in the sleep
+    /// protocol's docs), and losing that race here means a job submitted to a fully idle
+    /// pool sits for the whole 1ms park backstop before anything starts it. Submission is
+    /// off the fork hot path — taking the event lock per submitted root job is noise,
+    /// while a 1ms p99 submit-to-start tail is not (`tests/submit_latency.rs` pins this).
     pub(crate) fn inject(&self, job: Job) {
         self.injector.push(job);
-        self.sleep.notify();
+        self.sleep.notify_all_now();
     }
 
     /// Whether any queue visibly holds work (the pre-park check; racy by design — a missed
@@ -93,6 +106,11 @@ impl Shared {
     /// The attached flight recorder, if tracing was enabled at build time.
     pub(crate) fn trace(&self) -> Option<&TraceRecorder> {
         self.trace.as_deref()
+    }
+
+    /// The supervision-event monitor (service-layer access path).
+    pub(crate) fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 }
 
@@ -286,6 +304,7 @@ impl WorkerHandle {
             // A heap job's panic was quarantined inside `execute`; health-track it against
             // this worker so a supervisor can tell a panic-storm from a healthy pool.
             self.shared.stats.record_panic_caught(self.index);
+            self.shared.health.notify();
         }
         if let Some(t) = self.shared.trace() {
             t.record(self.index, EventKind::JobEnd, kind, 0);
@@ -315,6 +334,11 @@ impl WorkerHandle {
                 t.record(self.index, EventKind::Park, LADDER_STAGE_PARK, *idle as u64);
             }
             let notified = self.shared.sleep.sleep_unless(ready);
+            if !notified {
+                // The 1ms backstop timer fired with no notification: count it so tests
+                // (and profiles) can assert steady-state runs never lean on the backstop.
+                self.shared.stats.record_backstop_wake(self.index);
+            }
             if let Some(t) = self.shared.trace() {
                 t.record(self.index, EventKind::Unpark, notified as u8, 0);
             }
@@ -363,6 +387,7 @@ impl Drop for AliveGuard {
         // A dying worker may strand queued jobs in its deque; make sure somebody is awake
         // to notice the work (the supervisor's respawn sweep drains the rest).
         self.shared.sleep.notify();
+        self.shared.health.notify();
     }
 }
 
@@ -374,6 +399,7 @@ fn worker_loop(handle: Rc<WorkerHandle>) {
         // One heartbeat per scheduling sweep: a supervisor that sees the epoch frozen
         // while `alive` is down knows the thread exited (vs. being busy in one long job).
         handle.shared.stats.record_heartbeat(handle.index);
+        handle.shared.health.notify();
         if let Some(plan) = &handle.shared.faults {
             match plan.poll_worker_sweep() {
                 WorkerFault::None => {}
@@ -548,6 +574,7 @@ impl ThreadPool {
             alive: (0..threads).map(|_| AtomicBool::new(true)).collect(),
             faults,
             trace: trace.map(|cap| TraceRecorder::new(threads, cap)),
+            health: HealthMonitor::new(),
         });
         let handles = cb_workers
             .into_iter()
@@ -640,7 +667,20 @@ impl ThreadPool {
             report.respawned += 1;
             report.drained_jobs += drained;
         }
+        if report.respawned > 0 {
+            self.shared.health.notify();
+        }
         report
+    }
+
+    /// Block until `pred` holds, for at most `timeout`; returns whether it did. The
+    /// predicate is re-evaluated on every supervision event — a worker death, a respawn,
+    /// a quarantined panic, a heartbeat — instead of on a polling timer, so waits resolve
+    /// the instant the event lands and cost nothing to the pool while nobody waits. This
+    /// is the deterministic replacement for `sleep`-loop polling over [`ThreadPool::dead_workers`]
+    /// / [`PoolStats`] in supervision tests and in the service shutdown path.
+    pub fn wait_health(&self, pred: impl FnMut() -> bool, timeout: Duration) -> bool {
+        self.shared.health.wait_until(pred, timeout)
     }
 
     /// Number of worker threads.

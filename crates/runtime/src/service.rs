@@ -302,6 +302,11 @@ struct ServerState {
     supervisor_stop: AtomicBool,
 
     shutdown: AtomicBool,
+    /// Rendezvous for [`JobServer::shutdown`]'s drain: the settle that takes `in_flight`
+    /// to zero during shutdown signals here, so the drain wakes on the event instead of
+    /// on a polling timer.
+    drain_lock: Mutex<()>,
+    drain_cv: Condvar,
 
     /// Submission → execution-start latency (started jobs only).
     queue_hist: LatencyHistogram,
@@ -340,7 +345,16 @@ impl ServerState {
         let settled_ns = job.submitted_at.elapsed().as_nanos().max(1) as u64;
         job.settled_at_ns.store(settled_ns, Ordering::Release);
         self.trace_event(EventKind::ServiceSettle, outcome as u8, job.seq);
-        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if self.in_flight.fetch_sub(1, Ordering::AcqRel) == 1
+            && self.shutdown.load(Ordering::Acquire)
+        {
+            // Last in-flight job during a shutdown: wake the draining thread now. Taking
+            // the lock (not just notifying) closes the race against a drainer between its
+            // counter check and its wait. A settle that lands before the drainer observes
+            // the shutdown flag skips this; the drain's bounded wait re-checks.
+            let _lock = self.drain_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.drain_cv.notify_all();
+        }
         let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
         *done = true;
         job.cv.notify_all();
@@ -485,6 +499,8 @@ impl JobServer {
             supervisor_cv: Condvar::new(),
             supervisor_stop: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            drain_lock: Mutex::new(()),
+            drain_cv: Condvar::new(),
             queue_hist: LatencyHistogram::new(),
             service_hist: LatencyHistogram::new(),
             terminal_hist: LatencyHistogram::new(),
@@ -678,10 +694,26 @@ impl JobServer {
             state.admission_cv.notify_all();
         }
         // Drain: every accepted job must settle. Workers only die at sweep boundaries
-        // (never mid-job), so respawn sweeps guarantee queued jobs find an executor.
+        // (never mid-job), so respawn sweeps guarantee queued jobs find an executor. The
+        // settle that zeroes `in_flight` under the shutdown flag signals `drain_cv`, so
+        // the common case wakes on the event; the wait stays *bounded* anyway, both to
+        // interleave respawn sweeps (a queued job stranded on a dead worker settles only
+        // after a sweep requeues it) and to cover the benign race where that last settle
+        // misses the just-raised shutdown flag and skips the signal.
+        //
+        // The supervisor deliberately keeps running through this drain — stopping it here
+        // would be safe for *queued* jobs (`run_root_job`'s pre-run deadline check settles
+        // queued-expired jobs without any sweep) but would leave an already-*running*
+        // job's expired deadline uncancelled until it completed on its own.
         while state.in_flight.load(Ordering::Acquire) > 0 {
             self.pool.respawn_dead_workers();
-            thread::sleep(Duration::from_millis(1));
+            let guard = state.drain_lock.lock().unwrap_or_else(|e| e.into_inner());
+            if state.in_flight.load(Ordering::Acquire) > 0 {
+                let _ = state
+                    .drain_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .unwrap_or_else(|e| e.into_inner());
+            }
         }
         // Heal the pool: afterwards respawns == injected deaths, deterministically, which
         // the chaos harness asserts.
@@ -689,14 +721,19 @@ impl JobServer {
             self.pool.respawn_dead_workers();
         }
         // A worker that claimed a death just before the disarm may not have lowered its
-        // alive flag yet; wait it out so the respawn count truthfully matches the claimed
-        // deaths (the plan is disarmed, so this set cannot grow).
+        // alive flag yet; wait for its death event (the plan is disarmed, so this set
+        // cannot grow) so the respawn count truthfully matches the claimed deaths.
         if let Some(plan) = &state.faults {
             while (self.pool.stats().total_respawns() as usize) < plan.deaths_injected() {
                 self.pool.respawn_dead_workers();
-                thread::sleep(Duration::from_micros(100));
+                self.pool.wait_health(|| self.pool.dead_workers() > 0, Duration::from_millis(1));
             }
         }
+        // Stop the supervisor last, after the pool is healthy and every job has settled:
+        // nothing below needs its sweeps, and `supervisor_loop` re-checks the stop flag
+        // under `supervisor_lock` before waiting, so this raise-then-wake cannot be lost
+        // between the loop's check and its park (the same flag/lock discipline `Drop`
+        // uses, which is what makes an unexplicit-shutdown drop flake-free too).
         state.supervisor_stop.store(true, Ordering::Release);
         state.wake_supervisor();
         if let Some(h) = self.supervisor.take() {
@@ -786,6 +823,7 @@ fn run_root_job(
                 // would.
                 if let Some(w) = current_worker() {
                     w.shared.stats().record_panic_caught(w.index());
+                    w.shared.health().notify();
                 }
                 server.settle(job, JobOutcome::Panicked);
                 drop(payload);

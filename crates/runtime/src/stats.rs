@@ -16,6 +16,11 @@ struct WorkerCounters {
     failed_steals: AtomicU64,
     steal_retries: AtomicU64,
     parks: AtomicU64,
+    /// Parks that ended in the 1ms backstop timeout instead of a notification. A handful
+    /// around activity edges is normal; a steady-state stream means work is being
+    /// published without a wake reaching anyone — the missed-wake class the submit-path
+    /// broadcast fix closed (see `Shared::inject`).
+    backstop_wakes: AtomicU64,
     /// Successful steal *operations* (victim visits): a batch moving `k` jobs counts once
     /// here and `k` times in `steals` — this is the CAS-traffic/victim-visit view, while
     /// `steals` keeps the paper's per-task-migration semantics.
@@ -66,6 +71,8 @@ pub struct WorkerSnapshot {
     pub steal_retries: u64,
     /// Times the worker parked.
     pub parks: u64,
+    /// Parks that ended in the backstop timeout rather than a notification.
+    pub backstop_wakes: u64,
     /// Successful steal operations (victim visits — a batch counts once).
     pub batch_steals: u64,
     /// Jobs moved by steal operations (batch sizes summed).
@@ -86,6 +93,7 @@ impl WorkerSnapshot {
             failed_steals: self.failed_steals.saturating_sub(prev.failed_steals),
             steal_retries: self.steal_retries.saturating_sub(prev.steal_retries),
             parks: self.parks.saturating_sub(prev.parks),
+            backstop_wakes: self.backstop_wakes.saturating_sub(prev.backstop_wakes),
             batch_steals: self.batch_steals.saturating_sub(prev.batch_steals),
             jobs_stolen: self.jobs_stolen.saturating_sub(prev.jobs_stolen),
             heartbeats: self.heartbeats.saturating_sub(prev.heartbeats),
@@ -139,6 +147,11 @@ impl PoolStatsSnapshot {
         self.workers.iter().map(|w| w.parks).sum()
     }
 
+    /// Total backstop-timeout wakeups across workers.
+    pub fn total_backstop_wakes(&self) -> u64 {
+        self.workers.iter().map(|w| w.backstop_wakes).sum()
+    }
+
     /// Total successful steal operations (victim visits) across workers.
     pub fn total_batch_steals(&self) -> u64 {
         self.workers.iter().map(|w| w.batch_steals).sum()
@@ -188,6 +201,12 @@ impl PoolStats {
     /// Record worker `w` parking after finding no work.
     pub fn record_park(&self, w: usize) {
         self.workers[w].0.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record worker `w` waking from a park because the backstop timer fired, not because
+    /// anybody notified it.
+    pub fn record_backstop_wake(&self, w: usize) {
+        self.workers[w].0.backstop_wakes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Bump worker `w`'s scheduling-sweep heartbeat epoch (one relaxed add on the worker's
@@ -267,6 +286,11 @@ impl PoolStats {
         self.workers.iter().map(|c| c.0.parks.load(Ordering::Relaxed)).sum()
     }
 
+    /// Total parks that ended in the backstop timeout rather than a notification.
+    pub fn total_backstop_wakes(&self) -> u64 {
+        self.workers.iter().map(|c| c.0.backstop_wakes.load(Ordering::Relaxed)).sum()
+    }
+
     /// Total panics caught (quarantined) across all workers.
     pub fn total_panics_caught(&self) -> u64 {
         self.workers.iter().map(|c| c.0.panics_caught.load(Ordering::Relaxed)).sum()
@@ -338,6 +362,7 @@ impl PoolStats {
                         failed_steals: c.failed_steals.load(Ordering::Relaxed),
                         steal_retries: c.steal_retries.load(Ordering::Relaxed),
                         parks: c.parks.load(Ordering::Relaxed),
+                        backstop_wakes: c.backstop_wakes.load(Ordering::Relaxed),
                         batch_steals: c.batch_steals.load(Ordering::Relaxed),
                         jobs_stolen: c.jobs_stolen.load(Ordering::Relaxed),
                         heartbeats: c.heartbeats.load(Ordering::Relaxed),
@@ -370,6 +395,8 @@ mod tests {
         s.record_failed_steal(0);
         s.record_failed_steal(1);
         s.record_park(0);
+        s.record_backstop_wake(0);
+        s.record_backstop_wake(0);
         assert_eq!(s.total_steals(), 3);
         assert_eq!(s.steals_of(1), 2);
         assert_eq!(s.total_batch_steals(), 3, "each single steal is a batch of one");
@@ -379,7 +406,10 @@ mod tests {
         assert_eq!(s.total_retries(), 1);
         assert_eq!(s.total_failed_steals(), 3, "empty probes plus CAS losses");
         assert_eq!(s.total_parks(), 1);
+        assert_eq!(s.total_backstop_wakes(), 2);
         assert_eq!(s.workers(), 2);
+        let d = s.snapshot_delta(&PoolStatsSnapshot { workers: vec![Default::default(); 2] });
+        assert_eq!(d.total_backstop_wakes(), 2, "backstop wakes flow through snapshots");
     }
 
     #[test]

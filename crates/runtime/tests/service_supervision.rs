@@ -8,8 +8,7 @@ use rws_runtime::{
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 #[test]
 fn try_install_reports_a_panicking_closure_with_its_original_payload() {
@@ -58,16 +57,14 @@ fn dead_workers_are_detected_and_respawned_with_their_jobs_drained() {
         ..FaultSpec::default()
     }));
     let pool = ThreadPoolBuilder::new().threads(2).fault_plan(Arc::clone(&plan)).build();
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while plan.deaths_injected() < 2 {
-        assert!(Instant::now() < deadline, "planned deaths never fired");
-        thread::sleep(Duration::from_millis(1));
-    }
-    while pool.dead_workers() < 2 {
-        assert!(Instant::now() < deadline, "alive flags never dropped");
-        thread::sleep(Duration::from_millis(1));
-    }
-    assert!(!pool.worker_alive(0) || !pool.worker_alive(1));
+    // Each death lowers the alive flag and fires a health event; wait on the event, not
+    // on a timer (a dead worker count of 2 implies both planned deaths were claimed).
+    assert!(
+        pool.wait_health(|| pool.dead_workers() == 2, Duration::from_secs(30)),
+        "planned deaths never fired / alive flags never dropped"
+    );
+    assert_eq!(plan.deaths_injected(), 2);
+    assert!(!pool.worker_alive(0) && !pool.worker_alive(1));
     let report = pool.respawn_dead_workers();
     assert_eq!(report.respawned, 2, "both dead slots respawned in one sweep");
     assert_eq!(pool.dead_workers(), 0);
@@ -81,12 +78,16 @@ fn dead_workers_are_detected_and_respawned_with_their_jobs_drained() {
 fn heartbeats_advance_on_live_workers() {
     let pool = ThreadPool::new(2);
     let _ = pool.install(|| 1 + 1);
-    // 1-CPU host: a worker may not have been scheduled yet — wait, bounded.
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while pool.stats().heartbeat_of(0) == 0 || pool.stats().heartbeat_of(1) == 0 {
-        assert!(Instant::now() < deadline, "every worker sweeps its heartbeat epoch");
-        thread::sleep(Duration::from_millis(1));
-    }
+    // 1-CPU host: a worker may not have been scheduled yet. Every sweep fires a health
+    // event, so wait on those instead of a polling timer.
+    let stats = pool.stats();
+    assert!(
+        pool.wait_health(
+            || stats.heartbeat_of(0) > 0 && stats.heartbeat_of(1) > 0,
+            Duration::from_secs(30),
+        ),
+        "every worker sweeps its heartbeat epoch"
+    );
 }
 
 #[test]
@@ -95,11 +96,11 @@ fn panic_quarantine_is_health_tracked_per_worker() {
     for _ in 0..3 {
         pool.spawn(|| panic!("quarantine me"));
     }
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while pool.stats().total_panics_caught() < 3 {
-        assert!(Instant::now() < deadline, "panics never recorded");
-        thread::sleep(Duration::from_millis(1));
-    }
+    // Each quarantined panic fires a health event; wait on those, not on a timer.
+    assert!(
+        pool.wait_health(|| pool.stats().total_panics_caught() >= 3, Duration::from_secs(30)),
+        "panics never recorded"
+    );
     assert_eq!(pool.stats().panics_caught_of(0), 3);
     assert_eq!(pool.install(|| 5), 5, "the worker survives its quarantined panics");
 }

@@ -419,6 +419,9 @@ pub struct WorkerProfile {
     pub retries: u64,
     /// Parks.
     pub parks: u64,
+    /// Unparks whose `aux` says the 1ms backstop timer fired (no notification arrived) —
+    /// matches `PoolStats::total_backstop_wakes`.
+    pub backstop_wakes: u64,
     /// Cooperative cancellation checks observed at fork points.
     pub cancel_checks: u64,
 }
@@ -556,7 +559,12 @@ fn profile_snapshot(snap: &TraceSnapshot) -> TraceProfile {
                 w.parks += 1;
                 st.parked = true;
             }
-            EventKind::Unpark => st.parked = false,
+            EventKind::Unpark => {
+                st.parked = false;
+                if ev.aux == 0 {
+                    w.backstop_wakes += 1;
+                }
+            }
             EventKind::CancelCheck => w.cancel_checks += 1,
             EventKind::WorkerDead => st.depth = 0,
             _ => {}

@@ -5,15 +5,20 @@
 //! simulated dags model.
 //!
 //! Since every workload now ships a real fork-join kernel (no `SequentialFallback`
-//! remains in the committed suite), the centerpiece is a **seeded matrix**: every
-//! workload × both deque backends × {1, 2, 4} worker threads × three input seeds × two
-//! instance sizes, with every native report required to have its `sequential_fallback`
-//! honesty flag clear.
+//! remains in the committed suite), the centerpiece is a **seeded matrix**: all ten
+//! workloads — the six original kernels plus the DAG-structured family (task-graph
+//! workflow, BFS, SpMV, sample sort) — × both deque backends × {1, 2, 4} worker threads
+//! × three input seeds × two instance sizes, with every native report required to have
+//! its `sequential_fallback` honesty flag clear.
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rws_algos::bfs::CsrGraph;
 use rws_algos::matmul::{MatMulConfig, MmVariant};
+use rws_algos::spmv::CsrMatrix;
+use rws_algos::taskgraph::layered_random;
 use rws_exec::workloads::{
-    FftWorkload, ListRankWorkload, MatMulWorkload, PrefixWorkload, SortWorkload, TransposeWorkload,
+    BfsWorkload, DagWorkflowWorkload, FftWorkload, ListRankWorkload, MatMulWorkload,
+    PrefixWorkload, SampleSortWorkload, SortWorkload, SpmvWorkload, TransposeWorkload,
 };
 use rws_exec::{Backend, Executor, NativeExecutor, SharedWorkload, SimExecutor};
 use rws_runtime::DequeBackend;
@@ -73,7 +78,7 @@ fn assert_parity(workload: SharedWorkload) {
 // The seeded matrix
 // ------------------------------------------------------------------------------------------
 
-/// One seeded instance of all six workloads at one of two sizes (`large = false / true`).
+/// One seeded instance of all ten workloads at one of two sizes (`large = false / true`).
 fn seeded_workloads(seed: u64, large: bool) -> Vec<SharedWorkload> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let (prefix_n, mm_n, sort_n, fft_n, tr_n, lr_n) = if large {
@@ -81,6 +86,10 @@ fn seeded_workloads(seed: u64, large: bool) -> Vec<SharedWorkload> {
     } else {
         (256, 8, 128, 64, 8, 64)
     };
+    // The DAG-structured family: a layered random task graph, a random sparse graph
+    // (BFS), a random sparse matrix (SpMV), and a skewed key set (sample sort).
+    let (dag_layers, dag_width, graph_n, ss_n) =
+        if large { (6usize, 24usize, 512usize, 1024usize) } else { (4, 8, 64, 128) };
     let prefix: Vec<i64> = (0..prefix_n).map(|_| rng.gen_range(-1000i64..1001)).collect();
     let mm_a: Vec<f64> = (0..mm_n * mm_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let mm_b: Vec<f64> = (0..mm_n * mm_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -89,6 +98,8 @@ fn seeded_workloads(seed: u64, large: bool) -> Vec<SharedWorkload> {
         (0..fft_n).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
     let tr: Vec<f64> = (0..tr_n * tr_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let succ = random_permutation_list(lr_n, &mut rng);
+    let x: Vec<f64> = (0..graph_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let ss_keys: Vec<u64> = (0..ss_n).map(|_| rng.gen_range(0u64..1_000_000)).collect();
     vec![
         Arc::new(PrefixWorkload::new(prefix, 8)),
         Arc::new(MatMulWorkload::new(
@@ -100,6 +111,10 @@ fn seeded_workloads(seed: u64, large: bool) -> Vec<SharedWorkload> {
         Arc::new(FftWorkload::new(fft_in)),
         Arc::new(TransposeWorkload::new(tr, tr_n, tr_n / 4)),
         Arc::new(ListRankWorkload::new(succ)),
+        Arc::new(DagWorkflowWorkload::new(layered_random(seed, dag_layers, dag_width), 4)),
+        Arc::new(BfsWorkload::new(CsrGraph::random(seed ^ 0xBF5, graph_n, 4), 0)),
+        Arc::new(SpmvWorkload::new(CsrMatrix::random(seed ^ 0x59A2, graph_n, 7), x)),
+        Arc::new(SampleSortWorkload::new(ss_keys, (ss_n as f64).sqrt() as usize)),
     ]
 }
 
@@ -179,6 +194,26 @@ fn transpose_agrees_across_all_executors() {
 #[test]
 fn list_ranking_agrees_across_all_executors() {
     assert_parity(Arc::new(ListRankWorkload::demo(256)));
+}
+
+#[test]
+fn dag_workflow_agrees_across_all_executors() {
+    assert_parity(Arc::new(DagWorkflowWorkload::demo(128)));
+}
+
+#[test]
+fn bfs_agrees_across_all_executors() {
+    assert_parity(Arc::new(BfsWorkload::demo(256)));
+}
+
+#[test]
+fn spmv_agrees_across_all_executors() {
+    assert_parity(Arc::new(SpmvWorkload::demo(256)));
+}
+
+#[test]
+fn sample_sort_agrees_across_all_executors() {
+    assert_parity(Arc::new(SampleSortWorkload::demo(512)));
 }
 
 #[test]
