@@ -172,7 +172,7 @@ where
 
 /// Run four closures as one parallel collection and return their results — the native
 /// mirror of a four-child balanced fork, used by the quadrant-recursive kernels. Ported
-/// onto [`rws_runtime::scope`]: three branches are scoped spawns (all of which fit the
+/// onto [`rws_runtime::scope()`]: three branches are scoped spawns (all of which fit the
 /// scope's inline job slots, so the fan-out stays allocation-free when unstolen) and the
 /// fourth runs in the scope body.
 pub fn join4<R1, R2, R3, R4>(

@@ -311,7 +311,7 @@ impl Strided<'_> {
 /// [`par_chunks_mut`]); the recursion bottoms out at `base` with an iterative radix-2 leaf,
 /// mirroring the dag's base case. All twiddle factors — the per-level scaling pass and the
 /// leaves' butterfly factors alike — come from one precomputed full-circle table
-/// ([`twiddle_table`]) built once per top-level call, replacing per-element trig in the hot
+/// (`twiddle_table`) built once per top-level call, replacing per-element trig in the hot
 /// passes. Call from inside [`rws_runtime::ThreadPool::install`] for parallel execution;
 /// outside a pool worker the joins degrade to sequential calls.
 pub fn fft_native(input: &[Complex], base: usize) -> Vec<Complex> {

@@ -1,6 +1,6 @@
 //! An HBP sorting computation (Theorem 7.1(iii) workload).
 //!
-//! The paper's sort is the resource-oblivious sample sort of [7] (√n-way decomposition,
+//! The paper's sort is the resource-oblivious sample sort of \[7\] (√n-way decomposition,
 //! `T∞ = O(log n log log n)`). Reproducing that algorithm in full is out of scope for this
 //! repository (it is the subject of its own paper); as documented in DESIGN.md we substitute
 //! an **HBP merge sort**: two recursive calls into a local array followed by a BP merge pass

@@ -1,5 +1,5 @@
 //! A native task-graph runner: execute an arbitrary dependency DAG on the `rws-runtime`
-//! work-stealing pool via atomic indegree counting and [`rws_runtime::scope`] spawns.
+//! work-stealing pool via atomic indegree counting and [`rws_runtime::scope()`] spawns.
 //!
 //! Unlike the series-parallel computations the rest of the suite builds, a [`TaskGraph`]'s
 //! dependencies are unrestricted: any acyclic edge set over `n` nodes. Execution seeds the

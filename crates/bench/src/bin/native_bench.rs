@@ -1,9 +1,11 @@
 //! Emit `BENCH_native.json`: the native hot-path benchmark comparing the lock-free
 //! Chase–Lev deque backend against the mutex-protected `SimpleDeque` across workloads and
 //! thread counts, plus the service-mode rows (job-server throughput, shed rate, and p99
-//! queue latency — see `run_service_suite`) and the flight-recorder overhead row
+//! queue latency — see `run_service_suite`), the flight-recorder overhead row
 //! (`run_trace_overhead`: the same workload with tracing off and on, so the gate can prove
-//! the always-compiled recorder stays free when it is off).
+//! the always-compiled recorder stays free when it is off), and the multi-process
+//! `sharded` rows (`run_sharded_suite`: shardable workloads across worker subprocesses vs
+//! in-process — needs the `shard-worker` binary, so build `rws-shard` first).
 //!
 //! ```text
 //! native_bench [--size smoke|full] [--out PATH] [--threads 1,2,4] [--repeats N]
@@ -36,9 +38,9 @@
 //! creating the file on first use.
 
 use rws_bench::native_bench::{
-    append_trajectory, check_against, gate_against, run_service_suite, run_suite,
-    run_trace_overhead, to_json_full, trajectory_row, validate_json, BenchConfig, GateConfig,
-    SizeClass,
+    append_trajectory, check_against, gate_against, run_service_suite, run_sharded_suite,
+    run_suite, run_trace_overhead, to_json_full, trajectory_row, validate_json, BenchConfig,
+    GateConfig, SizeClass,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -239,7 +241,26 @@ fn main() -> ExitCode {
             100.0 * trace.overhead_rel,
             trace.events_recorded
         );
-        let doc = to_json_full(&cfg, &records, &service, Some(&trace));
+        // The multi-process rows: shardable workloads across worker subprocesses vs the
+        // same kernels in-process. Needs the shard-worker binary next to this one (CI
+        // builds rws-shard first); when it is absent, say how to fix it rather than
+        // emitting a document missing a section the baseline promises.
+        let sharded = run_sharded_suite(&cfg);
+        for r in &sharded {
+            eprintln!(
+                "  sharded {:>8} s={} t={}  median {:>12} ns  in-process {:>12} ns  \
+                 ({:+.1}%)  {} parts  jobs {:>8}",
+                r.workload,
+                r.shards,
+                r.threads_per_shard,
+                r.wall_ns_median,
+                r.inproc_wall_ns_median,
+                100.0 * r.overhead_rel,
+                r.parts,
+                r.work_items
+            );
+        }
+        let doc = to_json_full(&cfg, &records, &service, Some(&trace), &sharded);
         if let Err(e) = std::fs::write(&out, &doc) {
             eprintln!("native_bench: failed to write {out}: {e}");
             return ExitCode::FAILURE;

@@ -17,6 +17,12 @@
 //! `Shed` burst. These land in the document's `service` array and are gated too (exact
 //! `submitted` and outcome partition, t=1 walls, bounded shed rate).
 //!
+//! [`run_sharded_suite`] adds the multi-process rows: the shardable workloads partitioned
+//! across `rws-shard` worker subprocesses vs the same kernels on an in-process pool with
+//! the same total thread count. The structure (parts, fork counts, a zero-redistribution
+//! fault ledger) is deterministic and gated exactly; the walls quantify the multi-process
+//! tax and are reported, never gated.
+//!
 //! The JSON renders through the workspace's one writer, [`rws_lab::json`] (the vendored
 //! `serde` is a no-op marker, so emission is hand-rolled — but hand-rolled once, there);
 //! the structural [`validate_json`] check runs after every write so a malformed emission
@@ -734,6 +740,124 @@ pub fn run_trace_overhead(cfg: &BenchConfig) -> TraceBenchRecord {
     }
 }
 
+// ------------------------------------------------------------------------------------------
+// Sharded fork-join rows
+// ------------------------------------------------------------------------------------------
+
+/// One multi-process measurement: a shardable fork-join workload partitioned across
+/// `shards` worker subprocesses by [`rws_shard::ShardedExecutor`], against the same
+/// workload on an in-process pool with the same total thread count. The interesting number
+/// is `overhead_rel`: what process spawning, pipe framing, and by-spec input rebuilding
+/// cost relative to staying in-process. Walls are reported, not gated (subprocess spawn
+/// latency is host-noise-bound); the *structure* — parts, fork counts, a clean fault
+/// ledger — is deterministic and gated exactly.
+#[derive(Clone, Debug)]
+pub struct ShardedBenchRecord {
+    /// Workload name (`matmul` or `spmv` — the by-spec-rebuildable demo instances).
+    pub workload: String,
+    /// Worker subprocesses.
+    pub shards: usize,
+    /// Native pool threads inside each worker.
+    pub threads_per_shard: usize,
+    /// Output parts the workload was partitioned into.
+    pub parts: usize,
+    /// Median sharded wall time over the repeats, nanoseconds.
+    pub wall_ns_median: u64,
+    /// Fastest sharded repeat, nanoseconds.
+    pub wall_ns_min: u64,
+    /// Median wall of the same workload on an in-process pool with
+    /// `shards × threads_per_shard` threads, nanoseconds.
+    pub inproc_wall_ns_median: u64,
+    /// `(sharded − in-process) / in-process` on the median walls: the multi-process tax.
+    pub overhead_rel: f64,
+    /// Fork branches executed across all workers on the median sharded run — deterministic
+    /// (a property of the per-part kernels), gated exactly.
+    pub work_items: u64,
+    /// Jobs redistributed after a shard death on the median run — 0 in this suite (no
+    /// faults are injected), gated exactly.
+    pub redistributed: u64,
+}
+
+/// Run the sharded suite: both shardable workloads × 2 worker subprocesses (1 pool thread
+/// each) vs a 2-thread in-process pool. Every sharded run's output is checked against the
+/// sequential reference, so a row doubles as a cross-process correctness pass.
+///
+/// Needs the `shard-worker` binary next to the running one — `cargo build --release -p
+/// rws-shard` first (the binary's CI step does), or point `RWS_SHARD_WORKER` at it.
+pub fn run_sharded_suite(cfg: &BenchConfig) -> Vec<ShardedBenchRecord> {
+    use rws_exec::workloads::{MatMulWorkload, SpmvWorkload};
+    use rws_exec::{Executor, NativeExecutor, SharedWorkload};
+    use rws_shard::ShardedExecutor;
+
+    let (mm_n, spmv_n) = match cfg.size {
+        SizeClass::Smoke => (16usize, 512usize),
+        SizeClass::Full => (32, 4096),
+    };
+    let workloads: Vec<(&str, SharedWorkload)> = vec![
+        ("matmul", Arc::new(MatMulWorkload::demo(mm_n, 4))),
+        ("spmv", Arc::new(SpmvWorkload::demo(spmv_n))),
+    ];
+    let (shards, threads_per_shard) = (2usize, 1usize);
+
+    let mut records = Vec::new();
+    for (name, workload) in workloads {
+        let reference = workload.run_reference();
+
+        // The in-process column: same kernel, same total thread count, one address space.
+        let inproc = NativeExecutor::new(shards * threads_per_shard);
+        for _ in 0..cfg.warmup.max(1) {
+            inproc.execute(Arc::clone(&workload));
+        }
+        let mut inproc_walls: Vec<u64> = (0..cfg.repeats.max(1))
+            .map(|_| {
+                let outcome = inproc.execute(Arc::clone(&workload));
+                assert_eq!(outcome.output, reference, "{name}: in-process run diverged");
+                u64::try_from(outcome.report.wall.as_nanos()).unwrap_or(u64::MAX)
+            })
+            .collect();
+        inproc_walls.sort_unstable();
+        let inproc_median = inproc_walls[inproc_walls.len() / 2];
+
+        // The sharded column: a fresh coordinator per repeat (each run spawns and reaps
+        // its own worker processes; the executor value is pure configuration).
+        let exec = ShardedExecutor::new(shards).threads_per_shard(threads_per_shard);
+        for _ in 0..cfg.warmup.max(1) {
+            exec.execute(Arc::clone(&workload));
+        }
+        let mut runs: Vec<(u64, u64, u64, usize)> = (0..cfg.repeats.max(1))
+            .map(|_| {
+                let outcome = exec.execute(Arc::clone(&workload));
+                assert_eq!(outcome.output, reference, "{name}: sharded run diverged");
+                let detail = outcome.report.shard.expect("sharded runs carry shard detail");
+                assert_eq!(detail.shard_deaths, 0, "{name}: no faults are injected here");
+                let wall = u64::try_from(outcome.report.wall.as_nanos()).unwrap_or(u64::MAX);
+                (wall, outcome.report.work_items, detail.redistributed, detail.parts)
+            })
+            .collect();
+        runs.sort_unstable_by_key(|r| r.0);
+        let wall_min = runs[0].0;
+        let (wall_median, work_items, redistributed, parts) = runs[runs.len() / 2];
+
+        records.push(ShardedBenchRecord {
+            workload: name.to_string(),
+            shards,
+            threads_per_shard,
+            parts,
+            wall_ns_median: wall_median,
+            wall_ns_min: wall_min,
+            inproc_wall_ns_median: inproc_median,
+            overhead_rel: if inproc_median == 0 {
+                0.0
+            } else {
+                (wall_median as f64 - inproc_median as f64) / inproc_median as f64
+            },
+            work_items,
+            redistributed,
+        });
+    }
+    records
+}
+
 /// Head-to-head comparison derived from the records: for each (workload, threads), the
 /// chaselev-vs-simple speedup on median wall time.
 pub fn comparisons(records: &[BenchRecord]) -> Vec<(String, usize, u64, u64, f64)> {
@@ -763,7 +887,7 @@ pub fn to_json(
     records: &[BenchRecord],
     service: &[ServiceBenchRecord],
 ) -> String {
-    to_json_full(cfg, records, service, None)
+    to_json_full(cfg, records, service, None, &[])
 }
 
 /// Render the trace-overhead measurement as the document's `trace` object.
@@ -786,12 +910,15 @@ fn trace_json(t: &TraceBenchRecord) -> Json {
 }
 
 /// [`to_json`] plus the flight-recorder overhead row (`trace`: an object when measured,
-/// `null` when not — the key is always present, so consumers need no probing).
+/// `null` when not — the key is always present, so consumers need no probing) and the
+/// multi-process `sharded` rows (always present as an array, empty when the suite did not
+/// run).
 pub fn to_json_full(
     cfg: &BenchConfig,
     records: &[BenchRecord],
     service: &[ServiceBenchRecord],
     trace: Option<&TraceBenchRecord>,
+    sharded: &[ShardedBenchRecord],
 ) -> String {
     let recs: Vec<Json> = records
         .iter()
@@ -832,6 +959,23 @@ pub fn to_json_full(
             ])
         })
         .collect();
+    let shd: Vec<Json> = sharded
+        .iter()
+        .map(|r| {
+            obj([
+                ("workload", r.workload.as_str().into()),
+                ("shards", r.shards.into()),
+                ("threads_per_shard", r.threads_per_shard.into()),
+                ("parts", r.parts.into()),
+                ("wall_ns_median", r.wall_ns_median.into()),
+                ("wall_ns_min", r.wall_ns_min.into()),
+                ("inproc_wall_ns_median", r.inproc_wall_ns_median.into()),
+                ("overhead_rel", r.overhead_rel.into()),
+                ("work_items", r.work_items.into()),
+                ("redistributed", r.redistributed.into()),
+            ])
+        })
+        .collect();
     let cmps: Vec<Json> = comparisons(records)
         .into_iter()
         .map(|(workload, threads, cl, simple, speedup)| {
@@ -866,6 +1010,7 @@ pub fn to_json_full(
         ("records", recs.into()),
         ("service", svc.into()),
         ("trace", trace.map(trace_json).unwrap_or(Json::Null)),
+        ("sharded", shd.into()),
         ("chaselev_vs_simple", cmps.into()),
     ])
     .render()
@@ -882,6 +1027,7 @@ pub fn validate_json(doc: &str) -> Result<(), String> {
             "records",
             "service",
             "trace",
+            "sharded",
             "chaselev_vs_simple",
             "wall_ns_median",
             "caveat",
@@ -1028,6 +1174,41 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
             }
         }
     }
+
+    // And the multi-process `sharded` rows: same field-set rule, with presence matched by
+    // workload. Documents predating the sharded suite simply lack the key (the top-level
+    // subset check above already handles that direction).
+    let sharded_of = |doc: &Json| -> Vec<Json> {
+        doc.get("sharded").and_then(Json::as_array).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let run_sharded = sharded_of(&run);
+    let base_sharded = sharded_of(&base);
+    if let Some(reference) = base_sharded.first() {
+        let fields = reference.keys();
+        for (which, recs) in [("run", &run_sharded), ("baseline", &base_sharded)] {
+            for (i, rec) in recs.iter().enumerate() {
+                if let Some(lost) = fields.iter().find(|f| !rec.keys().contains(f)) {
+                    return Err(format!(
+                        "{which} sharded record {i} field set {:?} lacks `{lost}` from the \
+                         baseline schema {fields:?}",
+                        rec.keys()
+                    ));
+                }
+            }
+        }
+        for rec in &base_sharded {
+            let name = rec
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or("baseline sharded record lacks a string `workload`")?;
+            if !run_sharded.iter().any(|r| r.get("workload") == rec.get("workload")) {
+                return Err(format!(
+                    "sharded workload {name:?} present in the baseline is missing from \
+                     the run — a row was silently dropped"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1060,6 +1241,11 @@ pub fn check_against(run_doc: &str, baseline_doc: &str) -> Result<(), String> {
 /// * **The trace-overhead row** (when both documents carry one): the *tracing-off* wall is
 ///   gated with `wall_rel_tol` and `jobs` exactly — proof the always-compiled flight
 ///   recorder stays free when it is off. The tracing-on wall is reported, not gated.
+/// * **Sharded rows** (matched by `(workload, shards, threads_per_shard)`, when both
+///   documents carry a `sharded` array): `parts` and `work_items` are exact,
+///   `redistributed` must be 0 (a fault-free suite whose workers died is broken), and the
+///   walls — sharded and in-process alike — are reported, never gated: subprocess spawn
+///   latency is host noise.
 #[derive(Clone, Copy, Debug)]
 pub struct GateConfig {
     /// Relative tolerance on `threads = 1` median wall times (0.35 = +35%).
@@ -1338,6 +1524,68 @@ pub fn gate_against(
         _ => Json::Null,
     };
 
+    // The sharded rows, matched by (workload, shards, threads_per_shard). Structure is
+    // gated exactly — parts and fork counts are deterministic functions of the kernels,
+    // and a nonzero redistributed count means workers died in a suite that injects no
+    // faults. Walls (sharded and in-process) are reported, never gated: subprocess spawn
+    // latency is exactly the kind of host noise the t>1 wall exemption exists for. A
+    // baseline without a `sharded` key (predating the suite) skips these rows, like a
+    // null baseline trace.
+    let sharded_of = |doc: &Json| -> Option<Vec<Json>> {
+        doc.get("sharded").and_then(Json::as_array).map(<[Json]>::to_vec)
+    };
+    let mut sharded_rows: Vec<Json> = Vec::new();
+    if let (Some(run_sharded), Some(base_sharded)) = (sharded_of(&run), sharded_of(&base)) {
+        for rec in &run_sharded {
+            let w = text(rec, "workload")?;
+            let (s, t) = (num(rec, "shards")?, num(rec, "threads_per_shard")?);
+            let id = format!("sharded {w} s={s} t={t}");
+            let Some(base_rec) = base_sharded.iter().find(|r| {
+                r.get("workload") == rec.get("workload")
+                    && r.get("shards") == rec.get("shards")
+                    && r.get("threads_per_shard") == rec.get("threads_per_shard")
+            }) else {
+                return Err(format!(
+                    "sharded row {id} has no baseline counterpart — the suite changed; \
+                     regenerate BENCH_native.json"
+                ));
+            };
+
+            let mut ok = true;
+            for key in ["parts", "work_items"] {
+                let (r, bse) = (num(rec, key)?, num(base_rec, key)?);
+                if r != bse {
+                    ok = false;
+                    regressions.push(format!("{id}: {key} {r} vs baseline {bse} (gated exact)"));
+                }
+            }
+            let redistributed = num(rec, "redistributed")?;
+            if redistributed != 0 {
+                ok = false;
+                regressions.push(format!(
+                    "{id}: redistributed {redistributed} != 0 — workers died during a \
+                     fault-free bench run"
+                ));
+            }
+            let wall_run = num(rec, "wall_ns_median")?;
+            let wall_base = num(base_rec, "wall_ns_median")?;
+            sharded_rows.push(obj([
+                ("workload", w.as_str().into()),
+                ("shards", Json::U64(s)),
+                ("threads_per_shard", Json::U64(t)),
+                ("wall_ns_median_run", wall_run.into()),
+                ("wall_ns_median_base", wall_base.into()),
+                ("wall_gated", false.into()),
+                ("overhead_rel_run", rec.get("overhead_rel").cloned().unwrap_or(Json::Null)),
+                ("overhead_rel_base", base_rec.get("overhead_rel").cloned().unwrap_or(Json::Null)),
+                ("parts_run", num(rec, "parts")?.into()),
+                ("work_items_run", num(rec, "work_items")?.into()),
+                ("redistributed_run", redistributed.into()),
+                ("ok", ok.into()),
+            ]));
+        }
+    }
+
     let pass = regressions.is_empty();
     let delta = obj([
         ("schema", "rws-bench-delta/v1".into()),
@@ -1354,6 +1602,7 @@ pub fn gate_against(
         ("rows", rows.into()),
         ("service_rows", service_rows.into()),
         ("trace_row", trace_row),
+        ("sharded_rows", sharded_rows.into()),
     ])
     .render();
     Ok((delta, pass))
@@ -1363,7 +1612,16 @@ pub fn gate_against(
 pub fn validate_delta(doc: &str) -> Result<(), String> {
     json::validate_with_keys(
         doc,
-        &["schema", "pass", "regressions", "rows", "service_rows", "trace_row", "wall_rel_tol"],
+        &[
+            "schema",
+            "pass",
+            "regressions",
+            "rows",
+            "service_rows",
+            "trace_row",
+            "sharded_rows",
+            "wall_rel_tol",
+        ],
     )
 }
 
@@ -1398,6 +1656,15 @@ pub fn trajectory_row(run_doc: &str, date: &str, note: &str) -> Result<Json, Str
             }
         }
     }
+    let mut shd: Vec<(String, Json)> = Vec::new();
+    for rec in run.get("sharded").and_then(Json::as_array).unwrap_or(&[]) {
+        if let (Some(name), Some(rel)) = (
+            rec.get("workload").and_then(Json::as_str),
+            rec.get("overhead_rel").and_then(Json::as_f64),
+        ) {
+            shd.push((name.to_string(), rel.into()));
+        }
+    }
     let mut fields: Vec<(String, Json)> = vec![
         ("date".into(), date.into()),
         ("note".into(), note.into()),
@@ -1407,6 +1674,10 @@ pub fn trajectory_row(run_doc: &str, date: &str, note: &str) -> Result<Json, Str
     // Rows predating the service suite simply lack this key; the history stays appendable.
     if !svc.is_empty() {
         fields.push(("t1_service_jobs_per_sec".into(), Json::Obj(svc)));
+    }
+    // Same for rows predating the sharded suite: the multi-process tax per workload.
+    if !shd.is_empty() {
+        fields.push(("sharded_overhead_rel".into(), Json::Obj(shd)));
     }
     Ok(Json::Obj(fields))
 }
@@ -1608,7 +1879,7 @@ mod tests {
         // A run emitted by a newer binary: an extra top-level section, an extra field on
         // every record and service row, and a measured trace object where the baseline has
         // null. All of it must be ignored — the baseline's structure is still fully there.
-        let extended = to_json_full(&cfg, &records, &service, Some(&trace_record(1000, 1100)))
+        let extended = to_json_full(&cfg, &records, &service, Some(&trace_record(1000, 1100)), &[])
             .replacen(
                 "\"schema\": \"rws-bench-native/v2\",",
                 "\"schema\": \"rws-bench-native/v2\",\n  \"future_section\": 1,",
@@ -1636,7 +1907,7 @@ mod tests {
         for frac in [t.busy_frac, t.steal_frac, t.park_frac, t.overhead_frac] {
             assert!((0.0..=1.0).contains(&frac), "attribution fraction out of range: {frac}");
         }
-        let doc = to_json_full(&cfg, &tiny_records(), &[], Some(&t));
+        let doc = to_json_full(&cfg, &tiny_records(), &[], Some(&t), &[]);
         validate_json(&doc).expect("document with a trace row must validate");
         assert!(doc.contains("\"wall_ns_off_median\""), "{doc}");
     }
@@ -1644,7 +1915,8 @@ mod tests {
     #[test]
     fn gate_covers_the_trace_row() {
         let cfg = BenchConfig::for_size(SizeClass::Full);
-        let baseline = to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1000, 1100)));
+        let baseline =
+            to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1000, 1100)), &[]);
 
         // Identical documents pass and the delta carries the populated trace row.
         let (delta, pass) = gate_against(&baseline, &baseline, &GateConfig::default()).unwrap();
@@ -1653,7 +1925,7 @@ mod tests {
 
         // A tracing-off wall regression past the tolerance trips the gate: the flight
         // recorder leaked cost into the default path.
-        let slow = to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1500, 1600)));
+        let slow = to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1500, 1600)), &[]);
         let (delta, pass) = gate_against(&slow, &baseline, &GateConfig::default()).unwrap();
         assert!(!pass, "a tracing-off slowdown must trip the gate");
         assert!(delta.contains("trace-overhead: tracing-off wall_ns_off_median 1500"), "{delta}");
@@ -1661,13 +1933,14 @@ mod tests {
         // A fork-count drift under tracing trips the gate exactly.
         let mut drifted = trace_record(1000, 1100);
         drifted.jobs += 1;
-        let doc = to_json_full(&cfg, &gate_records(), &[], Some(&drifted));
+        let doc = to_json_full(&cfg, &gate_records(), &[], Some(&drifted), &[]);
         let (delta, pass) = gate_against(&doc, &baseline, &GateConfig::default()).unwrap();
         assert!(!pass, "a traced jobs drift must trip the gate");
         assert!(delta.contains("trace-overhead: jobs 512"), "{delta}");
 
         // A slower tracing-ON wall alone is reported, not gated: opting in may cost.
-        let pricier = to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1000, 3000)));
+        let pricier =
+            to_json_full(&cfg, &gate_records(), &[], Some(&trace_record(1000, 3000)), &[]);
         let (_, pass) = gate_against(&pricier, &baseline, &GateConfig::default()).unwrap();
         assert!(pass, "the tracing-on wall is not gated");
 
@@ -1882,15 +2155,147 @@ mod tests {
         assert!(pass);
     }
 
+    fn sharded_bench_record(workload: &str, wall: u64) -> ShardedBenchRecord {
+        ShardedBenchRecord {
+            workload: workload.into(),
+            shards: 2,
+            threads_per_shard: 1,
+            parts: 8,
+            wall_ns_median: wall,
+            wall_ns_min: wall.saturating_sub(10),
+            inproc_wall_ns_median: wall / 2,
+            overhead_rel: 1.0,
+            work_items: 120,
+            redistributed: 0,
+        }
+    }
+
+    fn doc_with_sharded(cfg: &BenchConfig, sharded: &[ShardedBenchRecord]) -> String {
+        to_json_full(cfg, &gate_records(), &[], None, sharded)
+    }
+
+    #[test]
+    fn gate_covers_sharded_rows_structure_exact_walls_ungated() {
+        let cfg = BenchConfig::for_size(SizeClass::Full);
+        let sharded = vec![sharded_bench_record("matmul", 1000), sharded_bench_record("spmv", 900)];
+        let baseline = doc_with_sharded(&cfg, &sharded);
+
+        // Identical documents pass; the delta carries the sharded rows.
+        let (delta, pass) = gate_against(&baseline, &baseline, &GateConfig::default()).unwrap();
+        assert!(pass, "identical sharded rows must pass:\n{delta}");
+        validate_delta(&delta).expect("delta must validate");
+        assert!(
+            delta.contains("\"sharded_rows\"") && delta.contains("overhead_rel_run"),
+            "{delta}"
+        );
+
+        // Walls are never gated, however bad: subprocess spawn latency is host noise.
+        let mut slow = sharded.clone();
+        slow[0].wall_ns_median = 1_000_000;
+        slow[0].overhead_rel = 999.0;
+        let (_, pass) =
+            gate_against(&doc_with_sharded(&cfg, &slow), &baseline, &GateConfig::default())
+                .unwrap();
+        assert!(pass, "sharded walls are reported, not gated");
+
+        // The deterministic structure is exact: a fork-count drift trips the gate.
+        let mut drift = sharded.clone();
+        drift[1].work_items += 1;
+        let (delta, pass) =
+            gate_against(&doc_with_sharded(&cfg, &drift), &baseline, &GateConfig::default())
+                .unwrap();
+        assert!(!pass, "a sharded work_items drift must trip the gate");
+        assert!(delta.contains("sharded spmv s=2 t=1: work_items 121"), "{delta}");
+
+        // A nonzero redistributed count means workers died in a fault-free run.
+        let mut died = sharded.clone();
+        died[0].redistributed = 3;
+        let (delta, pass) =
+            gate_against(&doc_with_sharded(&cfg, &died), &baseline, &GateConfig::default())
+                .unwrap();
+        assert!(!pass, "redistribution during a bench run must trip the gate");
+        assert!(delta.contains("redistributed 3 != 0"), "{delta}");
+
+        // A run row with no baseline counterpart means the suite changed.
+        let grown =
+            vec![sharded[0].clone(), sharded[1].clone(), sharded_bench_record("prefix", 500)];
+        let err = gate_against(&doc_with_sharded(&cfg, &grown), &baseline, &GateConfig::default())
+            .unwrap_err();
+        assert!(err.contains("sharded prefix") && err.contains("regenerate"), "{err}");
+
+        // A baseline predating the sharded suite (no `sharded` key at all) skips the rows.
+        let old_baseline = baseline.replacen("\"sharded\": [", "\"presharded\": [", 1);
+        let (delta, pass) =
+            gate_against(&doc_with_sharded(&cfg, &sharded), &old_baseline, &GateConfig::default())
+                .unwrap();
+        assert!(pass, "a pre-sharded baseline skips the rows");
+        assert!(delta.contains("\"sharded_rows\": []"), "{delta}");
+    }
+
+    #[test]
+    fn check_against_covers_the_sharded_rows() {
+        let cfg = BenchConfig::for_size(SizeClass::Smoke);
+        let sharded = vec![sharded_bench_record("matmul", 1000), sharded_bench_record("spmv", 900)];
+        // tiny_records() sweeps uniformly, so the compute-row checks stay out of the way.
+        let mk = |shd: &[ShardedBenchRecord]| to_json_full(&cfg, &tiny_records(), &[], None, shd);
+        let baseline = mk(&sharded);
+
+        // Same structure, different values: passes.
+        let mut faster = sharded.clone();
+        faster[0].wall_ns_median = 500;
+        check_against(&mk(&faster), &baseline).expect("matching structure");
+
+        // Dropping a sharded workload fails.
+        let dropped = vec![sharded[0].clone()];
+        let err = check_against(&mk(&dropped), &baseline).unwrap_err();
+        assert!(err.contains("spmv") && err.contains("silently dropped"), "{err}");
+
+        // A drifted sharded-record field set fails.
+        let mut missing = mk(&sharded);
+        missing = missing.replacen("      \"parts\": 8,\n", "", 1);
+        rws_lab::json::validate(&missing).expect("still well-formed JSON");
+        let err = check_against(&missing, &baseline).unwrap_err();
+        assert!(err.contains("sharded record") && err.contains("field set"), "{err}");
+    }
+
+    #[test]
+    fn sharded_suite_runs_end_to_end() {
+        // Subprocess-spawning smoke run. Needs the shard-worker binary: a workspace-level
+        // `cargo test` builds it; a bare `cargo test -p rws-bench` needs
+        // `cargo build --bins -p rws-shard` first.
+        let cfg = BenchConfig { size: SizeClass::Smoke, threads: vec![2], repeats: 1, warmup: 1 };
+        let sharded = run_sharded_suite(&cfg);
+        assert_eq!(sharded.len(), 2, "matmul + spmv");
+        for r in &sharded {
+            assert_eq!((r.shards, r.threads_per_shard), (2, 1));
+            assert!(r.parts > 0 && r.work_items > 0);
+            assert_eq!(r.redistributed, 0);
+            assert!(r.wall_ns_median > 0 && r.inproc_wall_ns_median > 0);
+        }
+        let doc = to_json_full(&cfg, &tiny_records(), &[], None, &sharded);
+        validate_json(&doc).expect("document with sharded rows must validate");
+        assert!(doc.contains("\"inproc_wall_ns_median\""), "{doc}");
+    }
+
     #[test]
     fn trajectory_rows_accumulate() {
         let cfg = BenchConfig::for_size(SizeClass::Full);
         let service = vec![service_record("service-steady", 1, 10_000, 0)];
-        let doc = to_json(&cfg, &gate_records(), &service);
+        let doc = to_json_full(
+            &cfg,
+            &gate_records(),
+            &service,
+            None,
+            &[sharded_bench_record("matmul", 1000)],
+        );
         let row = trajectory_row(&doc, "2026-08-08", "first entry").expect("summarizable");
         assert!(
             row.render().contains("t1_service_jobs_per_sec"),
             "t=1 service throughput joins the trajectory row"
+        );
+        assert!(
+            row.render().contains("sharded_overhead_rel"),
+            "the multi-process tax joins the trajectory row"
         );
         let t1 = append_trajectory(None, row.clone()).expect("fresh document");
         json::validate(&t1).expect("well-formed");

@@ -87,6 +87,7 @@ impl SimExecutor {
             time_units: report.makespan,
             wall: start.elapsed(),
             sim: Some(report),
+            shard: None,
         }
     }
 }
@@ -205,6 +206,7 @@ impl Executor for NativeExecutor {
             time_units: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
             wall,
             sim: None,
+            shard: None,
         };
         ExecOutcome { report, output }
     }

@@ -11,6 +11,9 @@ pub enum Backend {
     Simulated,
     /// The native thread pool of `rws-runtime` (time in wall-clock nanoseconds).
     Native,
+    /// The multi-process sharded executor of `rws-shard`: N worker subprocesses, each
+    /// running the native pool locally (time in wall-clock nanoseconds).
+    Sharded,
 }
 
 impl Backend {
@@ -18,9 +21,38 @@ impl Backend {
     pub fn time_unit(&self) -> &'static str {
         match self {
             Backend::Simulated => "ticks",
-            Backend::Native => "ns",
+            Backend::Native | Backend::Sharded => "ns",
         }
     }
+}
+
+/// Sharded-run detail preserved alongside the normalized counters, mirroring how
+/// [`ExecReport::sim`] keeps the full simulator report: how the coordinator partitioned
+/// the workload, how dispatch went, and what failure handling happened.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardDetail {
+    /// Worker subprocesses the coordinator spawned.
+    pub shards: usize,
+    /// Native pool threads inside each worker.
+    pub threads_per_shard: usize,
+    /// Output parts the workload was partitioned into (= jobs to run).
+    pub parts: usize,
+    /// Job dispatches written to workers, **including** re-dispatches of redistributed
+    /// jobs (`parts` when nothing failed).
+    pub jobs_dispatched: u64,
+    /// Results accepted into the output — exactly one per part; late duplicates from a
+    /// redistributed job whose first owner answered after all are dropped, not counted.
+    pub jobs_accepted: u64,
+    /// Jobs that were re-queued because their shard died before acknowledging them.
+    pub redistributed: u64,
+    /// Shards that died mid-run (EOF on their pipe, a reported error, or a heartbeat
+    /// timeout).
+    pub shard_deaths: u64,
+    /// Heartbeat messages received across all shards (volatile: timer-driven).
+    pub heartbeats: u64,
+    /// Accepted results per shard id — the dispatch-policy fingerprint. Sums to
+    /// [`ShardDetail::jobs_accepted`].
+    pub jobs_per_shard: Vec<u64>,
 }
 
 /// One run's results, normalized across backends.
@@ -70,6 +102,8 @@ pub struct ExecReport {
     pub wall: Duration,
     /// The full simulator report, when the backend was [`Backend::Simulated`].
     pub sim: Option<RunReport>,
+    /// Coordinator detail, when the backend was [`Backend::Sharded`].
+    pub shard: Option<ShardDetail>,
 }
 
 impl ExecReport {
@@ -117,6 +151,7 @@ mod tests {
             time_units: 1234,
             wall: Duration::from_millis(1),
             sim: None,
+            shard: None,
         }
     }
 
@@ -124,6 +159,7 @@ mod tests {
     fn units_follow_the_backend() {
         assert_eq!(Backend::Simulated.time_unit(), "ticks");
         assert_eq!(Backend::Native.time_unit(), "ns");
+        assert_eq!(Backend::Sharded.time_unit(), "ns");
     }
 
     #[test]

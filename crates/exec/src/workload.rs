@@ -34,6 +34,23 @@ impl AlgoOutput {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Concatenate per-part outputs (in part order) into one output — how the sharded
+    /// coordinator reassembles [`Workload::run_native_part`] results. All parts must be
+    /// the same variant; `None` on an empty list or a variant mismatch.
+    pub fn concat(parts: impl IntoIterator<Item = AlgoOutput>) -> Option<AlgoOutput> {
+        let mut parts = parts.into_iter();
+        let mut out = parts.next()?;
+        for part in parts {
+            match (&mut out, part) {
+                (AlgoOutput::I64(acc), AlgoOutput::I64(v)) => acc.extend(v),
+                (AlgoOutput::U64(acc), AlgoOutput::U64(v)) => acc.extend(v),
+                (AlgoOutput::F64(acc), AlgoOutput::F64(v)) => acc.extend(v),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
 }
 
 impl PartialEq for AlgoOutput {
@@ -84,6 +101,34 @@ impl NativeSupport {
     }
 }
 
+/// The by-value description of a partitionable workload instance, carried in `rws-shard`'s
+/// `Job` wire messages instead of the data itself: a worker subprocess rebuilds the
+/// deterministic instance locally via [`crate::workloads::by_name`] (seeded `demo`
+/// constructors, so every process builds byte-identical inputs) and computes one output
+/// part of it.
+///
+/// Only workloads whose inputs came from a `demo` constructor can answer one — a workload
+/// built from caller-supplied data has no name another process could rebuild it from, and
+/// must return `None` from [`Workload::shard_spec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The canonical workload-kind name [`crate::workloads::by_name`] accepts.
+    pub kind: String,
+    /// Instance size (the `demo` constructor's `n`).
+    pub n: usize,
+    /// Recursion base for the kinds that take one; 0 where unused.
+    pub base: usize,
+}
+
+/// The half-open element range `[start, end)` of part `part` of `parts` over `len`
+/// elements: the canonical even split both the coordinator (for bookkeeping) and
+/// [`Workload::run_native_part`] implementations use, so every process agrees on the
+/// partition boundaries. Ranges may be empty when `parts > len`.
+pub fn part_range(len: usize, part: usize, parts: usize) -> (usize, usize) {
+    assert!(parts > 0 && part < parts, "part {part} of {parts} is not a valid partition");
+    (len * part / parts, len * (part + 1) / parts)
+}
+
 /// An algorithm instance that can run on any [`crate::Executor`].
 ///
 /// A workload carries its input data and knows how to express the algorithm three ways:
@@ -114,6 +159,28 @@ pub trait Workload: Send + Sync {
 
     /// Run the sequential reference implementation.
     fn run_reference(&self) -> AlgoOutput;
+
+    /// How the sharded executor can rebuild this instance in another process, or `None`
+    /// (the default) when the workload cannot run sharded — either because its output has
+    /// no independent row/element partition or because its inputs did not come from a
+    /// seeded `demo` constructor. Implementors returning `Some` must also override
+    /// [`Workload::run_native_part`], keeping the invariant that concatenating the parts
+    /// `0..parts` (via [`AlgoOutput::concat`]) equals [`Workload::run_native`]'s output.
+    fn shard_spec(&self) -> Option<ShardSpec> {
+        None
+    }
+
+    /// Compute output part `part` of `parts` with native fork-join (the per-job kernel a
+    /// shard worker runs; partition boundaries come from [`part_range`]). Only called for
+    /// workloads whose [`Workload::shard_spec`] is `Some`; the default panics so a
+    /// workload cannot silently claim a partition it does not implement.
+    fn run_native_part(&self, part: usize, parts: usize) -> AlgoOutput {
+        panic!(
+            "workload {} declares no shard partition (shard_spec() is None) but \
+             run_native_part({part}, {parts}) was called",
+            self.name()
+        );
+    }
 }
 
 /// A workload shared across executors (and movable onto pool worker threads).
@@ -147,6 +214,30 @@ mod tests {
         let c = AlgoOutput::F64(vec![1.0, 2.1]);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn concat_reassembles_parts_in_order() {
+        let parts =
+            vec![AlgoOutput::I64(vec![1, 2]), AlgoOutput::I64(vec![]), AlgoOutput::I64(vec![3])];
+        assert_eq!(AlgoOutput::concat(parts), Some(AlgoOutput::I64(vec![1, 2, 3])));
+        assert_eq!(AlgoOutput::concat(Vec::new()), None, "no parts, no output");
+        let mixed = vec![AlgoOutput::I64(vec![1]), AlgoOutput::U64(vec![2])];
+        assert_eq!(AlgoOutput::concat(mixed), None, "variant mismatch is a protocol bug");
+    }
+
+    #[test]
+    fn part_ranges_tile_the_length_exactly() {
+        for (len, parts) in [(10, 3), (0, 2), (4, 8), (64, 1), (17, 17)] {
+            let mut covered = 0;
+            for part in 0..parts {
+                let (start, end) = part_range(len, part, parts);
+                assert_eq!(start, covered, "parts must tile contiguously");
+                assert!(end >= start && end <= len);
+                covered = end;
+            }
+            assert_eq!(covered, len, "parts must cover every element");
+        }
     }
 
     #[test]

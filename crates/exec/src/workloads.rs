@@ -13,7 +13,7 @@
 //! Constructors validate instance shapes eagerly (power-of-two sizes where the dag builders
 //! require them), so a workload that constructs is runnable on *every* backend.
 
-use crate::workload::{AlgoOutput, NativeSupport, Workload};
+use crate::workload::{part_range, AlgoOutput, NativeSupport, ShardSpec, SharedWorkload, Workload};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use rws_algos::bfs::{bfs_computation, bfs_native, bfs_reference, BfsConfig, CsrGraph};
 use rws_algos::fft::{
@@ -45,6 +45,33 @@ use rws_dag::Computation;
 fn demo_f64(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Build the deterministic `demo` instance of the workload kind named `kind` (canonical
+/// scenario-file names, e.g. `matmul`, `prefix-sums`) at size `n`. `base` feeds the kinds
+/// with a recursion-base parameter (`matmul`, `transpose`; clamped to `n`, 0 = default)
+/// and is ignored elsewhere. `None` for an unknown kind name.
+///
+/// This is the one name→constructor table in the workspace: `rws-lab` scenario parsing
+/// resolves workload names through it, and `rws-shard` workers use it to rebuild a
+/// [`ShardSpec`]-described instance in their own process (the `demo` constructors are
+/// seeded, so every process builds byte-identical inputs from the same spec).
+pub fn by_name(kind: &str, n: usize, base: usize) -> Option<SharedWorkload> {
+    use std::sync::Arc;
+    let clamped = |default: usize| if base == 0 { default.min(n) } else { base.min(n) };
+    Some(match kind {
+        "prefix-sums" => Arc::new(PrefixWorkload::demo(n)),
+        "matmul" => Arc::new(MatMulWorkload::demo(n, clamped(4))),
+        "merge-sort" => Arc::new(SortWorkload::demo(n)),
+        "fft" => Arc::new(FftWorkload::demo(n)),
+        "transpose" => Arc::new(TransposeWorkload::demo(n, clamped(4))),
+        "list-ranking" => Arc::new(ListRankWorkload::demo(n)),
+        "dag-workflow" => Arc::new(DagWorkflowWorkload::demo(n)),
+        "bfs" => Arc::new(BfsWorkload::demo(n)),
+        "spmv" => Arc::new(SpmvWorkload::demo(n)),
+        "sample-sort" => Arc::new(SampleSortWorkload::demo(n)),
+        _ => return None,
+    })
 }
 
 // ------------------------------------------------------------------------------------------
@@ -107,6 +134,7 @@ pub struct MatMulWorkload {
     a: Vec<f64>,
     b: Vec<f64>,
     cfg: MatMulConfig,
+    shard_spec: Option<ShardSpec>,
 }
 
 impl MatMulWorkload {
@@ -118,14 +146,41 @@ impl MatMulWorkload {
         );
         assert_eq!(a.len(), cfg.n * cfg.n);
         assert_eq!(b.len(), cfg.n * cfg.n);
-        MatMulWorkload { a, b, cfg }
+        MatMulWorkload { a, b, cfg, shard_spec: None }
     }
 
     /// A deterministic demo instance: `n × n` limited-access depth-`log² n` multiply.
+    /// Demo instances are rebuildable by name, so they also run on the sharded backend
+    /// (rows of `C` partition independently; see [`Workload::shard_spec`]).
     pub fn demo(n: usize, base: usize) -> Self {
         let cfg = MatMulConfig::new(n, MmVariant::DepthLog2N).with_base(base);
-        Self::new(demo_f64(n * n, 0xA11CE), demo_f64(n * n, 0xB0B), cfg)
+        let mut w = Self::new(demo_f64(n * n, 0xA11CE), demo_f64(n * n, 0xB0B), cfg);
+        w.shard_spec = Some(ShardSpec { kind: "matmul".into(), n, base });
+        w
     }
+}
+
+/// Compute rows `[row0, row0 + out.len() / n)` of `C = A × B` (row-major `n × n`) into
+/// `out` with a fork-join split over the row range — the per-part matmul kernel of the
+/// sharded backend. Plain dot products at the base: a part is a genuinely independent
+/// slice of the output, summed in a fixed order.
+fn matmul_rows_native(a: &[f64], b: &[f64], n: usize, row0: usize, out: &mut [f64]) {
+    let rows = out.len() / n;
+    if rows <= 2 {
+        for (r, row_out) in out.chunks_mut(n).enumerate() {
+            let i = row0 + r;
+            for (j, slot) in row_out.iter_mut().enumerate() {
+                *slot = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+            }
+        }
+        return;
+    }
+    let mid = rows / 2;
+    let (lo, hi) = out.split_at_mut(mid * n);
+    rws_runtime::join(
+        || matmul_rows_native(a, b, n, row0, lo),
+        || matmul_rows_native(a, b, n, row0 + mid, hi),
+    );
 }
 
 impl Workload for MatMulWorkload {
@@ -149,6 +204,18 @@ impl Workload for MatMulWorkload {
 
     fn run_reference(&self) -> AlgoOutput {
         AlgoOutput::F64(matmul_reference(&self.a, &self.b, self.cfg.n))
+    }
+
+    fn shard_spec(&self) -> Option<ShardSpec> {
+        self.shard_spec.clone()
+    }
+
+    fn run_native_part(&self, part: usize, parts: usize) -> AlgoOutput {
+        let n = self.cfg.n;
+        let (r0, r1) = part_range(n, part, parts);
+        let mut out = vec![0.0; (r1 - r0) * n];
+        matmul_rows_native(&self.a, &self.b, n, r0, &mut out);
+        AlgoOutput::F64(out)
     }
 }
 
@@ -474,20 +541,43 @@ pub struct SpmvWorkload {
     matrix: CsrMatrix,
     x: Vec<f64>,
     cfg: SpmvConfig,
+    shard_spec: Option<ShardSpec>,
 }
 
 impl SpmvWorkload {
     /// A workload multiplying `matrix` by `x` (dimension match validated eagerly).
     pub fn new(matrix: CsrMatrix, x: Vec<f64>) -> Self {
         assert_eq!(x.len(), matrix.ncols, "x must have one entry per matrix column");
-        SpmvWorkload { matrix, x, cfg: SpmvConfig::new() }
+        SpmvWorkload { matrix, x, cfg: SpmvConfig::new(), shard_spec: None }
     }
 
     /// A deterministic demo instance: a seeded random `n × n` matrix (diagonal plus up to
-    /// 7 extras per row) against a seeded dense vector.
+    /// 7 extras per row) against a seeded dense vector. Demo instances are rebuildable by
+    /// name, so they also run on the sharded backend (rows of `y` partition
+    /// independently; see [`Workload::shard_spec`]).
     pub fn demo(n: usize) -> Self {
-        Self::new(CsrMatrix::random(0x59A2, n, 7), demo_f64(n, 0x59A3))
+        let mut w = Self::new(CsrMatrix::random(0x59A2, n, 7), demo_f64(n, 0x59A3));
+        w.shard_spec = Some(ShardSpec { kind: "spmv".into(), n, base: 0 });
+        w
     }
+}
+
+/// Compute `y[row0 .. row0 + out.len()] = (M · x)` for a CSR row slice with a fork-join
+/// split over the rows — the per-part SpMV kernel of the sharded backend.
+fn spmv_rows_native(m: &CsrMatrix, x: &[f64], row0: usize, out: &mut [f64]) {
+    if out.len() <= 64 {
+        for (r, slot) in out.iter_mut().enumerate() {
+            let i = row0 + r;
+            *slot = (m.row_starts[i]..m.row_starts[i + 1]).map(|e| m.vals[e] * x[m.cols[e]]).sum();
+        }
+        return;
+    }
+    let mid = out.len() / 2;
+    let (lo, hi) = out.split_at_mut(mid);
+    rws_runtime::join(
+        || spmv_rows_native(m, x, row0, lo),
+        || spmv_rows_native(m, x, row0 + mid, hi),
+    );
 }
 
 impl Workload for SpmvWorkload {
@@ -509,6 +599,17 @@ impl Workload for SpmvWorkload {
 
     fn run_reference(&self) -> AlgoOutput {
         AlgoOutput::F64(spmv_reference(&self.matrix, &self.x))
+    }
+
+    fn shard_spec(&self) -> Option<ShardSpec> {
+        self.shard_spec.clone()
+    }
+
+    fn run_native_part(&self, part: usize, parts: usize) -> AlgoOutput {
+        let (r0, r1) = part_range(self.matrix.nrows(), part, parts);
+        let mut out = vec![0.0; r1 - r0];
+        spmv_rows_native(&self.matrix, &self.x, r0, &mut out);
+        AlgoOutput::F64(out)
     }
 }
 
@@ -562,6 +663,7 @@ impl Workload for SampleSortWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     /// Every committed workload at a small demo size — the list each enumerating test
     /// walks, so adding a workload without updating the suite fails loudly here.
@@ -642,5 +744,69 @@ mod tests {
     fn fft_reference_agrees_with_dft() {
         let w = FftWorkload::demo(32);
         assert_eq!(w.run_reference(), w.dft());
+    }
+
+    #[test]
+    fn by_name_builds_every_canonical_kind_and_rejects_strangers() {
+        for kind in [
+            "prefix-sums",
+            "matmul",
+            "merge-sort",
+            "fft",
+            "transpose",
+            "list-ranking",
+            "dag-workflow",
+            "bfs",
+            "spmv",
+            "sample-sort",
+        ] {
+            let w = by_name(kind, 16, 0).unwrap_or_else(|| panic!("{kind} must resolve"));
+            assert_eq!(w.run_native(), w.run_reference(), "{kind}");
+        }
+        assert!(by_name("quickhull", 16, 0).is_none());
+    }
+
+    #[test]
+    fn by_name_rebuilds_the_instance_a_shard_spec_describes() {
+        // The worker-side contract: feeding a workload's own shard spec back through the
+        // registry must yield an instance with identical outputs (the demo constructors
+        // are seeded, so "identical" is exact, not just tolerance-equal).
+        for w in [
+            Arc::new(MatMulWorkload::demo(8, 2)) as SharedWorkload,
+            Arc::new(SpmvWorkload::demo(64)),
+        ] {
+            let spec = w.shard_spec().expect("demo instances are shardable");
+            let rebuilt = by_name(&spec.kind, spec.n, spec.base).expect("spec kind resolves");
+            assert_eq!(rebuilt.run_reference(), w.run_reference(), "{}", w.name());
+            assert_eq!(rebuilt.name(), w.name());
+        }
+    }
+
+    #[test]
+    fn shard_parts_concatenate_to_the_full_native_output() {
+        for w in [
+            Arc::new(MatMulWorkload::demo(8, 2)) as SharedWorkload,
+            Arc::new(SpmvWorkload::demo(100)),
+        ] {
+            for parts in [1, 2, 3, 7, 16] {
+                let joined = AlgoOutput::concat((0..parts).map(|p| w.run_native_part(p, parts)))
+                    .expect("same-variant parts");
+                assert_eq!(joined, w.run_native(), "{} at {parts} parts", w.name());
+                assert_eq!(joined, w.run_reference(), "{} at {parts} parts", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn custom_input_workloads_decline_to_shard() {
+        // A workload built from caller-supplied data has no spec another process could
+        // rebuild it from; only the seeded demo constructors opt in.
+        let custom = MatMulWorkload::new(
+            vec![1.0; 16],
+            vec![2.0; 16],
+            MatMulConfig::new(4, MmVariant::DepthLog2N).with_base(2),
+        );
+        assert!(custom.shard_spec().is_none());
+        assert!(PrefixWorkload::demo(64).shard_spec().is_none(), "prefix has no partition yet");
     }
 }

@@ -9,6 +9,7 @@
 //!   "scenario": <name>, "workload": <full workload name>,
 //!   "work": W, "t_inf": T∞, "native_fallback": bool, "measured_only": bool,
 //!   "runs": [ { "backend", "executor", "procs", "seed", "axis", "axis_value",
+//!               "shards", "shard_threads",
 //!               "steals", "failed_steals", "work_items", "time_units", "time_unit",
 //!               "cache_misses", "block_misses", "false_sharing_misses",
 //!               "sequential_fallback" } ],
@@ -24,12 +25,13 @@
 //! the scenario: simulated runs are seeded, native `work_items` counts executed fork
 //! branches (a property of the kernel, not the schedule), and record order is expansion
 //! order whatever `--jobs` level produced it. The *volatile* quantities — wall clocks on
-//! both backends, and a native run's racy steal counters — live only in the `timing`
-//! sidecar, emitted on request ([`LabReport::to_json_timed`], `lab --timing`) and `null`
-//! otherwise. A default document is therefore byte-identical across invocations and
-//! across `--jobs` levels; `steals`/`failed_steals`/`time_units` in a **native** run row
-//! are `null`, pointing at the sidecar. Wall-clock *benchmarking* belongs to
-//! `BENCH_native.json`, not the lab report.
+//! every backend, and a native or sharded run's racy steal counters — live only in the
+//! `timing` sidecar, emitted on request ([`LabReport::to_json_timed`], `lab --timing`)
+//! and `null` otherwise. A default document is therefore byte-identical across
+//! invocations and across `--jobs` levels; `steals`/`failed_steals`/`time_units` in a
+//! **native** or **sharded** run row are `null`, pointing at the sidecar. Wall-clock
+//! *benchmarking* belongs to `BENCH_native.json`, not the lab report. `shards`/
+//! `shard_threads` are `null` on non-sharded rows.
 //!
 //! Documents emitted before the sidecar existed carried a per-row `wall_ns` and measured
 //! native steal counters instead; they still validate (`timing` is optional in
@@ -156,11 +158,16 @@ impl LabReport {
                     Some((name, v)) => (Json::from(name), Json::from(v)),
                     None => (Json::Null, Json::Null),
                 };
-                // A native run's steal counters and elapsed time are schedule- and
-                // wall-clock-dependent: deterministic rows carry null and the real
-                // measurements ride in the `timing` sidecar.
-                let volatile = r.spec.backend == BackendChoice::Native;
+                // A native or sharded run's steal counters and elapsed time are
+                // schedule- and wall-clock-dependent: deterministic rows carry null and
+                // the real measurements ride in the `timing` sidecar.
+                let volatile =
+                    matches!(r.spec.backend, BackendChoice::Native | BackendChoice::Sharded);
                 let gate = |v: Json| if volatile { Json::Null } else { v };
+                let (shards, shard_threads) = match r.spec.shard_shape {
+                    Some((s, t)) => (Json::from(s), Json::from(t)),
+                    None => (Json::Null, Json::Null),
+                };
                 obj([
                     ("backend", r.spec.backend.name().into()),
                     ("executor", r.report.executor.as_str().into()),
@@ -168,6 +175,8 @@ impl LabReport {
                     ("seed", r.spec.seed.into()),
                     ("axis", axis),
                     ("axis_value", axis_value),
+                    ("shards", shards),
+                    ("shard_threads", shard_threads),
                     ("steals", gate(r.report.steals.into())),
                     ("failed_steals", gate(r.report.failed_steals.into())),
                     ("work_items", r.report.work_items.into()),
@@ -341,6 +350,35 @@ mod tests {
         assert_eq!(sequential, again, "two sequential runs must emit identical documents");
         assert_eq!(sequential, fanned, "--jobs must not change the emitted document");
         assert!(sequential.contains("\"timing\": null"));
+    }
+
+    #[test]
+    fn sharded_rows_follow_the_determinism_contract() {
+        // Sharded rows are volatile like native rows (wall clocks, subprocess scheduling):
+        // steals/time_units null, shards/shard_threads populated, and the default document
+        // byte-identical across invocations. Needs the shard-worker binary (built by any
+        // workspace `cargo test`; else `cargo build --bins -p rws-shard`).
+        let sc = Scenario::parse(
+            "name = sh\nworkload = spmv\nn = 64\nbackends = sim, sharded\n\
+             seeds = 11\nshard_threads = 1\nsweep = shards: 1, 2",
+        )
+        .unwrap();
+        let report = run(&sc);
+        let doc = report.to_json();
+        validate_report(&doc).expect("sharded report must validate");
+        assert!(doc.contains("\"backend\": \"sharded\""), "{doc}");
+        assert!(doc.contains("\"shards\": 2"), "{doc}");
+        assert!(doc.contains("\"shard_threads\": 1"), "{doc}");
+        for r in &report.lab.records {
+            match r.spec.backend {
+                BackendChoice::Sharded => assert!(r.spec.shard_shape.is_some()),
+                _ => assert!(r.spec.shard_shape.is_none()),
+            }
+        }
+        assert_eq!(doc, run(&sc).to_json(), "sharded rows must not leak volatile values");
+        // The timed sidecar still carries the real wall clocks for every row.
+        let timed = report.to_json_timed();
+        assert!(timed.contains("\"wall_ns\""), "{timed}");
     }
 
     #[test]

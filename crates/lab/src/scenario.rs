@@ -106,6 +106,14 @@ impl WorkloadKind {
         }
     }
 
+    /// Whether this workload can run on the multi-process sharded backend. A shardable
+    /// workload's demo instance declares a `ShardSpec` (rebuildable by spec in a worker
+    /// process) and a per-part native kernel; `tests/shardable_agreement.rs` pins this
+    /// list against what the instances actually declare.
+    pub fn shardable(self) -> bool {
+        matches!(self, WorkloadKind::MatMul | WorkloadKind::Spmv)
+    }
+
     /// Build the deterministic workload instance for size `n` (and `base` where used).
     pub fn instantiate(self, n: usize, base: usize) -> SharedWorkload {
         match self {
@@ -130,6 +138,9 @@ pub enum BackendChoice {
     Sim,
     /// The `rws-runtime` native thread pool (wall-clock time, pool counters).
     Native,
+    /// The `rws-shard` multi-process executor (worker subprocesses over pipes); only
+    /// shardable workloads ([`WorkloadKind::shardable`]) accept it.
+    Sharded,
 }
 
 impl BackendChoice {
@@ -138,6 +149,7 @@ impl BackendChoice {
         match s {
             "sim" | "simulated" => Some(BackendChoice::Sim),
             "native" => Some(BackendChoice::Native),
+            "sharded" => Some(BackendChoice::Sharded),
             _ => None,
         }
     }
@@ -147,6 +159,7 @@ impl BackendChoice {
         match self {
             BackendChoice::Sim => "sim",
             BackendChoice::Native => "native",
+            BackendChoice::Sharded => "sharded",
         }
     }
 }
@@ -159,6 +172,10 @@ pub enum SweepAxis {
     /// Vary the simulated block (cache-line) size `B` in words. Native runs have no block
     /// parameter, so under this axis they execute once per seed at the scenario's `procs`.
     BlockWords(Vec<u64>),
+    /// Vary the sharded backend's shard (subprocess) count. Sim and native runs have no
+    /// shard parameter, so under this axis they execute once per seed at the scenario's
+    /// `procs` (the same off-axis rule as native under `block_words`).
+    Shards(Vec<usize>),
 }
 
 impl SweepAxis {
@@ -167,6 +184,7 @@ impl SweepAxis {
         match self {
             SweepAxis::Procs(_) => "procs",
             SweepAxis::BlockWords(_) => "block_words",
+            SweepAxis::Shards(_) => "shards",
         }
     }
 }
@@ -268,6 +286,11 @@ pub struct Scenario {
     pub seeds: Vec<u64>,
     /// Processor/thread count used when the sweep axis is not `procs`.
     pub procs: usize,
+    /// Shard (subprocess) count for the sharded backend when the sweep axis is not
+    /// `shards`.
+    pub shards: usize,
+    /// Native-pool threads inside each shard worker.
+    pub shard_threads: usize,
     /// The simulated machine (its `procs`/`block_words` are overridden by the sweep).
     pub machine: MachineConfig,
     /// The sweep axis, if any.
@@ -286,6 +309,8 @@ impl Scenario {
         let mut backends: Option<Vec<BackendChoice>> = None;
         let mut seeds: Option<Vec<u64>> = None;
         let mut procs: Option<usize> = None;
+        let mut shards: Option<usize> = None;
+        let mut shard_threads: Option<usize> = None;
         let mut machine = MachineConfig::small();
         let mut sweep: Option<SweepAxis> = None;
         let mut checks: Option<Vec<CheckKind>> = None;
@@ -330,7 +355,10 @@ impl Scenario {
                             None => {
                                 return err(
                                     ln,
-                                    format!("unknown backend `{item}` (expected sim or native)"),
+                                    format!(
+                                        "unknown backend `{item}` (expected sim, native, or \
+                                         sharded)"
+                                    ),
                                 )
                             }
                         }
@@ -345,6 +373,8 @@ impl Scenario {
                     seeds = Some(list);
                 }
                 "procs" => procs = Some(parse_num(ln, "procs", value)?),
+                "shards" => shards = Some(parse_num(ln, "shards", value)?),
+                "shard_threads" => shard_threads = Some(parse_num(ln, "shard_threads", value)?),
                 "cache_words" => machine.cache_words = parse_num(ln, "cache_words", value)?,
                 "block_words" => machine.block_words = parse_num(ln, "block_words", value)?,
                 "miss_cost" => machine.miss_cost = parse_num(ln, "miss_cost", value)?,
@@ -376,12 +406,19 @@ impl Scenario {
                             }
                             SweepAxis::BlockWords(vs)
                         }
+                        "shards" => {
+                            let mut vs = Vec::new();
+                            for item in items {
+                                vs.push(parse_num(ln, "sweep shards", item)?);
+                            }
+                            SweepAxis::Shards(vs)
+                        }
                         other => {
                             return err(
                                 ln,
                                 format!(
-                                    "unknown sweep axis `{other}` (expected procs or \
-                                     block_words)"
+                                    "unknown sweep axis `{other}` (expected procs, \
+                                     block_words, or shards)"
                                 ),
                             )
                         }
@@ -452,7 +489,7 @@ impl Scenario {
         let base = base.unwrap_or_else(|| workload.default_base());
         let backends = backends.unwrap_or_else(|| vec![BackendChoice::Sim]);
         if backends.is_empty() {
-            return err(0, "backends must name at least one of sim, native");
+            return err(0, "backends must name at least one of sim, native, sharded");
         }
         let seeds = seeds.unwrap_or_else(|| vec![11]);
         if seeds.is_empty() {
@@ -471,6 +508,35 @@ impl Scenario {
             if vs.contains(&0) {
                 return err(0, "sweep block_words values must be at least 1");
             }
+        }
+        if let Some(SweepAxis::Shards(vs)) = &sweep {
+            if vs.contains(&0) {
+                return err(0, "sweep shards values must be at least 1");
+            }
+        }
+        let shards = shards.unwrap_or(2);
+        let shard_threads = shard_threads.unwrap_or(1);
+        let uses_sharded = backends.contains(&BackendChoice::Sharded);
+        if shards == 0 || shard_threads == 0 {
+            return err(0, "shards and shard_threads must be at least 1");
+        }
+        if matches!(sweep, Some(SweepAxis::Shards(_))) && !uses_sharded {
+            return err(
+                0,
+                "sweep = shards varies the sharded backend's subprocess count, but `sharded` \
+                 is not in backends",
+            );
+        }
+        if uses_sharded && !workload.shardable() {
+            return err(
+                0,
+                format!(
+                    "workload `{}` cannot run on the sharded backend: it declares no shard \
+                     partition (only spec-rebuildable workloads — matmul, spmv — cross the \
+                     process boundary)",
+                    workload.name()
+                ),
+            );
         }
         // Default: the three paper checks for workloads the fork-join analysis covers;
         // measured-only workloads default to no checks (and reject any, below) — an honest
@@ -542,7 +608,8 @@ impl Scenario {
                     }
                 }
             }
-            None => {}
+            // The shard count is not a simulated-machine parameter; nothing to validate.
+            Some(SweepAxis::Shards(_)) | None => {}
         }
 
         Ok(Scenario {
@@ -553,6 +620,8 @@ impl Scenario {
             backends,
             seeds,
             procs,
+            shards,
+            shard_threads,
             machine,
             sweep,
             checks: checks_with_slack,
@@ -707,8 +776,47 @@ mod tests {
             assert_eq!(CheckKind::parse(c.name()), Some(c));
             assert!(c.default_slack() > 0.0);
         }
-        for b in [BackendChoice::Sim, BackendChoice::Native] {
+        for b in [BackendChoice::Sim, BackendChoice::Native, BackendChoice::Sharded] {
             assert_eq!(BackendChoice::parse(b.name()), Some(b));
+        }
+    }
+
+    #[test]
+    fn sharded_scenarios_parse_with_shape_keys_and_sweep() {
+        let sc = Scenario::parse(
+            "name = s\nworkload = matmul\nn = 16\nbackends = sim, native, sharded\n\
+             shards = 3\nshard_threads = 2\nsweep = shards: 1, 2",
+        )
+        .expect("must parse");
+        assert_eq!(sc.shards, 3);
+        assert_eq!(sc.shard_threads, 2);
+        assert_eq!(sc.sweep, Some(SweepAxis::Shards(vec![1, 2])));
+        assert!(sc.backends.contains(&BackendChoice::Sharded));
+
+        let defaults =
+            Scenario::parse("name = s\nworkload = spmv\nn = 64\nbackends = sharded").unwrap();
+        assert_eq!((defaults.shards, defaults.shard_threads), (2, 1));
+    }
+
+    #[test]
+    fn sharded_misuse_is_rejected_at_parse_time() {
+        for (text, needle) in [
+            (
+                "name = x\nworkload = fft\nn = 64\nbackends = sharded",
+                "cannot run on the sharded backend",
+            ),
+            (
+                "name = x\nworkload = matmul\nn = 16\nbackends = sim\nsweep = shards: 1, 2",
+                "`sharded` is not in backends",
+            ),
+            (
+                "name = x\nworkload = matmul\nn = 16\nbackends = sharded\nsweep = shards: 0, 2",
+                "at least 1",
+            ),
+            ("name = x\nworkload = matmul\nn = 16\nbackends = sharded\nshards = 0", "at least 1"),
+        ] {
+            let e = Scenario::parse(text).expect_err(text);
+            assert!(e.to_string().contains(needle), "`{text}` -> `{e}` missing `{needle}`");
         }
     }
 }

@@ -8,22 +8,27 @@ use rws_exec::{ExecReport, Executor, NativeExecutor, SharedWorkload, SimExecutor
 use rws_machine::MachineConfig;
 use rws_runtime::trace::TraceSnapshot;
 use rws_runtime::{scope, DequeBackend, ThreadPool};
+use rws_shard::ShardedExecutor;
 
 /// One expanded run: the backend, the concrete machine/pool shape, and the seed.
 #[derive(Clone, Debug)]
 pub struct RunSpec {
     /// Which backend executes this run.
     pub backend: BackendChoice,
-    /// Processors (simulated) or worker threads (native).
+    /// Processors (simulated), worker threads (native), or `shards × shard_threads`
+    /// (sharded).
     pub procs: usize,
     /// The simulated machine for this run (also carries the analysis parameters the checks
     /// use; for native runs it is the scenario machine at this run's thread count).
     pub machine: MachineConfig,
-    /// Scheduler seed (repetition index on the native backend).
+    /// Scheduler seed (repetition index on the native and sharded backends).
     pub seed: u64,
     /// The sweep-axis value this run belongs to, if the scenario sweeps
-    /// (`(axis name, value)`); `None` for native runs under a sim-only axis.
+    /// (`(axis name, value)`); `None` for runs a backend-foreign axis does not multiply
+    /// (native under `block_words`, sim/native under `shards`, sharded under `procs`).
     pub axis: Option<(&'static str, u64)>,
+    /// `(shards, threads_per_shard)` for sharded runs, `None` otherwise.
+    pub shard_shape: Option<(usize, usize)>,
 }
 
 /// One executed run: its spec and the normalized report.
@@ -77,25 +82,49 @@ pub fn expand(sc: &Scenario) -> Vec<RunSpec> {
     for &backend in &sc.backends {
         let axis_values: Vec<Option<(&'static str, u64)>> = match (&sc.sweep, backend) {
             (None, _) => vec![None],
-            (Some(SweepAxis::Procs(vs)), _) => {
+            // The shard count is the one knob an axis can turn on the sharded backend;
+            // procs/block_words are sim/native parameters, so a sharded run under those
+            // axes (like a native run under block_words) executes once per seed.
+            (Some(SweepAxis::Procs(vs)), BackendChoice::Sim | BackendChoice::Native) => {
                 vs.iter().map(|&p| Some(("procs", p as u64))).collect()
             }
+            (Some(SweepAxis::Procs(_)), BackendChoice::Sharded) => vec![None],
             (Some(SweepAxis::BlockWords(vs)), BackendChoice::Sim) => {
                 vs.iter().map(|&b| Some(("block_words", b))).collect()
             }
-            (Some(SweepAxis::BlockWords(_)), BackendChoice::Native) => vec![None],
+            (Some(SweepAxis::BlockWords(_)), _) => vec![None],
+            (Some(SweepAxis::Shards(vs)), BackendChoice::Sharded) => {
+                vs.iter().map(|&s| Some(("shards", s as u64))).collect()
+            }
+            (Some(SweepAxis::Shards(_)), _) => vec![None],
         };
         for axis in axis_values {
             let mut machine = sc.machine.clone();
             let mut procs = sc.procs;
+            let mut shard_shape = None;
             match axis {
                 Some(("procs", p)) => procs = p as usize,
                 Some(("block_words", b)) => machine.block_words = b,
                 _ => {}
             }
+            if backend == BackendChoice::Sharded {
+                let shards = match axis {
+                    Some(("shards", s)) => s as usize,
+                    _ => sc.shards,
+                };
+                shard_shape = Some((shards, sc.shard_threads));
+                procs = shards * sc.shard_threads;
+            }
             machine.procs = procs;
             for &seed in &sc.seeds {
-                specs.push(RunSpec { backend, procs, machine: machine.clone(), seed, axis });
+                specs.push(RunSpec {
+                    backend,
+                    procs,
+                    machine: machine.clone(),
+                    seed,
+                    axis,
+                    shard_shape,
+                });
             }
         }
     }
@@ -118,7 +147,7 @@ fn run_sim(spec: &RunSpec, workload: SharedWorkload) -> ExecReport {
 /// Execute the scenario's expanded runs with up to `jobs` concurrent **simulated** runs.
 ///
 /// * Simulated runs are pure, independent, seeded computations: they fan out across a
-///   `jobs`-wide driver pool via [`rws_runtime::scope`] and land in their expansion-order
+///   `jobs`-wide driver pool via [`rws_runtime::scope()`] and land in their expansion-order
 ///   slot, so the record order (and every simulated measurement in it) is identical
 ///   whatever `jobs` is.
 /// * Native runs stay **serialized** on the driver thread, in expansion order: an
@@ -185,6 +214,7 @@ fn execute_specs(
     let mut captures: Vec<NativeTraceCapture> = Vec::new();
     scope(|s| {
         let mut native = Vec::new();
+        let mut sharded = Vec::new();
         for (spec, slot) in specs.into_iter().zip(slots.iter_mut()) {
             match spec.backend {
                 BackendChoice::Sim => {
@@ -195,6 +225,7 @@ fn execute_specs(
                     });
                 }
                 BackendChoice::Native => native.push((spec, slot)),
+                BackendChoice::Sharded => sharded.push((spec, slot)),
             }
         }
         let mut native_pool: Option<NativeExecutor> = None;
@@ -218,6 +249,15 @@ fn execute_specs(
                 native_pool = Some(NativeExecutor::new(spec.procs));
             }
             let report = native_pool.as_ref().expect("just built").execute(workload.clone()).report;
+            *slot = Some(RunRecord { spec, report });
+        }
+        // Sharded runs are wall-clock measurements over real subprocesses: serialized on
+        // the driver thread like native runs, after them, in expansion order. The
+        // executor is pure configuration, so one per shard shape is plenty.
+        for (spec, slot) in sharded {
+            let (shards, threads) = spec.shard_shape.expect("sharded specs carry their shape");
+            let exec = ShardedExecutor::new(shards).threads_per_shard(threads);
+            let report = exec.execute(workload.clone()).report;
             *slot = Some(RunRecord { spec, report });
         }
     });
@@ -341,6 +381,63 @@ mod tests {
         let untraced = run_scenario(&sc);
         for (a, b) in lab.records.iter().zip(&untraced.records) {
             assert_eq!(a.report.work_items, b.report.work_items);
+        }
+    }
+
+    #[test]
+    fn shard_sweeps_multiply_only_the_sharded_backend() {
+        let sc = parse(
+            "name = x\nworkload = matmul\nn = 16\nbackends = sim, native, sharded\n\
+             seeds = 1, 2\nprocs = 2\nshard_threads = 1\nsweep = shards: 1, 2, 3",
+        );
+        let specs = expand(&sc);
+        let sharded: Vec<_> =
+            specs.iter().filter(|s| s.backend == BackendChoice::Sharded).collect();
+        let others: Vec<_> = specs.iter().filter(|s| s.backend != BackendChoice::Sharded).collect();
+        assert_eq!(sharded.len(), 3 * 2, "one sharded run per shard count per seed");
+        assert_eq!(others.len(), 2 * 2, "shard count does not exist on sim/native");
+        assert!(others.iter().all(|s| s.axis.is_none() && s.shard_shape.is_none()));
+        for s in &sharded {
+            let (shards, threads) = s.shard_shape.expect("sharded specs carry their shape");
+            assert_eq!(s.axis.unwrap(), ("shards", shards as u64));
+            assert_eq!(threads, 1);
+            assert_eq!(s.procs, shards * threads, "procs is the total worker-thread count");
+        }
+        // Without a sweep, the scenario's own shard shape applies, once per seed.
+        let flat = parse(
+            "name = x\nworkload = matmul\nn = 16\nbackends = sharded\nseeds = 7\n\
+             shards = 2\nshard_threads = 2",
+        );
+        let flat_specs = expand(&flat);
+        assert_eq!(flat_specs.len(), 1);
+        assert_eq!(flat_specs[0].shard_shape, Some((2, 2)));
+        assert_eq!(flat_specs[0].procs, 4);
+    }
+
+    #[test]
+    fn sharded_sweep_runs_end_to_end_with_shard_detail() {
+        // Requires the shard-worker binary (any workspace-level `cargo test` builds it;
+        // for a bare `cargo test -p rws-lab`, run `cargo build --bins -p rws-shard` first).
+        let sc = parse(
+            "name = e2e\nworkload = matmul\nn = 16\nbackends = native, sharded\n\
+             seeds = 11\nprocs = 2\nshard_threads = 1\nsweep = shards: 1, 2",
+        );
+        let lab = run_scenario(&sc);
+        assert_eq!(lab.records.len(), 3, "one native run + two sharded runs");
+        let native = lab.records.iter().find(|r| r.spec.backend == BackendChoice::Native).unwrap();
+        let sharded: Vec<_> =
+            lab.records.iter().filter(|r| r.spec.backend == BackendChoice::Sharded).collect();
+        assert_eq!(sharded.len(), 2);
+        assert!(native.report.shard.is_none(), "in-process runs carry no shard detail");
+        for r in &sharded {
+            let detail = r.report.shard.as_ref().expect("sharded runs carry shard detail");
+            let (shards, _) = r.spec.shard_shape.unwrap();
+            assert_eq!(detail.shards, shards);
+            assert_eq!(detail.jobs_accepted, detail.parts as u64);
+            assert_eq!(detail.redistributed, 0, "no faults injected in a plain sweep");
+            assert_eq!(detail.shard_deaths, 0);
+            assert!(r.report.work_items > 0, "workers really executed on their pools");
+            assert!(!r.report.sequential_fallback);
         }
     }
 

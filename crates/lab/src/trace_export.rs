@@ -1,4 +1,4 @@
-//! Exporters for the runtime's flight recorder: a [`rws_trace::TraceSnapshot`] rendered as
+//! Exporters for the runtime's flight recorder: a [`rws_runtime::trace::TraceSnapshot`] rendered as
 //! the compact `rws-trace/v1` document, as a Chrome `trace_event` JSON file (loadable in
 //! `chrome://tracing` / Perfetto), and as the one-object summary embedded in chaos reports.
 //!

@@ -1,0 +1,60 @@
+//! Pins `WorkloadKind::shardable` against what the workload instances actually declare.
+//!
+//! The scenario parser refuses `backends = sharded` for non-shardable workloads using
+//! the static `shardable()` list; the sharded executor itself refuses any workload whose
+//! `shard_spec()` returns `None`. This test keeps the two sources of truth in agreement
+//! for every workload kind, at a couple of sizes, so a workload that gains (or loses) a
+//! shard partition cannot silently disagree with the parse-time gate.
+
+use rws_lab::scenario::WorkloadKind;
+
+const ALL: [WorkloadKind; 10] = [
+    WorkloadKind::PrefixSums,
+    WorkloadKind::MatMul,
+    WorkloadKind::MergeSort,
+    WorkloadKind::Fft,
+    WorkloadKind::Transpose,
+    WorkloadKind::ListRank,
+    WorkloadKind::DagWorkflow,
+    WorkloadKind::Bfs,
+    WorkloadKind::Spmv,
+    WorkloadKind::SampleSort,
+];
+
+#[test]
+fn shardable_flag_matches_instance_shard_spec() {
+    for kind in ALL {
+        for n in [16usize, 64] {
+            let instance = kind.instantiate(n, kind.default_base());
+            assert_eq!(
+                instance.shard_spec().is_some(),
+                kind.shardable(),
+                "{} (n = {n}): WorkloadKind::shardable() says {} but the instance's \
+                 shard_spec() says {}",
+                kind.name(),
+                kind.shardable(),
+                instance.shard_spec().is_some(),
+            );
+        }
+    }
+}
+
+#[test]
+fn shardable_specs_rebuild_by_name() {
+    // A ShardSpec is only useful if a worker process can rebuild the same instance from
+    // `(kind, n, base)` — check the registry round-trip for every shardable kind.
+    for kind in ALL.into_iter().filter(|k| k.shardable()) {
+        let instance = kind.instantiate(64, kind.default_base());
+        let spec = instance.shard_spec().expect("shardable kind must declare a spec");
+        let rebuilt =
+            rws_exec::workloads::by_name(&spec.kind, spec.n, spec.base).unwrap_or_else(|| {
+                panic!("{}: spec kind {:?} not in by_name registry", kind.name(), spec.kind)
+            });
+        assert_eq!(
+            rebuilt.run_reference(),
+            instance.run_reference(),
+            "{}: by_name rebuild diverged from the scenario instance",
+            kind.name()
+        );
+    }
+}

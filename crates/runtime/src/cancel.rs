@@ -3,7 +3,7 @@
 //! A [`CancelToken`] is a shared flag a supervisor (or any holder) can flip; the running
 //! job observes it at **fork points** — `join` entry, `Scope::spawn`, and therefore every
 //! `par_iter` grain boundary, since the parallel iterators split through `join`. The
-//! observation unwinds the job with a private [`CancelPayload`] that rides the existing
+//! observation unwinds the job with a private `CancelPayload` that rides the existing
 //! panic plumbing (stack-job capture, scope aggregation, first-payload-wins) up to the
 //! job-server's root wrapper, which maps it to a terminal [`JobOutcome`] instead of a
 //! worker-visible panic. Code outside service mode never pays more than a thread-local
@@ -127,7 +127,7 @@ impl Drop for TokenGuard {
 }
 
 /// Cooperative cancellation point: a no-op unless the calling thread runs under a
-/// cancelled token, in which case it unwinds with the crate's [`CancelPayload`]. Called at
+/// cancelled token, in which case it unwinds with the crate's `CancelPayload`. Called at
 /// every fork point; safe (and cheap — one TLS read) to call from user code for
 /// finer-grained responsiveness inside long leaf computations.
 #[inline]

@@ -22,7 +22,7 @@
 //! * **Parked idle workers** — a worker that finds no work spins briefly and then parks on
 //!   the pool's sleep protocol; an idle pool burns no CPU, and a fork wakes sleepers with a
 //!   single relaxed load on the producer side.
-//! * **Scoped tasks and parallel iterators** — [`scope`] generalizes `join` to arbitrary
+//! * **Scoped tasks and parallel iterators** — [`scope()`] generalizes `join` to arbitrary
 //!   borrow-friendly fan-out behind one shared atomic completion latch (inline job slots
 //!   keep small fan-outs, including the kernels' 4-way quadrant splits, allocation-free),
 //!   and [`par_iter`] builds rayon-style slice iterators (`par_iter`, `par_iter_mut`,

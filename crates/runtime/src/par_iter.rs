@@ -1,7 +1,7 @@
 //! Minimal parallel iterators over slices, in the rayon mold: `par_iter`, `par_iter_mut`,
 //! `par_chunks`, `par_chunks_mut`.
 //!
-//! Each adapter recursively halves its slice with [`join`](crate::join) — the same
+//! Each adapter recursively halves its slice with [`join`] — the same
 //! allocation-free binary fork the kernels use by hand — until a piece is at or below the
 //! **grain**, then processes the piece sequentially. The default grain is *adaptive*: it
 //! targets [`SPLIT_FACTOR`] pieces per worker of the current pool

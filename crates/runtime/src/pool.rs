@@ -4,12 +4,12 @@
 //! bottom; an idle worker first drains the global injector, then repeatedly picks a victim
 //! uniformly at random and steals from the *top* of its deque. [`join`] implements fork-join
 //! on top of this with an **allocation-free fast path**: the right branch is a
-//! [`StackJob`](crate::job) in the caller's own stack frame, pushed into the deque as a
+//! `StackJob` (see `job.rs`) in the caller's own stack frame, pushed into the deque as a
 //! two-word reference. When nobody steals it the owner pops it straight back and runs it
 //! inline — no `Box`, no `Arc`, no lock, no latch traffic. Only when a thief takes the
 //! branch does the owner wait on the job's atomic latch, helping execute other jobs in the
 //! meantime (a blocked join never idles a core) and parking via the pool's
-//! [`Sleep`](crate::sleep) protocol when there is nothing to help with.
+//! `Sleep` protocol (see `sleep.rs`) when there is nothing to help with.
 
 // The unsafe here is confined to the stack-job handoff (see `job.rs` for the invariants);
 // everything else in the pool is safe code over the lock-free deques.

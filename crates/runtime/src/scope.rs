@@ -21,11 +21,11 @@
 //!
 //! * **Borrow-friendly**: spawned closures only need to outlive `'scope`, not `'static` —
 //!   they may borrow from the caller's frame because `scope` does not return until every
-//!   spawn has completed (a shared atomic [`CountLatch`] counts them down).
+//!   spawn has completed (a shared atomic `CountLatch` counts them down).
 //! * **Allocation-free fast path**: the scope owns [`INLINE_SLOTS`] fixed slots of
 //!   [`INLINE_BYTES`] bytes each, living in the `scope` caller's stack frame. A spawn from
 //!   a worker of the pool whose closure fits claims a slot and is queued as the same
-//!   two-word [`JobRef`](crate::job) the `join` fast path uses — no `Box`, no lock. A
+//!   two-word `JobRef` (see `job.rs`) the `join` fast path uses — no `Box`, no lock. A
 //!   single-spawn scope (and the 4-way quadrant fan-outs in `rws-algos`) therefore
 //!   allocates nothing, preserving the PR 2 hot-path property; only wider or oversized
 //!   fan-outs fall back to boxed jobs.

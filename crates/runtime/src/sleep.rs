@@ -38,7 +38,7 @@ const PARK_BACKSTOP: Duration = Duration::from_millis(1);
 /// The schedule therefore backs off **between sweeps** exponentially: round `i` of the
 /// first [`spin_rounds`](SleepBackoff::spin_rounds) busy-spins `2^min(i, spin_cap_shift)`
 /// pause cycles, the next [`yield_rounds`](SleepBackoff::yield_rounds) rounds yield the OS
-/// slice, and after that the worker parks on the pool's [`Sleep`] protocol. Compared to the
+/// slice, and after that the worker parks on the pool's `Sleep` protocol. Compared to the
 /// old fixed schedule (64 uniform sweeps, a yield every 16th), the same busy-wait budget is
 /// spent across ~10x fewer sweeps, and a genuinely idle worker reaches the park — where it
 /// costs nothing — sooner.

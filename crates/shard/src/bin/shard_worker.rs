@@ -1,0 +1,7 @@
+//! The shard worker binary: spawned by [`rws_shard::ShardedExecutor`] with stdin/stdout
+//! as the protocol channel. All logic lives in [`rws_shard::worker::run_worker`]; this
+//! wrapper only forwards the exit code.
+
+fn main() {
+    std::process::exit(rws_shard::worker::run_worker());
+}

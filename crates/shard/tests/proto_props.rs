@@ -1,0 +1,177 @@
+//! Property tests for the wire protocol: seeded-random messages must survive the
+//! frame + message codecs bit-exactly, and every mangled byte stream must be rejected
+//! with a structured error — never a panic, never a silent partial decode.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rws_exec::AlgoOutput;
+use rws_shard::frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+use rws_shard::proto::{DecodeError, OUTPUT_TAG_F64, OUTPUT_TAG_I64, OUTPUT_TAG_U64};
+use rws_shard::{JobSpec, Message, MsgType, PartStats, VERSION};
+use std::io::Cursor;
+
+fn arbitrary_output(rng: &mut SmallRng) -> AlgoOutput {
+    let len = rng.gen_range(0usize..40);
+    match rng.gen_range(0u32..3) {
+        0 => AlgoOutput::I64((0..len).map(|_| rng.next_u64() as i64).collect()),
+        1 => AlgoOutput::U64((0..len).map(|_| rng.next_u64()).collect()),
+        _ => AlgoOutput::F64(
+            (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        // Transport must be bit-exact even for the values PartialEq hates.
+                        f64::NAN
+                    } else {
+                        f64::from_bits(rng.next_u64())
+                    }
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn arbitrary_string(rng: &mut SmallRng) -> String {
+    let len = rng.gen_range(0usize..24);
+    (0..len).map(|_| char::from(rng.gen_range(32u8..127))).collect()
+}
+
+fn arbitrary_message(rng: &mut SmallRng) -> Message {
+    match rng.gen_range(0u32..8) {
+        0 => Message::Hello {
+            version: VERSION,
+            shard: rng.gen_range(0u16..64),
+            threads: rng.gen_range(1u32..16),
+        },
+        1 => Message::HelloAck { version: VERSION, shard: rng.gen_range(0u16..64) },
+        2 => Message::Job(JobSpec {
+            job_id: rng.next_u64(),
+            part: rng.gen_range(0u32..256),
+            parts: rng.gen_range(1u32..257),
+            n: rng.next_u64(),
+            base: rng.next_u64(),
+            kind: arbitrary_string(rng),
+        }),
+        3 => Message::JobResult {
+            job_id: rng.next_u64(),
+            output: arbitrary_output(rng),
+            stats: PartStats {
+                steals: rng.next_u64(),
+                failed_steals: rng.next_u64(),
+                work_items: rng.next_u64(),
+                wall_ns: rng.next_u64(),
+            },
+        },
+        4 => {
+            Message::Heartbeat { queue_depth: rng.gen_range(0u32..1000), jobs_done: rng.next_u64() }
+        }
+        5 => Message::Shutdown,
+        6 => Message::Bye,
+        _ => Message::Error { job_id: rng.next_u64(), message: arbitrary_string(rng) },
+    }
+}
+
+#[test]
+fn random_messages_round_trip_through_frame_and_codec_bit_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0xC01E_2013);
+    for _ in 0..500 {
+        let msg = arbitrary_message(&mut rng);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg.encode()).unwrap();
+        let payload = read_frame(&mut Cursor::new(&wire)).unwrap();
+        let decoded = Message::decode(&payload).unwrap();
+        // NaN breaks PartialEq round-trip comparison; encodings are the bit-exact oracle.
+        assert_eq!(msg.encode(), decoded.encode(), "round-trip changed {:?}", msg.msg_type());
+    }
+}
+
+#[test]
+fn every_prefix_truncation_of_a_framed_message_is_a_structured_error() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for _ in 0..60 {
+        let msg = arbitrary_message(&mut rng);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg.encode()).unwrap();
+        for cut in 0..wire.len() {
+            match read_frame(&mut Cursor::new(&wire[..cut])) {
+                Err(
+                    FrameError::CleanEof
+                    | FrameError::TruncatedHeader { .. }
+                    | FrameError::TruncatedPayload { .. },
+                ) => {}
+                Err(other) => panic!("cut {cut}: unexpected frame error {other:?}"),
+                // Frames shorter than the original can still be complete (the cut landed
+                // on the header); the payload truncation must then fail the decode.
+                Ok(partial) => {
+                    assert!(
+                        Message::decode(&partial).is_err(),
+                        "cut {cut} of {:?} decoded from a truncated payload",
+                        msg.msg_type()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics_the_decoder() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..60 {
+        let msg = arbitrary_message(&mut rng);
+        let payload = msg.encode();
+        for pos in 0..payload.len() {
+            let mut mangled = payload.clone();
+            mangled[pos] ^= 1 << rng.gen_range(0u32..8);
+            // Either outcome is legal — some flips land in value bytes and decode to a
+            // different valid message — but the decoder must return, not panic.
+            let _ = Message::decode(&mangled);
+        }
+    }
+}
+
+#[test]
+fn oversize_frame_lengths_are_rejected_by_the_frame_layer() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let len = rng.gen_range(MAX_FRAME_LEN as u64 + 1..u32::MAX as u64 + 1) as u32;
+        let wire = len.to_le_bytes();
+        match read_frame(&mut Cursor::new(&wire[..])) {
+            Err(FrameError::Oversize { len: got }) => assert_eq!(got, len),
+            other => panic!("length {len} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn handshake_refusal_is_version_specific() {
+    // Every wrong version must be refused with the offered version in the error.
+    for wrong in [0u16, VERSION + 1, 0x7FFF, u16::MAX] {
+        let mut bytes = vec![MsgType::Hello as u8];
+        bytes.extend_from_slice(b"RWSS");
+        bytes.extend_from_slice(&wrong.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(DecodeError::VersionMismatch { got: wrong, want: VERSION }),
+        );
+    }
+    // And every wrong magic, regardless of version.
+    let mut bytes = vec![MsgType::Hello as u8];
+    bytes.extend_from_slice(b"SSWR");
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&0u16.to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    assert_eq!(Message::decode(&bytes), Err(DecodeError::BadMagic(*b"SSWR")));
+}
+
+#[test]
+fn output_tags_are_the_documented_bytes() {
+    // The tags are part of the wire contract (docs/PROTOCOL.md §JobResult).
+    assert_eq!((OUTPUT_TAG_I64, OUTPUT_TAG_U64, OUTPUT_TAG_F64), (1, 2, 3));
+    let result = Message::JobResult {
+        job_id: 1,
+        output: AlgoOutput::U64(vec![9]),
+        stats: PartStats::default(),
+    };
+    assert_eq!(result.encode()[9], OUTPUT_TAG_U64);
+}

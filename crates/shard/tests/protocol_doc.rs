@@ -1,0 +1,76 @@
+//! Keeps `docs/PROTOCOL.md` and the protocol constants in lockstep: the doc declares
+//! byte values, this test asserts the code agrees. Change either side and this fails
+//! until the other follows.
+
+use rws_shard::frame::MAX_FRAME_LEN;
+use rws_shard::proto::{OUTPUT_TAG_F64, OUTPUT_TAG_I64, OUTPUT_TAG_U64};
+use rws_shard::{MsgType, MAGIC, VERSION};
+
+const DOC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+#[test]
+fn the_doc_declares_this_protocol_version_and_magic() {
+    assert!(
+        DOC.contains(&format!("Protocol version: **{VERSION}**")),
+        "PROTOCOL.md must declare protocol version {VERSION}"
+    );
+    let magic = std::str::from_utf8(&MAGIC).unwrap();
+    assert!(
+        DOC.contains(&format!("Handshake magic: **`{magic}`**")),
+        "PROTOCOL.md must declare the handshake magic {magic:?}"
+    );
+    // And the magic spelled out byte by byte.
+    let bytes: Vec<String> = MAGIC.iter().map(|b| format!("0x{b:02X}")).collect();
+    assert!(
+        DOC.contains(&format!("(`{}`)", bytes.join(" "))),
+        "PROTOCOL.md must spell the magic bytes {}",
+        bytes.join(" ")
+    );
+}
+
+#[test]
+fn the_doc_tables_every_message_type_byte() {
+    for ty in MsgType::ALL {
+        let row = format!("| `{:#04x}`", ty as u8);
+        assert!(
+            DOC.contains(&row),
+            "PROTOCOL.md's message table is missing type byte {:#04x} ({ty:?})",
+            ty as u8
+        );
+        // The human name must appear on some line with that byte.
+        let name = format!("{ty:?}");
+        let found = DOC
+            .lines()
+            .any(|line| line.contains(&format!("`{:#04x}`", ty as u8)) && line.contains(&name));
+        assert!(found, "PROTOCOL.md does not pair byte {:#04x} with the name {name}", ty as u8);
+    }
+}
+
+#[test]
+fn the_doc_states_the_frame_cap_and_output_tags() {
+    assert!(
+        DOC.contains("`1 << 26`"),
+        "PROTOCOL.md must state MAX_FRAME_LEN as `1 << 26` (actual: {MAX_FRAME_LEN})"
+    );
+    assert_eq!(MAX_FRAME_LEN, 1 << 26, "code changed the cap; update PROTOCOL.md");
+    assert!(DOC.contains(&format!("tag `{OUTPUT_TAG_I64}` = `I64`")));
+    assert!(DOC.contains(&format!("tag `{OUTPUT_TAG_U64}` = `U64`")));
+    assert!(DOC.contains(&format!("tag `{OUTPUT_TAG_F64}` = `F64`")));
+}
+
+#[test]
+fn the_doc_covers_the_guarantees_and_failure_machinery() {
+    for phrase in [
+        "at-least-once",
+        "at-most-once accepted",
+        "first ack wins",
+        "heartbeat silence",
+        "redistribution",
+        "no version negotiation",
+    ] {
+        assert!(
+            DOC.to_lowercase().contains(&phrase.to_lowercase()),
+            "PROTOCOL.md lost the section discussing {phrase:?}"
+        );
+    }
+}

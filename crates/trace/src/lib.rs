@@ -4,7 +4,7 @@
 //! The recorder is **always compiled, default off**: a pool built without
 //! `ThreadPoolBuilder::trace(capacity)` carries no recorder and pays one never-taken branch
 //! per hook site. With a recorder attached, every worker owns one bounded
-//! [`EventRing`] — fixed capacity, overwrite-oldest — and records each scheduler event as
+//! `EventRing` — fixed capacity, overwrite-oldest — and records each scheduler event as
 //! two `u64` words (a nanosecond timestamp since the recorder's epoch, plus a packed
 //! kind/aux/arg payload). The record path is a handful of relaxed stores and an index bump:
 //! **no CAS, no lock, no allocation after setup** (asserted by the counting-allocator test

@@ -10,6 +10,11 @@
 //! workflow, BFS, SpMV, sample sort) — × both deque backends × {1, 2, 4} worker threads
 //! × three input seeds × two instance sizes, with every native report required to have
 //! its `sequential_fallback` honesty flag clear.
+//!
+//! Since the multi-process sharded executor landed, the shardable workloads (matmul,
+//! SpMV) carry a **third backend column**: the same demo instance partitioned across
+//! worker subprocesses at two shard counts must reproduce the reference output
+//! bit-exactly as well.
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use rws_algos::bfs::CsrGraph;
@@ -22,6 +27,7 @@ use rws_exec::workloads::{
 };
 use rws_exec::{Backend, Executor, NativeExecutor, SharedWorkload, SimExecutor};
 use rws_runtime::DequeBackend;
+use rws_shard::ShardedExecutor;
 use std::sync::Arc;
 
 mod support;
@@ -35,9 +41,23 @@ fn executors() -> Vec<Box<dyn Executor>> {
     ]
 }
 
+/// The executor column for one workload: sim + both native deque backends always, and —
+/// for the workloads that declare a shard partition — the multi-process sharded executor
+/// at two shard counts, so parity covers all three backends wherever all three apply.
+/// (Sharded runs need the `shard-worker` binary; a workspace-level `cargo test` builds it,
+/// a bare `cargo test -p rws-bench` needs `cargo build --bins -p rws-shard` first.)
+fn executors_for(workload: &SharedWorkload) -> Vec<Box<dyn Executor>> {
+    let mut execs = executors();
+    if workload.shard_spec().is_some() {
+        execs.push(Box::new(ShardedExecutor::new(2)));
+        execs.push(Box::new(ShardedExecutor::new(3).threads_per_shard(2)));
+    }
+    execs
+}
+
 fn assert_parity(workload: SharedWorkload) {
     let reference = workload.run_reference();
-    for exec in executors() {
+    for exec in executors_for(&workload) {
         let outcome = exec.execute(Arc::clone(&workload));
         // The real output check is on the native legs: the simulated backend reports the
         // reference output by design (the simulator executes addresses, not values), so its
@@ -214,6 +234,50 @@ fn spmv_agrees_across_all_executors() {
 #[test]
 fn sample_sort_agrees_across_all_executors() {
     assert_parity(Arc::new(SampleSortWorkload::demo(512)));
+}
+
+// ------------------------------------------------------------------------------------------
+// The sharded third column
+// ------------------------------------------------------------------------------------------
+
+/// Both shardable workloads × {2, 3} shard counts × repeated runs: the multi-process
+/// executor must reproduce the in-process reference output bit-exactly every time, with a
+/// clean fault ledger (nothing redistributed, nothing dead) and one accepted result per
+/// part. Repetition stands in for seeds here — sharded inputs are rebuilt by spec, so the
+/// input is fixed and what varies across runs is subprocess/pipe scheduling.
+#[test]
+fn sharded_column_matches_the_reference_on_every_shardable_workload() {
+    let workloads: Vec<SharedWorkload> =
+        vec![Arc::new(MatMulWorkload::demo(16, 4)), Arc::new(SpmvWorkload::demo(256))];
+    for workload in workloads {
+        assert!(workload.shard_spec().is_some(), "{} must be shardable", workload.name());
+        let reference = workload.run_reference();
+        for shards in [2usize, 3] {
+            for rep in 0..2 {
+                let exec = ShardedExecutor::new(shards);
+                let outcome = exec.execute(Arc::clone(&workload));
+                assert_eq!(
+                    outcome.output,
+                    reference,
+                    "{} / {} shards / rep {rep}: sharded output diverged from the reference",
+                    workload.name(),
+                    shards
+                );
+                assert_eq!(outcome.report.backend, Backend::Sharded);
+                assert!(!outcome.report.sequential_fallback);
+                let detail = outcome.report.shard.expect("sharded runs carry shard detail");
+                assert_eq!(detail.shards, shards);
+                assert_eq!(detail.jobs_accepted, detail.parts as u64);
+                assert_eq!(detail.redistributed, 0);
+                assert_eq!(detail.shard_deaths, 0);
+                assert_eq!(
+                    detail.jobs_per_shard.iter().sum::<u64>(),
+                    detail.jobs_accepted,
+                    "the per-shard fingerprint must sum to the accepted total"
+                );
+            }
+        }
+    }
 }
 
 #[test]

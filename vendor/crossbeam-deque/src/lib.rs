@@ -587,7 +587,7 @@ struct InjSlot<T> {
     value: UnsafeCell<MaybeUninit<T>>,
 }
 
-/// A fixed run of [`SEG`] consecutive tickets `[base, base + SEG)` in the injector's chain.
+/// A fixed run of `SEG` consecutive tickets `[base, base + SEG)` in the injector's chain.
 struct InjBlock<T> {
     base: isize,
     next: AtomicPtr<InjBlock<T>>,
@@ -611,12 +611,12 @@ impl<T> InjBlock<T> {
 /// submission queue, and in job-server mode the path every root job takes).
 ///
 /// Producers claim a unique monotone ticket with one `fetch_add` on `tail`, locate the
-/// ticket's slot in a linked chain of [`SEG`]-slot blocks (the producer that owns a new
+/// ticket's slot in a linked chain of `SEG`-slot blocks (the producer that owns a new
 /// block's first ticket allocates and CAS-links it), write the task, and flip the slot's
 /// `ready` flag (release). Consumers read `head`'s slot after an acquire of `ready` and
 /// claim it with one CAS on `head`; a lost CAS or a claimed-but-unwritten slot reports
 /// [`Steal::Retry`]. Per operation that is one uncontended atomic RMW plus one flag store
-/// or one CAS — no mutex, no allocation except once per [`SEG`] pushes.
+/// or one CAS — no mutex, no allocation except once per `SEG` pushes.
 ///
 /// **Reclamation / memory bound:** consumed blocks stay allocated (their `next` links
 /// intact) until the injector itself drops, the same retire-until-drop scheme the deque
@@ -752,7 +752,7 @@ impl<T> Injector<T> {
     }
 
     /// Push a task onto the queue. Lock-free: one `fetch_add`, a slot write, one release
-    /// store (plus one block allocation per [`SEG`] pushes, amortized).
+    /// store (plus one block allocation per `SEG` pushes, amortized).
     pub fn push(&self, task: T) {
         let t = self.tail.0.fetch_add(1, Ordering::SeqCst);
         let block = self.block_for_produce(t);
